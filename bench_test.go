@@ -1,0 +1,263 @@
+// Package thor's root benchmark suite: one benchmark per figure of the
+// paper's evaluation section (regenerate the printable figures themselves
+// with cmd/thorbench), plus micro-benchmarks for the hot substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks use a reduced corpus so a full -bench=. pass
+// completes in minutes; cmd/thorbench runs the paper-scale versions.
+package thor
+
+import (
+	"fmt"
+	"testing"
+
+	"thor/internal/cluster"
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/experiments"
+	"thor/internal/htmlx"
+	"thor/internal/probe"
+	"thor/internal/stem"
+	"thor/internal/strdist"
+	"thor/internal/synth"
+	"thor/internal/treedist"
+	"thor/internal/vector"
+)
+
+// benchOptions is the reduced corpus used by the figure benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Sites: 6, DictWords: 50, Nonsense: 5,
+		Reps: 1, Seed: 42, K: 4, KMRestarts: 5, SynthCap: 1100,
+	}
+}
+
+// --- Figure benchmarks -------------------------------------------------
+
+func BenchmarkFig4Entropy(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o) // probe outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(o)
+	}
+}
+
+func BenchmarkFig5ClusterTime(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(o)
+	}
+}
+
+func BenchmarkFig6SynthEntropy(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(o)
+	}
+}
+
+func BenchmarkFig7SynthTime(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(o)
+	}
+}
+
+func BenchmarkFig8Distance(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(o)
+	}
+}
+
+func BenchmarkFig9Histogram(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(o)
+	}
+}
+
+func BenchmarkFig10Overall(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(o)
+	}
+}
+
+func BenchmarkFig11Tradeoff(b *testing.B) {
+	o := benchOptions()
+	experiments.BuildCorpus(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(o)
+	}
+}
+
+func BenchmarkTreeEditDistance(b *testing.B) {
+	// The cost the paper ruled out: one tree-edit distance between two
+	// full answer pages (compare with BenchmarkTagSignatureSimilarity).
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	htmlA, _ := site.Query("music")
+	htmlB, _ := site.Query("history")
+	ta, tb := htmlx.Parse(htmlA), htmlx.Parse(htmlB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		treedist.Distance(ta, tb)
+	}
+}
+
+func BenchmarkTagSignatureSimilarity(b *testing.B) {
+	// The cost THOR pays instead: one cosine over TFIDF tag signatures.
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	htmlA, _ := site.Query("music")
+	htmlB, _ := site.Query("history")
+	pa := &corpus.Page{HTML: htmlA}
+	pb := &corpus.Page{HTML: htmlB}
+	vecs := vector.TFIDF([]map[string]int{pa.TagSignature(), pb.TagSignature()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vector.Cosine(vecs[0], vecs[1])
+	}
+}
+
+// --- Pipeline stage benchmarks ------------------------------------------
+
+func benchCollection(b *testing.B, siteID, dict int) *corpus.Collection {
+	b.Helper()
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: siteID, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(dict, 5, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	for _, p := range col.Pages {
+		p.Tree() // pre-parse so stage benchmarks time only their stage
+	}
+	return col
+}
+
+func BenchmarkParsePage(b *testing.B) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	html, _ := site.Query("music")
+	b.SetBytes(int64(len(html)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htmlx.Parse(html)
+	}
+}
+
+func BenchmarkProbeSite(b *testing.B) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(50, 5, 1), Labeler: deepweb.Labeler()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prober.ProbeSite(site)
+	}
+}
+
+func BenchmarkPhase1Clustering(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Phase1(col.Pages, cfg)
+	}
+}
+
+func BenchmarkPhase2Identification(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	multi := col.ByClass(corpus.MultiMatch)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewExtractor(cfg).ExtractCluster(multi)
+	}
+}
+
+func BenchmarkFullExtraction(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewExtractor(cfg).Extract(col.Pages)
+	}
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkKMeans(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			col := benchCollection(b, 0, 100)
+			model := synth.BuildModel(col.Pages)
+			pages := model.Sample(n, 1)
+			vecs := vector.TFIDF(synth.TagSignatures(pages))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster.KMeans(vecs, cluster.KMeansConfig{K: 4, Restarts: 1, Seed: int64(i)})
+			}
+		})
+	}
+}
+
+func BenchmarkTFIDF(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	docs := core.TagSignatures(col.Pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vector.TFIDF(docs)
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := probe.Dictionary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stem.Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkLevenshteinURL(b *testing.B) {
+	u1 := "http://search.ebay.com/search/search.dll?query=superman"
+	u2 := "http://search.ebay.com/search/search.dll?query=xfghae"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strdist.Levenshtein(u1, u2)
+	}
+}
+
+func BenchmarkShapeDistance(b *testing.B) {
+	col := benchCollection(b, 0, 50)
+	multi := col.ByClass(corpus.MultiMatch)
+	if len(multi) < 2 {
+		b.Skip("need two multi pages")
+	}
+	c1 := core.SinglePageCandidates(multi[0].Tree(), 0)
+	c2 := core.SinglePageCandidates(multi[1].Tree(), 1)
+	simp := strdist.NewSimplifier(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ShapeDistance(c1[i%len(c1)], c2[i%len(c2)], core.WeightsAll, simp)
+	}
+}
+
+func BenchmarkSynthSample(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	model := synth.BuildModel(col.Pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Sample(1000, int64(i))
+	}
+}

@@ -1,0 +1,71 @@
+// Command sitegen materializes a simulated deep-web corpus to disk: one
+// directory per site containing the probed answer pages as .html files and
+// a labels.json with the ground-truth class of every page. Use it to
+// inspect what the simulator produces or to feed the pages to other tools.
+//
+// Usage:
+//
+//	sitegen -out ./corpus -sites 5 -dict 100 -nonsense 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+type label struct {
+	Query string `json:"query"`
+	File  string `json:"file"`
+	URL   string `json:"url"`
+	Class string `json:"class"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "corpus", "output directory")
+		nsites = flag.Int("sites", 5, "number of sites")
+		dict   = flag.Int("dict", 100, "dictionary probe words")
+		nons   = flag.Int("nonsense", 10, "nonsense probe words")
+		seed   = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	plan := probe.NewPlan(*dict, *nons, *seed+1)
+	prober := &probe.Prober{Plan: plan, Labeler: deepweb.Labeler()}
+	sites := deepweb.NewSites(*nsites, *seed)
+	totalPages := 0
+	for _, s := range sites {
+		col := prober.ProbeSite(s)
+		dir := filepath.Join(*out, fmt.Sprintf("site%03d", s.ID()))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatalf("sitegen: %v", err)
+		}
+		labels := make([]label, 0, len(col.Pages))
+		for i, p := range col.Pages {
+			name := fmt.Sprintf("page%04d.html", i)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(p.HTML), 0o644); err != nil {
+				log.Fatalf("sitegen: %v", err)
+			}
+			labels = append(labels, label{
+				Query: p.Query, File: name, URL: p.URL, Class: p.Class.String(),
+			})
+		}
+		data, err := json.MarshalIndent(labels, "", "  ")
+		if err != nil {
+			log.Fatalf("sitegen: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "labels.json"), data, 0o644); err != nil {
+			log.Fatalf("sitegen: %v", err)
+		}
+		totalPages += len(col.Pages)
+		fmt.Printf("%s: %d pages → %s\n", s.Name(), len(col.Pages), dir)
+	}
+	fmt.Printf("wrote %d pages across %d sites under %s\n", totalPages, len(sites), *out)
+}

@@ -1,0 +1,174 @@
+// Command thor runs the full THOR pipeline — query probing, two-phase
+// QA-Pagelet extraction, and QA-Object partitioning — against simulated
+// deep-web sites, printing what was discovered at each stage.
+//
+// Usage:
+//
+//	thor                   # probe one simulated site and extract
+//	thor -site 7           # a different site profile
+//	thor -sites 5          # several sites, summary per site
+//	thor -dict 100 -nonsense 10
+//	thor -serve :8080      # serve the simulated deep web over HTTP instead
+//	thor -v                # dump extracted pagelets and objects
+//
+// Live sites: point THOR at any search endpoint reachable over HTTP; the
+// pipeline runs identically, just without ground-truth scoring:
+//
+//	thor -url http://localhost:8080/site/0/search -param q
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/objects"
+	"thor/internal/probe"
+	"thor/internal/quality"
+)
+
+func main() {
+	var (
+		site    = flag.Int("site", 0, "site profile id to probe (when -sites is 1)")
+		nsites  = flag.Int("sites", 1, "number of sites to probe")
+		dict    = flag.Int("dict", 100, "dictionary probe words")
+		nons    = flag.Int("nonsense", 10, "nonsense probe words")
+		seed    = flag.Int64("seed", 42, "random seed")
+		k       = flag.Int("k", 4, "page clusters")
+		top     = flag.Int("top", 2, "clusters passed to phase 2")
+		verbose = flag.Bool("v", false, "print extracted pagelets and objects")
+		serve   = flag.String("serve", "", "serve the simulated deep web on this address instead of extracting")
+		liveURL = flag.String("url", "", "probe a live search endpoint at this URL instead of a simulated site")
+		param   = flag.String("param", "q", "query parameter name for -url")
+	)
+	flag.Parse()
+
+	if *liveURL != "" {
+		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *verbose)
+		return
+	}
+
+	if *serve != "" {
+		farm := deepweb.NewFarm(max(*nsites, 1), *seed)
+		log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), *serve)
+		log.Fatal(http.ListenAndServe(*serve, farm.Handler()))
+	}
+
+	plan := probe.NewPlan(*dict, *nons, *seed+1)
+	prober := &probe.Prober{Plan: plan, Labeler: deepweb.Labeler()}
+	fmt.Printf("probing plan: %s\n", plan)
+
+	var sites []*deepweb.Site
+	if *nsites <= 1 {
+		sites = []*deepweb.Site{deepweb.NewSite(deepweb.SiteConfig{ID: *site, Seed: *seed})}
+	} else {
+		sites = deepweb.NewSites(*nsites, *seed)
+	}
+
+	var counter quality.Counter
+	for _, s := range sites {
+		col := prober.ProbeSite(s)
+		dist := col.ClassDistribution()
+		fmt.Printf("\n%s — %d pages (%d multi, %d single, %d no-match, %d error)\n",
+			s.Name(), len(col.Pages), dist[corpus.MultiMatch], dist[corpus.SingleMatch],
+			dist[corpus.NoMatch], dist[corpus.ErrorPage])
+
+		cfg := core.DefaultConfig()
+		cfg.K = *k
+		cfg.TopClusters = *top
+		cfg.Seed = *seed + int64(s.ID())
+		ext := core.NewExtractor(cfg)
+		res := ext.Extract(col.Pages)
+
+		for rank, pc := range res.Phase1.Ranked {
+			passed := " "
+			if rank < len(res.PassedClusters) {
+				passed = "*"
+			}
+			fmt.Printf("  %s cluster %d: %3d pages, score %.3f (terms %.0f, fanout %.1f, size %.0fB)\n",
+				passed, rank+1, len(pc.Pages), pc.Score,
+				pc.AvgDistinctTerms, pc.AvgMaxFanout, pc.AvgPageSize)
+		}
+		c, i, t := core.Score(res.Pagelets, col.Pages)
+		counter.Add(c, i, t)
+		pr := quality.PrecisionRecall(c, i, t)
+		fmt.Printf("  extracted %d QA-Pagelets: precision %.3f, recall %.3f\n",
+			len(res.Pagelets), pr.Precision, pr.Recall)
+
+		if *verbose {
+			part := objects.NewPartitioner(objects.Config{})
+			for _, pl := range res.Pagelets[:min(3, len(res.Pagelets))] {
+				objs := part.Partition(pl.Node, pl.Objects)
+				fmt.Printf("\n  page %q → pagelet %s (%d QA-Objects)\n", pl.Page.Query, pl.Path, len(objs))
+				for _, o := range objs[:min(3, len(objs))] {
+					text := o.Text()
+					if len(text) > 100 {
+						text = text[:100] + "…"
+					}
+					fmt.Printf("    object: %s\n", strings.TrimSpace(text))
+				}
+			}
+		}
+	}
+	if len(sites) > 1 {
+		pr := counter.PR()
+		fmt.Printf("\noverall: precision %.3f, recall %.3f over %d sites\n",
+			pr.Precision, pr.Recall, len(sites))
+	}
+}
+
+// runLive probes a real search endpoint and prints what THOR extracts;
+// with no ground truth the report is the ranked clusters and the regions.
+func runLive(searchURL, param string, dict, nons int, seed int64, k, top int, verbose bool) {
+	site := &probe.HTTPSite{SearchURL: searchURL, QueryParam: param}
+	prober := &probe.Prober{Plan: probe.NewPlan(dict, nons, seed+1)}
+	fmt.Printf("probing %s (%s)\n", site.Name(), prober.Plan)
+	col := prober.ProbeSite(site)
+
+	cfg := core.DefaultConfig()
+	cfg.K = k
+	cfg.TopClusters = top
+	cfg.Seed = seed
+	res := core.NewExtractor(cfg).Extract(col.Pages)
+	for rank, pc := range res.Phase1.Ranked {
+		passed := " "
+		if rank < len(res.PassedClusters) {
+			passed = "*"
+		}
+		fmt.Printf("  %s cluster %d: %3d pages, score %.3f\n", passed, rank+1, len(pc.Pages), pc.Score)
+	}
+	fmt.Printf("extracted %d QA-Pagelets\n", len(res.Pagelets))
+	if verbose {
+		part := objects.NewPartitioner(objects.Config{})
+		for _, pl := range res.Pagelets[:min(5, len(res.Pagelets))] {
+			objs := part.Partition(pl.Node, pl.Objects)
+			fmt.Printf("\n  %q → %s (%d objects)\n", pl.Page.Query, pl.Path, len(objs))
+			for _, o := range objs[:min(3, len(objs))] {
+				text := strings.TrimSpace(o.Text())
+				if len(text) > 100 {
+					text = text[:100] + "…"
+				}
+				fmt.Printf("    %s\n", text)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

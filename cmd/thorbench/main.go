@@ -1,0 +1,142 @@
+// Command thorbench regenerates the figures of the paper's evaluation
+// section over the simulated deep-web corpus.
+//
+// Usage:
+//
+//	thorbench -fig 4            # Figure 4 (entropy vs pages/site)
+//	thorbench -fig all          # every figure and ablation
+//	thorbench -fig 6 -full      # lift the scalability caps (Fig 6/7)
+//	thorbench -sites 10 -reps 3 # smaller corpus for quick runs
+//	thorbench -fig all -csv out # also write each figure as CSV under out/
+//
+// Figures: 4, 5, 6, 7, 8, 9, 10, 11, plus "treedist" (tag-signature vs
+// tree-edit cost), "stats" (corpus statistics), and the ablations
+// "ksweep", "restarts", "threshold", "ranking", "objects", "multiregion",
+// "bisecting", and "adaptive" (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"thor/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		sites  = flag.Int("sites", 50, "number of simulated deep-web sites")
+		dict   = flag.Int("dict", 100, "dictionary probe words per site")
+		nons   = flag.Int("nonsense", 10, "nonsense probe words per site")
+		reps   = flag.Int("reps", 10, "repetitions per measurement (Fig 4/5)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		full   = flag.Bool("full", false, "lift scalability caps (Fig 6/7 to 110,000 pages/site)")
+		k      = flag.Int("k", 4, "number of page clusters")
+		m      = flag.Int("restarts", 10, "K-Means restarts")
+		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		Sites: *sites, DictWords: *dict, Nonsense: *nons,
+		Reps: *reps, Seed: *seed, Full: *full, K: *k, KMRestarts: *m,
+	}
+
+	emit := func(name string, result fmt.Stringer) {
+		fmt.Println(result)
+		if *csvDir == "" {
+			return
+		}
+		if err := writeCSV(*csvDir, name, result); err != nil {
+			fmt.Fprintf(os.Stderr, "thorbench: %v\n", err)
+		}
+	}
+
+	runners := map[string]func() fmt.Stringer{
+		"4":           func() fmt.Stringer { return experiments.Fig4(o) },
+		"5":           func() fmt.Stringer { return experiments.Fig5(o) },
+		"6":           func() fmt.Stringer { return experiments.Fig6(o) },
+		"7":           func() fmt.Stringer { return experiments.Fig7(o) },
+		"8":           func() fmt.Stringer { return experiments.Fig8(o) },
+		"9":           func() fmt.Stringer { return experiments.Fig9(o) },
+		"10":          func() fmt.Stringer { return experiments.Fig10(o) },
+		"11":          func() fmt.Stringer { return experiments.Fig11(o) },
+		"treedist":    func() fmt.Stringer { return experiments.TreeEditComparison(o, 30) },
+		"stats":       func() fmt.Stringer { return experiments.Stats(o) },
+		"ksweep":      func() fmt.Stringer { return experiments.KSweep(o) },
+		"restarts":    func() fmt.Stringer { return experiments.RestartSweep(o) },
+		"threshold":   func() fmt.Stringer { return experiments.ThresholdSweep(o) },
+		"ranking":     func() fmt.Stringer { return experiments.RankingAblation(o) },
+		"objects":     func() fmt.Stringer { return experiments.ObjectPartitioning(o) },
+		"multiregion": func() fmt.Stringer { return experiments.MultiRegionAblation(o) },
+		"bisecting":   func() fmt.Stringer { return experiments.BisectingAblation(o) },
+		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
+	}
+
+	if *fig == "all" {
+		start := time.Now()
+		// The paired figures share their computation.
+		e4, t5 := experiments.Fig45(o)
+		emit("fig4", e4)
+		emit("fig5", t5)
+		e6, t7 := experiments.Fig67(o)
+		emit("fig6", e6)
+		emit("fig7", t7)
+		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
+			"ksweep", "restarts", "threshold", "ranking",
+			"objects", "multiregion", "bisecting", "adaptive"} {
+			emit(csvName(name), runners[name]())
+		}
+		fmt.Printf("total: %v\n", time.Since(start))
+		return
+	}
+	for _, name := range strings.Split(*fig, ",") {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "thorbench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		emit(csvName(name), run())
+	}
+}
+
+// csvName maps a -fig selector to a CSV file stem.
+func csvName(name string) string {
+	switch name {
+	case "4", "5", "6", "7", "8", "9", "10", "11":
+		return "fig" + name
+	default:
+		return name
+	}
+}
+
+// writeCSV persists a result when its type supports CSV export.
+func writeCSV(dir, name string, result fmt.Stringer) error {
+	var write func(f *os.File) error
+	switch r := result.(type) {
+	case *experiments.Figure:
+		write = func(f *os.File) error { return r.WriteCSV(f) }
+	case *experiments.TableResult:
+		write = func(f *os.File) error { return r.WriteCSV(f) }
+	case *experiments.Fig9Result:
+		write = func(f *os.File) error { return r.WriteCSV(f) }
+	default:
+		return nil // stats / treedist have no tabular form
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+// Quickstart: probe one simulated deep-web site, run THOR's two-phase
+// extraction, and print the QA-Pagelet of the first answer page. This is
+// the minimal end-to-end use of the library:
+//
+//  1. collect sample answer pages by query probing (probe + deepweb)
+//  2. cluster pages and identify QA-Pagelets (core)
+//  3. partition each pagelet into QA-Objects (objects)
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/core"
+	"thor/internal/deepweb"
+	"thor/internal/objects"
+	"thor/internal/probe"
+)
+
+func main() {
+	// Stage 0: a deep-web source. In production this would be a live site
+	// behind a search form; here it is a generated site with a 300-record
+	// database.
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 3, Seed: 7})
+	fmt.Printf("site: %s (%d records)\n", site.Name(), site.Database().NumRecords())
+
+	// Stage 1: sample page collection by query probing — 60 dictionary
+	// words plus 5 nonsense words, the paper's technique scaled down.
+	plan := probe.NewPlan(60, 5, 11)
+	prober := &probe.Prober{Plan: plan, Labeler: deepweb.Labeler()}
+	collection := prober.ProbeSite(site)
+	fmt.Printf("probed %d pages\n", len(collection.Pages))
+
+	// Stage 2: two-phase QA-Pagelet extraction.
+	extractor := core.NewExtractor(core.DefaultConfig())
+	result := extractor.Extract(collection.Pages)
+	fmt.Println(result)
+
+	if len(result.Pagelets) == 0 {
+		fmt.Println("no QA-Pagelets found")
+		return
+	}
+
+	// Stage 3: QA-Object partitioning of the first extracted pagelet.
+	pl := result.Pagelets[0]
+	fmt.Printf("\nquery %q → QA-Pagelet at %s\n", pl.Page.Query, pl.Path)
+	partitioner := objects.NewPartitioner(objects.Config{})
+	objs := partitioner.Partition(pl.Node, pl.Objects)
+	fmt.Printf("%d QA-Objects:\n", len(objs))
+	for i, o := range objs {
+		text := strings.TrimSpace(o.Text())
+		if len(text) > 90 {
+			text = text[:90] + "…"
+		}
+		fmt.Printf("  %2d. %s\n", i+1, text)
+	}
+}

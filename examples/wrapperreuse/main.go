@@ -1,0 +1,66 @@
+// Wrapperreuse: analyze a deep-web site once with THOR's two-phase
+// algorithm, compile the result into a site-specific wrapper, and then
+// extract QA-Pagelets from a stream of fresh answer pages in a single pass
+// each — the steady-state operating mode of a deep-web search engine: the
+// expensive probe/cluster/discover analysis runs occasionally, the wrapper
+// runs on every page fetched in between.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+func main() {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 31})
+	fmt.Printf("site: %s\n", site.Name())
+
+	// Analysis pass: probe, cluster, identify the QA-Pagelet region.
+	analyze := &probe.Prober{Plan: probe.NewPlan(80, 8, 1), Labeler: deepweb.Labeler()}
+	col := analyze.ProbeSite(site)
+	ext := core.NewExtractor(core.DefaultConfig())
+	p2 := ext.ExtractCluster(col.ByClass(corpus.MultiMatch))
+	wrapper, err := ext.BuildWrapper(p2)
+	if err != nil {
+		fmt.Println("analysis failed:", err)
+		return
+	}
+	fmt.Printf("compiled %s from %d sample pages\n\n", wrapper, len(p2.Selected.Members))
+
+	// Steady state: fresh queries the analysis never saw.
+	fresh := &probe.Prober{Plan: probe.NewPlan(40, 0, 555), Labeler: deepweb.Labeler()}
+	stream := fresh.ProbeSite(site)
+	hits, misses, rejected := 0, 0, 0
+	for _, page := range stream.Pages {
+		node, dist := wrapper.Extract(page.Tree())
+		if node == nil {
+			rejected++
+			continue
+		}
+		correct := false
+		for _, truth := range page.TruthPagelets() {
+			if truth == node {
+				correct = true
+			}
+		}
+		if correct {
+			hits++
+		} else {
+			misses++
+		}
+		if hits <= 3 && correct {
+			text := strings.TrimSpace(node.Text())
+			if len(text) > 70 {
+				text = text[:70] + "…"
+			}
+			fmt.Printf("  q=%-10q d=%.2f → %s\n", page.Query, dist, text)
+		}
+	}
+	fmt.Printf("\nstream of %d fresh pages: %d extracted correctly, %d wrong, %d rejected (no answer region)\n",
+		len(stream.Pages), hits, misses, rejected)
+}

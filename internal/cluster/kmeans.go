@@ -1,0 +1,181 @@
+// Package cluster implements the clustering algorithms of THOR's page
+// clustering phase: Simple K-Means over sparse cosine space with random
+// restarts guided by internal similarity (Sections 3.1.2 and 3.1.4), plus
+// the baseline page-grouping approaches the paper evaluates against
+// (URL-based, size-based, and random assignment).
+package cluster
+
+import (
+	"math/rand"
+
+	"thor/internal/vector"
+)
+
+// Clustering is an assignment of n items to k clusters. Assign[i] is the
+// cluster index of item i; Clusters[c] lists the item indexes of cluster c.
+// Clusters may be empty.
+type Clustering struct {
+	K        int
+	Assign   []int
+	Clusters [][]int
+}
+
+// newClustering builds the Clusters index lists from an assignment.
+func newClustering(k int, assign []int) Clustering {
+	clusters := make([][]int, k)
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	return Clustering{K: k, Assign: assign, Clusters: clusters}
+}
+
+// Sizes returns the number of items in each cluster.
+func (c Clustering) Sizes() []int {
+	sizes := make([]int, c.K)
+	for i, members := range c.Clusters {
+		sizes[i] = len(members)
+	}
+	return sizes
+}
+
+// KMeansConfig controls the Simple K-Means run.
+type KMeansConfig struct {
+	K        int // number of clusters (clamped to [1, n])
+	Restarts int // M: independent runs with random initial centers; best by internal similarity wins
+	MaxIter  int // safety bound on assign/recenter cycles per run (default 100)
+	Seed     int64
+}
+
+// KMeansResult carries the chosen clustering together with its centroids
+// and internal similarity.
+type KMeansResult struct {
+	Clustering Clustering
+	Centroids  []vector.Sparse
+	// Similarity is the internal similarity of the whole clustering: the
+	// size-weighted sum over clusters of Σ_j sim(page_j, centroid), the
+	// quantity THOR maximizes across restarts (Section 3.1.4).
+	Similarity float64
+	Iterations int // total assign/recenter cycles across all restarts
+}
+
+// KMeans partitions the vectors into cfg.K clusters with Simple K-Means
+// under cosine similarity. The algorithm starts from K random cluster
+// centers, assigns each page to the most similar center, recomputes each
+// center as its cluster's centroid, and repeats until assignments
+// stabilize. It runs cfg.Restarts times and keeps the clustering with the
+// highest internal similarity.
+func KMeans(vecs []vector.Sparse, cfg KMeansConfig) KMeansResult {
+	n := len(vecs)
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	best := KMeansResult{Similarity: -1}
+	totalIter := 0
+	for r := 0; r < restarts; r++ {
+		assign, centroids, iters := kmeansOnce(vecs, k, maxIter, rng)
+		totalIter += iters
+		cl := newClustering(k, assign)
+		sim := InternalSimilarity(vecs, cl, centroids)
+		if sim > best.Similarity {
+			best = KMeansResult{Clustering: cl, Centroids: centroids, Similarity: sim}
+		}
+	}
+	best.Iterations = totalIter
+	return best
+}
+
+func kmeansOnce(vecs []vector.Sparse, k, maxIter int, rng *rand.Rand) (assign []int, centroids []vector.Sparse, iters int) {
+	n := len(vecs)
+	// Initialize centers from k distinct random pages.
+	perm := rng.Perm(n)
+	centroids = make([]vector.Sparse, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = vecs[perm[i]]
+	}
+	assign = make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iters = 1; iters <= maxIter; iters++ {
+		changed := false
+		for i, v := range vecs {
+			bestC, bestSim := 0, -1.0
+			for c, ctr := range centroids {
+				if sim := vector.Cosine(v, ctr); sim > bestSim {
+					bestC, bestSim = c, sim
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; re-seed empty clusters from a random page so
+		// k is preserved.
+		groups := make([][]vector.Sparse, k)
+		for i, c := range assign {
+			groups[c] = append(groups[c], vecs[i])
+		}
+		for c := range centroids {
+			if len(groups[c]) == 0 {
+				centroids[c] = vecs[rng.Intn(n)]
+				continue
+			}
+			centroids[c] = vector.Centroid(groups[c])
+		}
+	}
+	return assign, centroids, iters
+}
+
+// InternalSimilarity computes the internal similarity of a clustering: the
+// n_i/n-weighted sum over clusters of the per-cluster average similarity of
+// each page to its cluster centroid (Section 3.1.4, after Steinbach et al.
+// [29] and Zhao & Karypis [32], where this quantity equals the weighted sum
+// of centroid lengths for unit page vectors). Equivalently, it is the mean
+// page-to-own-centroid similarity over all pages. Higher is better; it is
+// the internal guidance metric that picks the best of the M K-Means
+// restarts.
+func InternalSimilarity(vecs []vector.Sparse, cl Clustering, centroids []vector.Sparse) float64 {
+	n := float64(len(vecs))
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for c, members := range cl.Clusters {
+		for _, i := range members {
+			total += vector.Cosine(vecs[i], centroids[c])
+		}
+	}
+	return total / n
+}
+
+// ClusterCentroids recomputes centroids for an arbitrary clustering of the
+// given vectors.
+func ClusterCentroids(vecs []vector.Sparse, cl Clustering) []vector.Sparse {
+	out := make([]vector.Sparse, cl.K)
+	for c, members := range cl.Clusters {
+		group := make([]vector.Sparse, 0, len(members))
+		for _, i := range members {
+			group = append(group, vecs[i])
+		}
+		out[c] = vector.Centroid(group)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"thor/internal/htmlx"
+	"thor/internal/tagtree"
+)
+
+func TestByTreeEditSeparatesTemplates(t *testing.T) {
+	var trees []*tagtree.Node
+	var labels []int
+	// Template A: result lists of varying length.
+	for i := 0; i < 5; i++ {
+		html := "<html><body><ul>"
+		for j := 0; j <= i; j++ {
+			html += fmt.Sprintf("<li>item %d</li>", j)
+		}
+		html += "</ul></body></html>"
+		trees = append(trees, htmlx.Parse(html))
+		labels = append(labels, 0)
+	}
+	// Template B: detail tables.
+	for i := 0; i < 5; i++ {
+		html := fmt.Sprintf("<html><body><table><tr><td>k</td><td>v%d</td></tr>"+
+			"<tr><td>y</td><td>%d</td></tr></table></body></html>", i, i)
+		trees = append(trees, htmlx.Parse(html))
+		labels = append(labels, 1)
+	}
+	cl := ByTreeEdit(trees, 2, 1)
+	for _, members := range cl.Clusters {
+		if len(members) == 0 {
+			continue
+		}
+		first := labels[members[0]]
+		for _, i := range members {
+			if labels[i] != first {
+				t.Fatalf("tree-edit clustering mixed templates: %v", cl.Assign)
+			}
+		}
+	}
+}
+
+func TestByTreeEditSingleCluster(t *testing.T) {
+	trees := []*tagtree.Node{
+		htmlx.Parse("<p>a</p>"),
+		htmlx.Parse("<p>b</p>"),
+	}
+	cl := ByTreeEdit(trees, 1, 1)
+	if cl.K != 1 || len(cl.Clusters[0]) != 2 {
+		t.Errorf("clustering = %+v", cl)
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements THOR's primary contribution: the two-phase
+// QA-Pagelet extraction framework (Section 3 of the paper). Phase one
+// clusters a site's sampled pages by tag-tree signature into structurally
+// similar groups and ranks the clusters by their likelihood of containing
+// QA-Pagelets. Phase two examines the pages of top-ranked clusters at the
+// subtree level — single-page analysis prunes impossible subtrees,
+// cross-page analysis groups subtrees of similar shape into common subtree
+// sets, TFIDF content analysis separates static from dynamic sets, and a
+// selection rule picks the minimal subtrees containing the QA-Pagelets.
+package core
+
+// Approach selects the page representation used by the clustering phase.
+// TFIDFTags is THOR's approach; the others are the baselines of Figures 4,
+// 5, and 10.
+type Approach int
+
+const (
+	// TFIDFTags clusters TFIDF-weighted tag-tree signatures (THOR).
+	TFIDFTags Approach = iota
+	// RawTags clusters raw tag-frequency signatures.
+	RawTags
+	// TFIDFContent clusters TFIDF-weighted stemmed content signatures.
+	TFIDFContent
+	// RawContent clusters raw stemmed content signatures.
+	RawContent
+	// SizeBased clusters by page size in bytes.
+	SizeBased
+	// URLBased clusters by string edit distance between page URLs.
+	URLBased
+	// RandomAssign assigns pages to clusters uniformly at random.
+	RandomAssign
+	// NumApproaches is the number of clustering approaches.
+	NumApproaches
+)
+
+// String returns the approach abbreviation used in the paper's figures.
+func (a Approach) String() string {
+	switch a {
+	case TFIDFTags:
+		return "TTag"
+	case RawTags:
+		return "RTag"
+	case TFIDFContent:
+		return "TCon"
+	case RawContent:
+		return "RCon"
+	case SizeBased:
+		return "Size"
+	case URLBased:
+		return "URLs"
+	case RandomAssign:
+		return "Rand"
+	default:
+		return "?"
+	}
+}
+
+// ShapeWeights are the weights (w1..w4) of the four terms of the subtree
+// distance function: path, fanout, depth, node count (Section 3.2.1). They
+// must sum to 1.
+type ShapeWeights [4]float64
+
+// Predefined weightings for the Figure 8 ablation.
+var (
+	// WeightsAll weights the four terms equally (THOR's default).
+	WeightsAll = ShapeWeights{0.25, 0.25, 0.25, 0.25}
+	// WeightsPathOnly uses only the path edit distance (P).
+	WeightsPathOnly = ShapeWeights{1, 0, 0, 0}
+	// WeightsFanoutOnly uses only the fanout term (F).
+	WeightsFanoutOnly = ShapeWeights{0, 1, 0, 0}
+	// WeightsDepthOnly uses only the depth term (D).
+	WeightsDepthOnly = ShapeWeights{0, 0, 1, 0}
+	// WeightsNodesOnly uses only the node-count term (N).
+	WeightsNodesOnly = ShapeWeights{0, 0, 0, 1}
+)
+
+// Config parameterizes the extractor. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// K is the number of page clusters formed in phase one. The paper
+	// finds k between 2 and 5 works, with extra clusters merely refining
+	// the grain (Section 4.1).
+	K int
+	// Restarts is M, the number of random K-Means restarts; the clustering
+	// with the highest internal similarity wins (Section 3.1.4; the paper
+	// settles on 10).
+	Restarts int
+	// TopClusters is m, how many top-ranked clusters advance to phase two
+	// (Figure 11 studies this trade-off; 2 is the paper's compromise).
+	TopClusters int
+	// Approach is the page representation clustered in phase one.
+	Approach Approach
+	// ShapeWeights are the subtree distance weights (defaults to equal).
+	ShapeWeights ShapeWeights
+	// SimThreshold separates static from dynamic common subtree sets:
+	// sets with intra-set similarity above it are pruned as static
+	// (Section 3.2.1 step 2 uses 0.5 and notes the exact choice is not
+	// essential).
+	SimThreshold float64
+	// MaxMatchDistance is the largest shape distance at which a subtree
+	// from another page may join a prototype subtree's common set. The
+	// paper's algorithm simply takes the most similar subtree of each
+	// page, i.e. no threshold; the default of 1.0 reproduces that. Lower
+	// values trade recall for cleaner sets.
+	MaxMatchDistance float64
+	// MinSetFraction drops common subtree sets matched in fewer than this
+	// fraction of the cluster's pages; such sets lack the cross-page
+	// support the content analysis needs.
+	MinSetFraction float64
+	// RawContentVectors disables TFIDF weighting of the subtree content
+	// vectors in phase two (the Figure 9 ablation).
+	RawContentVectors bool
+	// PathSimplifyQ is the fixed identifier length q used when simplifying
+	// tag names for path edit distance (the paper's example uses q=1).
+	PathSimplifyQ int
+	// NumPagelets is how many QA-Pagelet regions to select per cluster.
+	// The default 1 covers the common case; sites with multiple primary
+	// content regions (Section 1 notes these exist) need 2 or more. Extra
+	// selections are structurally disjoint from earlier ones.
+	NumPagelets int
+	// Seed drives every randomized choice (K-Means initialization,
+	// prototype page selection) so runs are reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration matching the paper's first THOR
+// prototype.
+func DefaultConfig() Config {
+	return Config{
+		K:                4,
+		Restarts:         10,
+		TopClusters:      2,
+		Approach:         TFIDFTags,
+		ShapeWeights:     WeightsAll,
+		SimThreshold:     0.5,
+		MaxMatchDistance: 1.0,
+		MinSetFraction:   0.5,
+		PathSimplifyQ:    1,
+		NumPagelets:      1,
+		Seed:             1,
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+	"thor/internal/tagtree"
+)
+
+// TestExtractionInvariants checks structural invariants of the extractor's
+// output on a real site sample: every pagelet's node belongs to its page's
+// tree, its recorded path resolves back to exactly that node, recommended
+// objects are descendants of the pagelet, and no page is extracted twice
+// by one selected set.
+func TestExtractionInvariants(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 4, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(70, 7, 9), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	res := NewExtractor(DefaultConfig()).Extract(col.Pages)
+	if len(res.Pagelets) == 0 {
+		t.Fatal("nothing extracted")
+	}
+	for _, pl := range res.Pagelets {
+		tree := pl.Page.Tree()
+		// Node belongs to the page's tree.
+		if pl.Node.Root() != tree {
+			t.Fatalf("pagelet node from a foreign tree (page %q)", pl.Page.Query)
+		}
+		// Recorded path resolves to the node.
+		got, err := tagtree.Lookup(tree, pl.Path)
+		if err != nil {
+			t.Fatalf("path %q does not resolve: %v", pl.Path, err)
+		}
+		if got != pl.Node {
+			t.Fatalf("path %q resolves to a different node", pl.Path)
+		}
+		// Objects nest inside the pagelet.
+		for _, o := range pl.Objects {
+			if !pl.Node.IsAncestorOf(o) {
+				t.Fatalf("recommended object %q outside pagelet %q", o.Path(), pl.Path)
+			}
+		}
+	}
+	// Within one cluster's result, the selected set extracts each page at
+	// most once.
+	for _, p2 := range res.PerCluster {
+		if p2.Selected == nil {
+			continue
+		}
+		seen := make(map[*corpus.Page]int)
+		for _, pl := range p2.Pagelets {
+			seen[pl.Page]++
+		}
+		for page, n := range seen {
+			if n > len(p2.SelectedSets) {
+				t.Fatalf("page %q extracted %d times with %d selected sets",
+					page.Query, n, len(p2.SelectedSets))
+			}
+		}
+	}
+}
+
+func TestTopClustersClamped(t *testing.T) {
+	// More TopClusters than clusters exist: Extract must not panic and
+	// must pass every non-empty cluster.
+	var pages []*corpus.Page
+	for i := 0; i < 6; i++ {
+		pages = append(pages, &corpus.Page{
+			HTML:  fmt.Sprintf(`<html><body><ul><li>item %d</li><li>more %d</li></ul></body></html>`, i, i),
+			Class: corpus.MultiMatch,
+		})
+	}
+	cfg := DefaultConfig()
+	cfg.K = 2
+	cfg.TopClusters = 99
+	res := NewExtractor(cfg).Extract(pages)
+	if len(res.PassedClusters) > len(res.Phase1.Ranked) {
+		t.Errorf("passed %d of %d clusters", len(res.PassedClusters), len(res.Phase1.Ranked))
+	}
+}
+
+func TestMinSetFractionDropsUnsupportedSets(t *testing.T) {
+	// One page has a unique extra region; with MinSetFraction at half, the
+	// singleton set it forms must be dropped.
+	mk := func(extra bool, i int) *corpus.Page {
+		html := fmt.Sprintf(`<html><body><ul><li>a %d</li><li>b %d</li></ul>`, i, i)
+		if extra {
+			html += `<blockquote><p>lonely region</p></blockquote>`
+		}
+		html += `</body></html>`
+		return &corpus.Page{HTML: html, Class: corpus.MultiMatch}
+	}
+	pages := []*corpus.Page{mk(true, 0), mk(false, 1), mk(false, 2), mk(false, 3)}
+	cfg := DefaultConfig()
+	cfg.MinSetFraction = 0.5
+	// Force the page with the extra region to be the prototype: it has
+	// the most candidates.
+	p2 := NewExtractor(cfg).ExtractCluster(pages)
+	for _, s := range p2.Sets {
+		if s.Proto.Node.Tag == "blockquote" {
+			t.Errorf("singleton blockquote set survived MinSetFraction")
+		}
+	}
+}
+
+func TestRawContentVectorsChangeSimilarity(t *testing.T) {
+	// A region whose text is mostly shared with a little per-page
+	// variation: raw counts see high similarity, TFIDF suppresses the
+	// shared mass and sees much lower similarity (the Figure 9 mechanics).
+	var pages []*corpus.Page
+	for i := 0; i < 6; i++ {
+		html := fmt.Sprintf(`<html><body>`+
+			`<div><p>common words repeated across every page of this site</p><p>unique%d token%d</p></div>`+
+			`<ul><li>x %d</li><li>y %d</li></ul></body></html>`, i, i, i, i)
+		pages = append(pages, &corpus.Page{HTML: html, Class: corpus.MultiMatch})
+	}
+	simOf := func(raw bool) float64 {
+		cfg := DefaultConfig()
+		cfg.RawContentVectors = raw
+		p2 := NewExtractor(cfg).ExtractCluster(pages)
+		for _, s := range p2.Sets {
+			if s.Proto.Node.Tag == "div" {
+				return s.IntraSim
+			}
+		}
+		t.Fatal("div set not found")
+		return 0
+	}
+	rawSim, tfidfSim := simOf(true), simOf(false)
+	if tfidfSim >= rawSim {
+		t.Errorf("TFIDF intra-sim %v not below raw %v for semi-static region", tfidfSim, rawSim)
+	}
+}
+
+func TestScoreClustersNormalization(t *testing.T) {
+	clusters := []*PageCluster{
+		{AvgDistinctTerms: 200, AvgMaxFanout: 10, AvgPageSize: 4000},
+		{AvgDistinctTerms: 100, AvgMaxFanout: 5, AvgPageSize: 2000},
+		{AvgDistinctTerms: 20, AvgMaxFanout: 2, AvgPageSize: 300},
+	}
+	scoreClusters(clusters)
+	if clusters[0].Score != 1 {
+		t.Errorf("dominant cluster score = %v, want 1", clusters[0].Score)
+	}
+	if clusters[1].Score != 0.5 {
+		t.Errorf("half cluster score = %v, want 0.5", clusters[1].Score)
+	}
+	if clusters[2].Score >= clusters[1].Score {
+		t.Errorf("ordering broken: %v ≥ %v", clusters[2].Score, clusters[1].Score)
+	}
+	// Degenerate: all-zero criteria must not divide by zero.
+	zero := []*PageCluster{{}, {}}
+	scoreClusters(zero)
+	if zero[0].Score != 0 {
+		t.Errorf("zero-criteria score = %v", zero[0].Score)
+	}
+}

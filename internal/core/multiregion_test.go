@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+	"thor/internal/quality"
+)
+
+// multiRegionCluster probes a multi-region site and returns its
+// multi-match pages (each carrying two ground-truth QA-Pagelets).
+func multiRegionCluster(t *testing.T) []*corpus.Page {
+	t.Helper()
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42, MultiRegion: true})
+	prober := &probe.Prober{Plan: probe.NewPlan(80, 8, 5), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	pages := col.ByClass(corpus.MultiMatch)
+	if len(pages) < 5 {
+		t.Skip("too few multi pages")
+	}
+	for _, p := range pages {
+		if got := len(p.TruthPagelets()); got != 2 {
+			t.Fatalf("multi-region page has %d truth pagelets, want 2", got)
+		}
+	}
+	return pages
+}
+
+func TestMultiRegionSingleSelectionMissesOne(t *testing.T) {
+	pages := multiRegionCluster(t)
+	cfg := DefaultConfig() // NumPagelets = 1
+	p2 := NewExtractor(cfg).ExtractCluster(pages)
+	c, i, total := Score(p2.Pagelets, pages)
+	pr := quality.PrecisionRecall(c, i, total)
+	// With one region selected, at most half the pagelets are findable.
+	if pr.Recall > 0.55 {
+		t.Errorf("recall = %v with NumPagelets=1 on two-region pages; expected ≤ ~0.5", pr.Recall)
+	}
+}
+
+func TestMultiRegionTwoSelectionsFindBoth(t *testing.T) {
+	pages := multiRegionCluster(t)
+	cfg := DefaultConfig()
+	cfg.NumPagelets = 2
+	p2 := NewExtractor(cfg).ExtractCluster(pages)
+	if len(p2.SelectedSets) != 2 {
+		t.Fatalf("selected %d sets, want 2", len(p2.SelectedSets))
+	}
+	c, i, total := Score(p2.Pagelets, pages)
+	pr := quality.PrecisionRecall(c, i, total)
+	if pr.Recall < 0.8 || pr.Precision < 0.8 {
+		t.Errorf("two-region extraction P=%.3f R=%.3f (c=%d i=%d t=%d)",
+			pr.Precision, pr.Recall, c, i, total)
+	}
+}
+
+func TestSelectPageletsDisjoint(t *testing.T) {
+	pages := multiRegionCluster(t)
+	cfg := DefaultConfig()
+	cfg.NumPagelets = 3
+	p2 := NewExtractor(cfg).ExtractCluster(pages)
+	for i, a := range p2.SelectedSets {
+		for _, b := range p2.SelectedSets[i+1:] {
+			if a.Proto.Node.IsAncestorOf(b.Proto.Node) || b.Proto.Node.IsAncestorOf(a.Proto.Node) {
+				t.Errorf("selected sets %q and %q overlap structurally",
+					a.Proto.Path, b.Proto.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"thor/internal/cluster"
+	"thor/internal/corpus"
+	"thor/internal/vector"
+)
+
+// PageCluster is one cluster of structurally similar pages together with
+// the statistics used to rank it.
+type PageCluster struct {
+	// Indexes are the positions of the member pages in the input slice.
+	Indexes []int
+	// Pages are the member pages.
+	Pages []*corpus.Page
+	// Ranking criteria (Section 3.1.3), each averaged over member pages.
+	AvgDistinctTerms float64
+	AvgMaxFanout     float64
+	AvgPageSize      float64
+	// Score is the normalized linear combination of the three criteria;
+	// clusters are ranked by descending score.
+	Score float64
+}
+
+// Phase1Result is the outcome of the page clustering phase.
+type Phase1Result struct {
+	Clustering cluster.Clustering
+	// Ranked lists the non-empty clusters in descending rank order.
+	Ranked []*PageCluster
+	// InternalSimilarity of the chosen clustering (only meaningful for
+	// centroid-based approaches; 0 otherwise).
+	InternalSimilarity float64
+}
+
+// TagSignatures returns the per-page tag-count maps (the raw tag-tree
+// signatures of Section 3.1.2).
+func TagSignatures(pages []*corpus.Page) []map[string]int {
+	out := make([]map[string]int, len(pages))
+	for i, p := range pages {
+		out[i] = p.TagSignature()
+	}
+	return out
+}
+
+// ContentSignatures returns the per-page stemmed content term counts (the
+// content signature alternative of Section 3.1.2, with Porter stemming).
+func ContentSignatures(pages []*corpus.Page) []map[string]int {
+	out := make([]map[string]int, len(pages))
+	for i, p := range pages {
+		out[i] = p.ContentSignature()
+	}
+	return out
+}
+
+// PageVectors builds the page vectors for a vector-space approach. It
+// panics for the non-vector approaches (SizeBased, URLBased, RandomAssign).
+func PageVectors(pages []*corpus.Page, a Approach) []vector.Sparse {
+	switch a {
+	case TFIDFTags:
+		return vector.TFIDF(TagSignatures(pages))
+	case RawTags:
+		return vector.RawFrequency(TagSignatures(pages))
+	case TFIDFContent:
+		return vector.TFIDF(ContentSignatures(pages))
+	case RawContent:
+		return vector.RawFrequency(ContentSignatures(pages))
+	default:
+		panic("core: PageVectors called for non-vector approach " + a.String())
+	}
+}
+
+// ClusterPages partitions pages into cfg.K clusters using the configured
+// approach and returns the clustering plus its internal similarity (for
+// centroid-based approaches).
+func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64) {
+	switch cfg.Approach {
+	case TFIDFTags, RawTags, TFIDFContent, RawContent:
+		vecs := PageVectors(pages, cfg.Approach)
+		res := cluster.KMeans(vecs, cluster.KMeansConfig{
+			K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed,
+		})
+		return res.Clustering, res.Similarity
+	case SizeBased:
+		sizes := make([]int, len(pages))
+		for i, p := range pages {
+			sizes[i] = p.Size()
+		}
+		return cluster.BySize(sizes, cfg.K, cfg.Seed), 0
+	case URLBased:
+		urls := make([]string, len(pages))
+		for i, p := range pages {
+			urls[i] = p.URL
+		}
+		return cluster.ByURL(urls, cfg.K, cfg.Seed), 0
+	case RandomAssign:
+		return cluster.Random(len(pages), cfg.K, cfg.Seed), 0
+	default:
+		panic("core: unknown approach")
+	}
+}
+
+// Phase1 runs the page clustering phase: cluster the sampled pages, then
+// rank the clusters by likelihood of containing QA-Pagelets using the
+// linear combination of average distinct terms, average fanout, and
+// average page size (Section 3.1.3).
+func Phase1(pages []*corpus.Page, cfg Config) Phase1Result {
+	cl, sim := ClusterPages(pages, cfg)
+	res := Phase1Result{Clustering: cl, InternalSimilarity: sim}
+	for _, members := range cl.Clusters {
+		if len(members) == 0 {
+			continue
+		}
+		pc := &PageCluster{Indexes: members}
+		for _, i := range members {
+			p := pages[i]
+			pc.Pages = append(pc.Pages, p)
+			pc.AvgDistinctTerms += float64(p.Tree().DistinctTerms())
+			pc.AvgMaxFanout += float64(p.Tree().MaxFanout())
+			pc.AvgPageSize += float64(p.Size())
+		}
+		n := float64(len(members))
+		pc.AvgDistinctTerms /= n
+		pc.AvgMaxFanout /= n
+		pc.AvgPageSize /= n
+		res.Ranked = append(res.Ranked, pc)
+	}
+	scoreClusters(res.Ranked)
+	sort.SliceStable(res.Ranked, func(i, j int) bool {
+		return res.Ranked[i].Score > res.Ranked[j].Score
+	})
+	return res
+}
+
+// scoreClusters computes each cluster's rank score: every criterion is
+// normalized by the maximum over clusters so the three are comparable, and
+// the score is their equally weighted sum.
+func scoreClusters(clusters []*PageCluster) {
+	var maxT, maxF, maxS float64
+	for _, c := range clusters {
+		if c.AvgDistinctTerms > maxT {
+			maxT = c.AvgDistinctTerms
+		}
+		if c.AvgMaxFanout > maxF {
+			maxF = c.AvgMaxFanout
+		}
+		if c.AvgPageSize > maxS {
+			maxS = c.AvgPageSize
+		}
+	}
+	for _, c := range clusters {
+		var s float64
+		if maxT > 0 {
+			s += c.AvgDistinctTerms / maxT
+		}
+		if maxF > 0 {
+			s += c.AvgMaxFanout / maxF
+		}
+		if maxS > 0 {
+			s += c.AvgPageSize / maxS
+		}
+		c.Score = s / 3
+	}
+}
+
+// rng returns the extractor-level random source for a config.
+func (cfg Config) rng() *rand.Rand { return rand.New(rand.NewSource(cfg.Seed)) }

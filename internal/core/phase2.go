@@ -1,0 +1,478 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"thor/internal/corpus"
+	"thor/internal/stem"
+	"thor/internal/strdist"
+	"thor/internal/tagtree"
+	"thor/internal/vector"
+)
+
+// Candidate is a subtree that survived single-page analysis, annotated
+// with the four shape metrics of the subtree distance function
+// (Section 3.2.1): path P, fanout F, depth D, and node count N.
+type Candidate struct {
+	Node    *tagtree.Node
+	PageIdx int // index into the phase-two input page slice
+	Path    string
+	Fanout  int
+	Depth   int
+	Nodes   int
+
+	// content memoizes the subtree's stemmed term counts.
+	content map[string]int
+}
+
+// termCounts returns (computing once) the stemmed content term counts of
+// the candidate subtree, used by the cross-page content analysis.
+func (c *Candidate) termCounts() map[string]int {
+	if c.content == nil {
+		c.content = c.Node.TermCounts(stem.Stem)
+	}
+	return c.content
+}
+
+// SubtreeSet is a common subtree set: at most one shape-matched subtree
+// per page, representing one type of content region across the cluster's
+// pages (navigation bar, advertisement, QA-Pagelet, ...).
+type SubtreeSet struct {
+	// Proto is the defining subtree from the prototype page.
+	Proto *Candidate
+	// Members holds the matched subtrees, Proto included.
+	Members []*Candidate
+	// IntraSim is the average pairwise cosine similarity of the members'
+	// content vectors: near 1 for static regions, near 0 for
+	// query-dependent dynamic regions.
+	IntraSim float64
+	// Dynamic is true when IntraSim is at or below the static/dynamic
+	// threshold.
+	Dynamic bool
+	// DynDescendants counts, among the dynamic sets of the same cluster,
+	// those whose prototype subtree is a proper descendant of this set's
+	// prototype. It drives the minimal-subtree selection (Section 3.2.2).
+	DynDescendants int
+}
+
+// Pagelet is one extracted QA-Pagelet.
+type Pagelet struct {
+	Page *corpus.Page
+	Node *tagtree.Node
+	// Path is the node's indexed path within its page.
+	Path string
+	// Objects are the recommended QA-Object subtrees inside the pagelet,
+	// handed to the stage-three partitioner.
+	Objects []*tagtree.Node
+}
+
+// Phase2Result is the outcome of QA-Pagelet identification on one page
+// cluster.
+type Phase2Result struct {
+	// Sets are all common subtree sets in ascending IntraSim order
+	// (most-dynamic first), before static pruning.
+	Sets []*SubtreeSet
+	// Selected is the top set chosen as the QA-Pagelet region, or nil when
+	// the cluster yielded no dynamic sets.
+	Selected *SubtreeSet
+	// SelectedSets holds every selected region (NumPagelets of them at
+	// most); SelectedSets[0] == Selected.
+	SelectedSets []*SubtreeSet
+	// Pagelets are the per-page extractions from the selected sets.
+	Pagelets []*Pagelet
+}
+
+// SinglePageCandidates performs single-page analysis on one page's tag
+// tree (Section 3.2.1): it keeps only subtrees that contain content and
+// that are minimal — a subtree whose entire content is carried by a single
+// tag-node child is discarded in favor of that child.
+func SinglePageCandidates(tree *tagtree.Node, pageIdx int) []*Candidate {
+	var out []*Candidate
+	tree.Walk(func(n *tagtree.Node) bool {
+		if n.Type != tagtree.TagNode {
+			return false
+		}
+		if !hasToken(n) {
+			return false // content-free subtrees cannot hold QA-Pagelets
+		}
+		if !isMinimal(n) {
+			return true // skip n but keep descending
+		}
+		out = append(out, &Candidate{
+			Node:    n,
+			PageIdx: pageIdx,
+			Path:    n.Path(),
+			Fanout:  n.Fanout(),
+			Depth:   n.Depth(),
+			Nodes:   n.NodeCount(),
+		})
+		return true
+	})
+	return out
+}
+
+// hasToken reports whether the subtree contains at least one word token.
+// Punctuation-only text (list separators like "|", decorative dashes) is
+// not content in the paper's sense: it cannot answer a query.
+func hasToken(n *tagtree.Node) bool {
+	found := false
+	n.Walk(func(m *tagtree.Node) bool {
+		if found {
+			return false
+		}
+		if m.Type == tagtree.ContentNode && len(tagtree.Tokenize(m.Content)) > 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isMinimal reports whether n's content is not entirely contained in a
+// single tag-node child; if it is, n and the child have equivalent content
+// and only the smaller (deeper) subtree remains a candidate.
+func isMinimal(n *tagtree.Node) bool {
+	var textChildren int
+	var only *tagtree.Node
+	for _, c := range n.Children {
+		if c.HasText() {
+			textChildren++
+			only = c
+		}
+	}
+	if textChildren == 1 && only.Type == tagtree.TagNode {
+		return false
+	}
+	return true
+}
+
+// ShapeDistance is the subtree distance function of Section 3.2.1:
+//
+//	d = w1·EditDist(P_i,P_j)/max(len) + w2·|F_i−F_j|/max(F)
+//	  + w3·|D_i−D_j|/max(D)          + w4·|N_i−N_j|/max(N)
+//
+// Each term ranges over [0,1]; with weights summing to 1 so does d.
+func ShapeDistance(a, b *Candidate, w ShapeWeights, simp *strdist.Simplifier) float64 {
+	var d float64
+	if w[0] != 0 {
+		d += w[0] * simp.PathDistance(a.Path, b.Path)
+	}
+	if w[1] != 0 {
+		d += w[1] * ratioDiff(a.Fanout, b.Fanout)
+	}
+	if w[2] != 0 {
+		d += w[2] * ratioDiff(a.Depth, b.Depth)
+	}
+	if w[3] != 0 {
+		d += w[3] * ratioDiff(a.Nodes, b.Nodes)
+	}
+	return d
+}
+
+// ratioDiff returns |a−b|/max(a,b), with 0 when both are 0.
+func ratioDiff(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return math.Abs(float64(a-b)) / float64(m)
+}
+
+// FindCommonSubtreeSets performs step one of cross-page analysis: for each
+// candidate subtree of a prototype page, the most shape-similar candidate
+// of every other page (within MaxMatchDistance) joins its common subtree
+// set. The prototype is drawn randomly from the pages with the richest
+// candidate inventory: a page with few candidates (few query matches)
+// makes a poor exemplar of the cluster's region types, and the paper's
+// "randomly choose a page" works in its setting because most answer pages
+// of a cluster are full-sized.
+func FindCommonSubtreeSets(perPage [][]*Candidate, cfg Config, rng *rand.Rand, simp *strdist.Simplifier) []*SubtreeSet {
+	if len(perPage) == 0 {
+		return nil
+	}
+	maxCands := 0
+	for _, cands := range perPage {
+		if len(cands) > maxCands {
+			maxCands = len(cands)
+		}
+	}
+	var richest []int
+	for i, cands := range perPage {
+		if len(cands) == maxCands {
+			richest = append(richest, i)
+		}
+	}
+	protoIdx := richest[rng.Intn(len(richest))]
+	protos := perPage[protoIdx]
+	sets := make([]*SubtreeSet, len(protos))
+	for i, proto := range protos {
+		sets[i] = &SubtreeSet{Proto: proto, Members: []*Candidate{proto}}
+	}
+	// Each set takes at most one subtree per page, and each page subtree
+	// joins at most one set: per page, (set, candidate) pairs are assigned
+	// greedily in ascending distance order, a one-to-one matching that
+	// stops a prototype subtree from poaching a page subtree some other
+	// prototype resembles far more closely.
+	type pairing struct {
+		set  int
+		cand int
+		dist float64
+	}
+	for l, cands := range perPage {
+		if l == protoIdx || len(cands) == 0 {
+			continue
+		}
+		pairs := make([]pairing, 0, len(protos)*len(cands))
+		for si, proto := range protos {
+			for ci, c := range cands {
+				d := ShapeDistance(proto, c, cfg.ShapeWeights, simp)
+				if d <= cfg.MaxMatchDistance {
+					pairs = append(pairs, pairing{set: si, cand: ci, dist: d})
+				}
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].dist != pairs[j].dist {
+				return pairs[i].dist < pairs[j].dist
+			}
+			if pairs[i].set != pairs[j].set {
+				return pairs[i].set < pairs[j].set
+			}
+			return pairs[i].cand < pairs[j].cand
+		})
+		setTaken := make([]bool, len(protos))
+		candTaken := make([]bool, len(cands))
+		assigned := 0
+		for _, p := range pairs {
+			if setTaken[p.set] || candTaken[p.cand] {
+				continue
+			}
+			setTaken[p.set] = true
+			candTaken[p.cand] = true
+			sets[p.set].Members = append(sets[p.set].Members, cands[p.cand])
+			if assigned++; assigned == len(protos) || assigned == len(cands) {
+				break
+			}
+		}
+	}
+	return sets
+}
+
+// RankSubtreeSets performs step two of cross-page analysis: each set's
+// members are represented as (optionally TFIDF-weighted) stemmed content
+// term vectors and the set's intra-similarity is the average pairwise
+// cosine. Sets are returned in ascending IntraSim order — the most likely
+// QA-Pagelet sets first — and Dynamic is set for sets at or below the
+// static/dynamic threshold.
+func RankSubtreeSets(sets []*SubtreeSet, cfg Config) {
+	for _, s := range sets {
+		s.IntraSim = intraSetSimilarity(s, cfg)
+		s.Dynamic = s.IntraSim <= cfg.SimThreshold
+	}
+	sort.SliceStable(sets, func(i, j int) bool {
+		return sets[i].IntraSim < sets[j].IntraSim
+	})
+}
+
+// intraSetSimilarity computes the average pairwise cosine similarity of
+// the set's member content vectors. Single-member sets have no pairs and
+// are deemed fully static (similarity 1): with no cross-page support, the
+// content analysis has no evidence of query-dependence.
+func intraSetSimilarity(s *SubtreeSet, cfg Config) float64 {
+	n := len(s.Members)
+	if n < 2 {
+		return 1
+	}
+	docs := make([]map[string]int, n)
+	empty := true
+	for i, m := range s.Members {
+		docs[i] = m.termCounts()
+		if len(docs[i]) > 0 {
+			empty = false
+		}
+	}
+	if empty {
+		// Members with no word content at all (a belt-and-braces guard;
+		// single-page analysis already drops token-free subtrees) carry no
+		// query answers: treat as fully static.
+		return 1
+	}
+	var vecs []vector.Sparse
+	if cfg.RawContentVectors {
+		vecs = vector.RawFrequency(docs)
+	} else {
+		vecs = vector.TFIDF(docs)
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += vector.Cosine(vecs[i], vecs[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// SelectPagelet implements the QA-Pagelet selection criterion of
+// Section 3.2.2, which favors subtrees that (1) contain many other
+// dynamically generated content subtrees and (2) are deep in the tag tree.
+// The two criteria combine multiplicatively:
+//
+//	score(s) = (DynDescendants(s) + 1) · Depth(s)
+//
+// Containing more dynamic subtrees (the QA-Objects) raises the score, but
+// every enclosing ancestor — body, the whole page — pays for its extra
+// breadth with lost depth, so the winner is the deepest subtree that still
+// contains the bulk of the dynamism: the minimal subtree holding the
+// QA-Pagelet. Ties go to the deeper, then more content-varying set.
+func SelectPagelet(sets []*SubtreeSet, cfg Config) *SubtreeSet {
+	selected := SelectPagelets(sets, Config{NumPagelets: 1})
+	if len(selected) == 0 {
+		return nil
+	}
+	return selected[0]
+}
+
+// SelectPagelets selects up to cfg.NumPagelets QA-Pagelet sets. The first
+// is SelectPagelet's winner; each further selection is the best-scoring
+// dynamic set structurally disjoint from (neither ancestor nor descendant
+// of) every earlier selection, covering sites with multiple primary
+// content regions.
+func SelectPagelets(sets []*SubtreeSet, cfg Config) []*SubtreeSet {
+	var dynamic []*SubtreeSet
+	for _, s := range sets {
+		if s.Dynamic {
+			dynamic = append(dynamic, s)
+		}
+	}
+	if len(dynamic) == 0 {
+		return nil
+	}
+	// Count dynamic descendants per set.
+	for _, s := range dynamic {
+		s.DynDescendants = 0
+		for _, o := range dynamic {
+			if o != s && s.Proto.Node.IsAncestorOf(o.Proto.Node) {
+				s.DynDescendants++
+			}
+		}
+	}
+	score := func(s *SubtreeSet) int {
+		return (s.DynDescendants + 1) * s.Proto.Depth
+	}
+	better := func(s, than *SubtreeSet) bool {
+		ss, bs := score(s), score(than)
+		switch {
+		case ss != bs:
+			return ss > bs
+		case s.Proto.Depth != than.Proto.Depth:
+			return s.Proto.Depth > than.Proto.Depth
+		default:
+			return s.IntraSim < than.IntraSim
+		}
+	}
+	want := cfg.NumPagelets
+	if want < 1 {
+		want = 1
+	}
+	var selected []*SubtreeSet
+	for len(selected) < want {
+		var best *SubtreeSet
+		for _, s := range dynamic {
+			if related(s, selected) {
+				continue
+			}
+			if best == nil || better(s, best) {
+				best = s
+			}
+		}
+		if best == nil {
+			break
+		}
+		selected = append(selected, best)
+	}
+	return selected
+}
+
+// related reports whether s equals, contains, or is contained in any
+// already-selected set's prototype subtree.
+func related(s *SubtreeSet, selected []*SubtreeSet) bool {
+	for _, sel := range selected {
+		if s == sel ||
+			sel.Proto.Node.IsAncestorOf(s.Proto.Node) ||
+			s.Proto.Node.IsAncestorOf(sel.Proto.Node) {
+			return true
+		}
+	}
+	return false
+}
+
+// Phase2 runs QA-Pagelet identification on one page cluster: single-page
+// analysis, cross-page analysis, ranking, and minimal-subtree selection.
+// The returned pagelets carry, as recommended QA-Objects, the dynamic
+// subtrees nested inside each selected pagelet (Section 3.2.2: each
+// QA-Pagelet is annotated with the dynamic content subtrees it contains to
+// guide QA-Object partitioning).
+func Phase2(pages []*corpus.Page, cfg Config, rng *rand.Rand, simp *strdist.Simplifier) *Phase2Result {
+	perPage := make([][]*Candidate, len(pages))
+	for i, p := range pages {
+		perPage[i] = SinglePageCandidates(p.Tree(), i)
+	}
+	sets := FindCommonSubtreeSets(perPage, cfg, rng, simp)
+	// Drop sets without enough cross-page support.
+	minMembers := int(math.Ceil(cfg.MinSetFraction * float64(len(pages))))
+	if minMembers < 1 {
+		minMembers = 1
+	}
+	kept := sets[:0]
+	for _, s := range sets {
+		if len(s.Members) >= minMembers {
+			kept = append(kept, s)
+		}
+	}
+	sets = kept
+	RankSubtreeSets(sets, cfg)
+	res := &Phase2Result{Sets: sets}
+	res.SelectedSets = SelectPagelets(sets, cfg)
+	if len(res.SelectedSets) == 0 {
+		return res
+	}
+	res.Selected = res.SelectedSets[0]
+	// Collect per-page extractions and their nested dynamic subtrees.
+	isSelected := make(map[*SubtreeSet]bool, len(res.SelectedSets))
+	for _, s := range res.SelectedSets {
+		isSelected[s] = true
+	}
+	dynByPage := make(map[int][]*tagtree.Node)
+	for _, s := range sets {
+		if !s.Dynamic || isSelected[s] {
+			continue
+		}
+		for _, m := range s.Members {
+			dynByPage[m.PageIdx] = append(dynByPage[m.PageIdx], m.Node)
+		}
+	}
+	for _, sel := range res.SelectedSets {
+		for _, m := range sel.Members {
+			pl := &Pagelet{
+				Page: pages[m.PageIdx],
+				Node: m.Node,
+				Path: m.Node.Path(),
+			}
+			for _, d := range dynByPage[m.PageIdx] {
+				if m.Node.IsAncestorOf(d) {
+					pl.Objects = append(pl.Objects, d)
+				}
+			}
+			res.Pagelets = append(res.Pagelets, pl)
+		}
+	}
+	return res
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"thor/internal/corpus"
+	"thor/internal/strdist"
+)
+
+// Extractor runs THOR's two-phase QA-Pagelet extraction over the sampled
+// pages of one deep-web site.
+type Extractor struct {
+	cfg  Config
+	simp *strdist.Simplifier
+}
+
+// NewExtractor returns an extractor with the given configuration. Zero
+// fields that have required defaults are filled from DefaultConfig.
+func NewExtractor(cfg Config) *Extractor {
+	def := DefaultConfig()
+	if cfg.K <= 0 {
+		cfg.K = def.K
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = def.Restarts
+	}
+	if cfg.TopClusters <= 0 {
+		cfg.TopClusters = def.TopClusters
+	}
+	if cfg.ShapeWeights == (ShapeWeights{}) {
+		cfg.ShapeWeights = def.ShapeWeights
+	}
+	if cfg.SimThreshold == 0 {
+		cfg.SimThreshold = def.SimThreshold
+	}
+	if cfg.MaxMatchDistance == 0 {
+		cfg.MaxMatchDistance = def.MaxMatchDistance
+	}
+	if cfg.MinSetFraction == 0 {
+		cfg.MinSetFraction = def.MinSetFraction
+	}
+	if cfg.PathSimplifyQ <= 0 {
+		cfg.PathSimplifyQ = def.PathSimplifyQ
+	}
+	if cfg.NumPagelets <= 0 {
+		cfg.NumPagelets = def.NumPagelets
+	}
+	return &Extractor{cfg: cfg, simp: strdist.NewSimplifier(cfg.PathSimplifyQ)}
+}
+
+// Config returns the extractor's effective configuration.
+func (e *Extractor) Config() Config { return e.cfg }
+
+// Result is the full outcome of a two-phase extraction run on one site.
+type Result struct {
+	Phase1 Phase1Result
+	// PassedClusters are the top-m ranked clusters that advanced to phase
+	// two, in rank order.
+	PassedClusters []*PageCluster
+	// PerCluster holds the phase-two result for each passed cluster.
+	PerCluster []*Phase2Result
+	// Pagelets are all extracted QA-Pagelets across passed clusters.
+	Pagelets []*Pagelet
+}
+
+// Extract runs both phases on a site's sampled pages and returns the
+// extracted QA-Pagelets.
+func (e *Extractor) Extract(pages []*corpus.Page) *Result {
+	res := &Result{Phase1: Phase1(pages, e.cfg)}
+	m := e.cfg.TopClusters
+	if m > len(res.Phase1.Ranked) {
+		m = len(res.Phase1.Ranked)
+	}
+	rng := e.cfg.rng()
+	for _, pc := range res.Phase1.Ranked[:m] {
+		res.PassedClusters = append(res.PassedClusters, pc)
+		p2 := Phase2(pc.Pages, e.cfg, rng, e.simp)
+		res.PerCluster = append(res.PerCluster, p2)
+		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
+	}
+	return res
+}
+
+// ExtractCluster runs only phase two on an externally supplied page
+// cluster (used by the phase-two-in-isolation experiments, Figures 8
+// and 9).
+func (e *Extractor) ExtractCluster(pages []*corpus.Page) *Phase2Result {
+	return Phase2(pages, e.cfg, e.cfg.rng(), e.simp)
+}
+
+// Score compares extracted pagelets with a page set's ground truth and
+// returns (correct, identified, total): the tallies behind the paper's
+// precision and recall definitions (Section 3.2). A pagelet is correct
+// when its root is exactly a ground-truth QA-Pagelet node of its page.
+func Score(pagelets []*Pagelet, allPages []*corpus.Page) (correct, identified, total int) {
+	for _, p := range allPages {
+		total += len(p.TruthPagelets())
+	}
+	for _, pl := range pagelets {
+		identified++
+		for _, truth := range pl.Page.TruthPagelets() {
+			if truth == pl.Node {
+				correct++
+				break
+			}
+		}
+	}
+	return correct, identified, total
+}
+
+// String summarizes a result for logs and examples.
+func (r *Result) String() string {
+	return fmt.Sprintf("thor: %d clusters (passed %d), %d pagelets extracted",
+		len(r.Phase1.Ranked), len(r.PassedClusters), len(r.Pagelets))
+}

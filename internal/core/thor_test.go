@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+	"thor/internal/quality"
+)
+
+func TestNewExtractorFillsDefaults(t *testing.T) {
+	e := NewExtractor(Config{})
+	def := DefaultConfig()
+	got := e.Config()
+	if got.K != def.K || got.Restarts != def.Restarts ||
+		got.TopClusters != def.TopClusters ||
+		got.ShapeWeights != def.ShapeWeights ||
+		got.SimThreshold != def.SimThreshold ||
+		got.MaxMatchDistance != def.MaxMatchDistance ||
+		got.MinSetFraction != def.MinSetFraction ||
+		got.PathSimplifyQ != def.PathSimplifyQ {
+		t.Errorf("defaults not filled: %+v", got)
+	}
+}
+
+func TestNewExtractorKeepsExplicitValues(t *testing.T) {
+	e := NewExtractor(Config{K: 2, TopClusters: 1, SimThreshold: 0.3})
+	got := e.Config()
+	if got.K != 2 || got.TopClusters != 1 || got.SimThreshold != 0.3 {
+		t.Errorf("explicit values overwritten: %+v", got)
+	}
+}
+
+func TestDefaultConfigWeightsSum(t *testing.T) {
+	w := DefaultConfig().ShapeWeights
+	sum := w[0] + w[1] + w[2] + w[3]
+	if sum != 1 {
+		t.Errorf("shape weights sum to %v", sum)
+	}
+}
+
+// TestExtractEndToEnd runs the full pipeline on one simulated site and
+// demands paper-grade quality: the pipeline's entire reason to exist.
+func TestExtractEndToEnd(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	plan := probe.NewPlan(100, 10, 1)
+	prober := &probe.Prober{Plan: plan, Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+
+	ext := NewExtractor(DefaultConfig())
+	res := ext.Extract(col.Pages)
+
+	if len(res.Phase1.Ranked) == 0 || len(res.PassedClusters) == 0 {
+		t.Fatal("phase 1 produced nothing")
+	}
+	if len(res.PassedClusters) > DefaultConfig().TopClusters {
+		t.Errorf("passed %d clusters, cap is %d", len(res.PassedClusters), DefaultConfig().TopClusters)
+	}
+	c, i, total := Score(res.Pagelets, col.Pages)
+	pr := quality.PrecisionRecall(c, i, total)
+	if pr.Precision < 0.85 || pr.Recall < 0.85 {
+		t.Errorf("end-to-end P=%.3f R=%.3f (c=%d i=%d t=%d), want ≥ 0.85 each",
+			pr.Precision, pr.Recall, c, i, total)
+	}
+	if !strings.Contains(res.String(), "pagelets extracted") {
+		t.Errorf("Result.String = %q", res.String())
+	}
+}
+
+func TestExtractDeterministicWithSeed(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 1, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	a := NewExtractor(cfg).Extract(col.Pages)
+	b := NewExtractor(cfg).Extract(col.Pages)
+	if len(a.Pagelets) != len(b.Pagelets) {
+		t.Fatalf("pagelet counts differ: %d vs %d", len(a.Pagelets), len(b.Pagelets))
+	}
+	for i := range a.Pagelets {
+		if a.Pagelets[i].Path != b.Pagelets[i].Path {
+			t.Fatalf("pagelet %d paths differ: %q vs %q", i, a.Pagelets[i].Path, b.Pagelets[i].Path)
+		}
+	}
+}
+
+func TestScore(t *testing.T) {
+	page := &corpus.Page{HTML: `<html><body><table data-qa="pagelet"><tr data-qa="object"><td>x</td></tr></table><p>other</p></body></html>`}
+	truth := page.TruthPagelets()[0]
+
+	correct, identified, total := Score([]*Pagelet{{Page: page, Node: truth}}, []*corpus.Page{page})
+	if correct != 1 || identified != 1 || total != 1 {
+		t.Errorf("exact hit: c=%d i=%d t=%d", correct, identified, total)
+	}
+
+	wrong := page.Tree().FindTag("p")
+	correct, identified, total = Score([]*Pagelet{{Page: page, Node: wrong}}, []*corpus.Page{page})
+	if correct != 0 || identified != 1 || total != 1 {
+		t.Errorf("miss: c=%d i=%d t=%d", correct, identified, total)
+	}
+
+	correct, identified, total = Score(nil, []*corpus.Page{page})
+	if correct != 0 || identified != 0 || total != 1 {
+		t.Errorf("no extraction: c=%d i=%d t=%d", correct, identified, total)
+	}
+}
+
+// TestExtractRobustToPresentationChange reproduces the robustness claim:
+// the same extractor configuration works across sites with entirely
+// different templates (different schema families and layout styles).
+func TestExtractRobustToPresentationChange(t *testing.T) {
+	prober := &probe.Prober{Plan: probe.NewPlan(80, 8, 2), Labeler: deepweb.Labeler()}
+	var counter quality.Counter
+	for id := 0; id < 5; id++ { // five different schema families/layouts
+		site := deepweb.NewSite(deepweb.SiteConfig{ID: id, Seed: 1234})
+		col := prober.ProbeSite(site)
+		res := NewExtractor(DefaultConfig()).Extract(col.Pages)
+		c, i, total := Score(res.Pagelets, col.Pages)
+		counter.Add(c, i, total)
+	}
+	pr := counter.PR()
+	if pr.Precision < 0.85 || pr.Recall < 0.8 {
+		t.Errorf("cross-template P=%.3f R=%.3f, want high on every template family",
+			pr.Precision, pr.Recall)
+	}
+}
+
+func TestExtractClusterOnPreLabeledPages(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(100, 10, 3), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	multi := col.ByClass(corpus.MultiMatch)
+	if len(multi) < 3 {
+		t.Skip("too few multi-match pages")
+	}
+	p2 := NewExtractor(DefaultConfig()).ExtractCluster(multi)
+	c, i, total := Score(p2.Pagelets, multi)
+	pr := quality.PrecisionRecall(c, i, total)
+	if pr.Precision < 0.9 {
+		t.Errorf("phase-2-only precision = %.3f on clean cluster", pr.Precision)
+	}
+}

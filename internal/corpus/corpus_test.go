@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePage = `<html><body>
+<ul class="nav"><li><a href="/">Home</a></ul>
+<table data-qa="pagelet">
+  <tr data-qa="object"><td>first</td></tr>
+  <tr data-qa="object"><td>second</td></tr>
+</table>
+</body></html>`
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		MultiMatch:  "multi-match",
+		SingleMatch: "single-match",
+		NoMatch:     "no-match",
+		ErrorPage:   "error",
+		Class(42):   "class(42)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestClassHasPagelets(t *testing.T) {
+	if !MultiMatch.HasPagelets() || !SingleMatch.HasPagelets() {
+		t.Error("answer classes should bear pagelets")
+	}
+	if NoMatch.HasPagelets() || ErrorPage.HasPagelets() {
+		t.Error("non-answer classes should not bear pagelets")
+	}
+}
+
+func TestPageTreeCached(t *testing.T) {
+	p := &Page{HTML: samplePage}
+	t1 := p.Tree()
+	t2 := p.Tree()
+	if t1 != t2 {
+		t.Error("Tree not cached")
+	}
+	p.InvalidateTree()
+	if p.Tree() == t1 {
+		t.Error("InvalidateTree did not discard cache")
+	}
+}
+
+func TestTruthMarkers(t *testing.T) {
+	p := &Page{HTML: samplePage, Class: MultiMatch}
+	pagelets := p.TruthPagelets()
+	if len(pagelets) != 1 || pagelets[0].Tag != "table" {
+		t.Fatalf("TruthPagelets = %v", pagelets)
+	}
+	objs := p.TruthObjects()
+	if len(objs) != 2 {
+		t.Fatalf("TruthObjects = %d, want 2", len(objs))
+	}
+	for _, o := range objs {
+		if o.Tag != "tr" {
+			t.Errorf("object tag = %q", o.Tag)
+		}
+	}
+}
+
+func TestPageSignaturesCached(t *testing.T) {
+	p := &Page{HTML: samplePage}
+	tags := p.TagSignature()
+	if tags["tr"] != 2 || tags["table"] != 1 {
+		t.Errorf("TagSignature = %v", tags)
+	}
+	terms := p.ContentSignature()
+	if terms["first"] != 1 || terms["second"] != 1 {
+		t.Errorf("ContentSignature = %v", terms)
+	}
+	// Stemming applied: "homes" would stem to "home" — check via a page.
+	p2 := &Page{HTML: `<p>connections connecting</p>`}
+	sig := p2.ContentSignature()
+	if sig["connect"] != 2 {
+		t.Errorf("stemmed signature = %v", sig)
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	p := &Page{HTML: samplePage}
+	if p.Size() != len(samplePage) {
+		t.Errorf("Size = %d, want %d", p.Size(), len(samplePage))
+	}
+}
+
+func buildCollection() *Collection {
+	col := &Collection{SiteID: 1, Name: "test"}
+	classes := []Class{MultiMatch, MultiMatch, SingleMatch, NoMatch, NoMatch, NoMatch, ErrorPage}
+	for i, c := range classes {
+		col.Pages = append(col.Pages, &Page{
+			HTML:  samplePage,
+			Class: c,
+			Query: strings.Repeat("q", i+1),
+		})
+	}
+	return col
+}
+
+func TestCollectionLabels(t *testing.T) {
+	col := buildCollection()
+	labels := col.Labels()
+	if len(labels) != 7 || labels[0] != int(MultiMatch) || labels[6] != int(ErrorPage) {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestCollectionByClass(t *testing.T) {
+	col := buildCollection()
+	if got := len(col.ByClass(MultiMatch)); got != 2 {
+		t.Errorf("ByClass(multi) = %d", got)
+	}
+	if got := len(col.ByClass(NoMatch)); got != 3 {
+		t.Errorf("ByClass(nomatch) = %d", got)
+	}
+}
+
+func TestCollectionPageletBearing(t *testing.T) {
+	col := buildCollection()
+	if got := len(col.PageletBearing()); got != 3 {
+		t.Errorf("PageletBearing = %d, want 3", got)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	col := buildCollection()
+	dist := col.ClassDistribution()
+	if dist[MultiMatch] != 2 || dist[SingleMatch] != 1 || dist[NoMatch] != 3 || dist[ErrorPage] != 1 {
+		t.Errorf("ClassDistribution = %v", dist)
+	}
+	corp := &Corpus{Collections: []*Collection{col, buildCollection()}}
+	if corp.TotalPages() != 14 {
+		t.Errorf("TotalPages = %d", corp.TotalPages())
+	}
+	cdist := corp.ClassDistribution()
+	if cdist[NoMatch] != 6 {
+		t.Errorf("corpus distribution = %v", cdist)
+	}
+}

@@ -1,0 +1,119 @@
+package corpus
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The on-disk corpus format: one gzipped JSON document holding every
+// collection with its pages' raw HTML and labels. Trees and signatures are
+// reconstructed lazily after loading. The format lets an expensive probing
+// run (or a capture of real deep-web pages) be replayed across processes.
+
+type pageJSON struct {
+	SiteID int    `json:"site_id"`
+	URL    string `json:"url"`
+	Query  string `json:"query"`
+	Class  int    `json:"class"`
+	HTML   string `json:"html"`
+}
+
+type collectionJSON struct {
+	SiteID int        `json:"site_id"`
+	Name   string     `json:"name"`
+	Pages  []pageJSON `json:"pages"`
+}
+
+type corpusJSON struct {
+	Version     int              `json:"version"`
+	Collections []collectionJSON `json:"collections"`
+}
+
+const persistVersion = 1
+
+// Write serializes the corpus to w as gzipped JSON.
+func (c *Corpus) Write(w io.Writer) error {
+	doc := corpusJSON{Version: persistVersion}
+	for _, col := range c.Collections {
+		cj := collectionJSON{SiteID: col.SiteID, Name: col.Name}
+		for _, p := range col.Pages {
+			cj.Pages = append(cj.Pages, pageJSON{
+				SiteID: p.SiteID, URL: p.URL, Query: p.Query,
+				Class: int(p.Class), HTML: p.HTML,
+			})
+		}
+		doc.Collections = append(doc.Collections, cj)
+	}
+	gz := gzip.NewWriter(w)
+	if err := json.NewEncoder(gz).Encode(&doc); err != nil {
+		gz.Close()
+		return fmt.Errorf("corpus: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("corpus: compress: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a corpus written by Write.
+func Read(r io.Reader) (*Corpus, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: decompress: %w", err)
+	}
+	defer gz.Close()
+	var doc corpusJSON
+	if err := json.NewDecoder(gz).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("corpus: decode: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("corpus: unsupported format version %d", doc.Version)
+	}
+	c := &Corpus{}
+	for _, cj := range doc.Collections {
+		col := &Collection{SiteID: cj.SiteID, Name: cj.Name}
+		for _, pj := range cj.Pages {
+			if pj.Class < 0 || pj.Class >= int(NumClasses) {
+				return nil, fmt.Errorf("corpus: page %q has invalid class %d", pj.URL, pj.Class)
+			}
+			col.Pages = append(col.Pages, &Page{
+				SiteID: pj.SiteID, URL: pj.URL, Query: pj.Query,
+				Class: Class(pj.Class), HTML: pj.HTML,
+			})
+		}
+		c.Collections = append(c.Collections, col)
+	}
+	return c, nil
+}
+
+// WriteFile writes the corpus to path (conventionally *.thor.json.gz).
+func (c *Corpus) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a corpus from path.
+func ReadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	c, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reading %s: %w",
+			strings.TrimPrefix(path, "./"), err)
+	}
+	return c, nil
+}

@@ -1,0 +1,258 @@
+package deepweb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/htmlx"
+	"thor/internal/probe"
+)
+
+func TestNewDatabaseDeterministic(t *testing.T) {
+	a := NewDatabase(schemaFamilies[0], 50, rand.New(rand.NewSource(1)))
+	b := NewDatabase(schemaFamilies[0], 50, rand.New(rand.NewSource(1)))
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatal("record counts differ")
+	}
+	for i := range a.Records {
+		for _, f := range a.Schema.Fields {
+			if a.Records[i][f.Name] != b.Records[i][f.Name] {
+				t.Fatalf("record %d field %s differs", i, f.Name)
+			}
+		}
+	}
+}
+
+func TestDatabaseIndexFindsEveryToken(t *testing.T) {
+	db := NewDatabase(schemaFamilies[2], 40, rand.New(rand.NewSource(2)))
+	for i, rec := range db.Records {
+		for _, val := range rec {
+			for _, tok := range strings.Fields(strings.ToLower(val)) {
+				tok = strings.Trim(tok, "$.,")
+				if tok == "" {
+					continue
+				}
+				found := false
+				for _, id := range db.Search(tok) {
+					if id == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("token %q of record %d not indexed", tok, i)
+				}
+			}
+		}
+	}
+	if db.DistinctTokens() == 0 {
+		t.Error("empty index")
+	}
+}
+
+func TestDatabaseSearchMisses(t *testing.T) {
+	db := NewDatabase(schemaFamilies[0], 40, rand.New(rand.NewSource(2)))
+	if got := db.Search("xqnonsenseword"); len(got) != 0 {
+		t.Errorf("nonsense search returned %d records", len(got))
+	}
+	if got := db.Search("  "); len(got) != 0 {
+		t.Errorf("blank search returned %d records", len(got))
+	}
+}
+
+func TestRareWordsGiveSingleMatches(t *testing.T) {
+	// The vocabulary injects rare words into exactly one record each, so a
+	// healthy fraction of dictionary words must be single-match.
+	site := NewSite(SiteConfig{ID: 0, Seed: 42})
+	singles := 0
+	for _, w := range probe.Dictionary() {
+		if len(site.Database().Search(w)) == 1 {
+			singles++
+		}
+	}
+	if singles < 20 {
+		t.Errorf("only %d single-match words; vocabulary injection broken?", singles)
+	}
+}
+
+func TestSiteDeterministic(t *testing.T) {
+	a := NewSite(SiteConfig{ID: 5, Seed: 9})
+	b := NewSite(SiteConfig{ID: 5, Seed: 9})
+	ha, _ := a.Query("music")
+	hb, _ := b.Query("music")
+	if ha != hb {
+		t.Error("same site config produced different pages")
+	}
+	c := NewSite(SiteConfig{ID: 6, Seed: 9})
+	hc, _ := c.Query("music")
+	if ha == hc {
+		t.Error("different site ids produced identical pages")
+	}
+}
+
+func TestQueryClassAgreement(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 2, Seed: 42})
+	for _, w := range probe.Dictionary()[:200] {
+		class := site.ClassFor(w)
+		html, url := site.Query(w)
+		if !strings.Contains(url, "q="+w) {
+			t.Errorf("url %q missing query", url)
+		}
+		page := &corpus.Page{HTML: html, Class: class}
+		switch class {
+		case corpus.MultiMatch:
+			if len(page.TruthPagelets()) != 1 {
+				t.Errorf("multi page for %q has %d pagelet markers", w, len(page.TruthPagelets()))
+			}
+			if len(page.TruthObjects()) < 2 {
+				t.Errorf("multi page for %q has %d objects, want ≥ 2", w, len(page.TruthObjects()))
+			}
+		case corpus.SingleMatch:
+			if len(page.TruthPagelets()) != 1 {
+				t.Errorf("single page for %q has %d pagelet markers", w, len(page.TruthPagelets()))
+			}
+		case corpus.NoMatch, corpus.ErrorPage:
+			if len(page.TruthPagelets()) != 0 {
+				t.Errorf("%v page for %q carries pagelet markers", class, w)
+			}
+		}
+	}
+}
+
+func TestAllClassesReachable(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 1, Seed: 42})
+	var dist [corpus.NumClasses]int
+	for _, w := range probe.Dictionary() {
+		dist[site.ClassFor(w)]++
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range probe.NonsenseWords(10, rng) {
+		dist[site.ClassFor(w)]++
+	}
+	for c := corpus.Class(0); c < corpus.NumClasses; c++ {
+		if dist[c] == 0 {
+			t.Errorf("class %v unreachable over full dictionary", c)
+		}
+	}
+}
+
+func TestNonsenseWordsNeverMatch(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 3, Seed: 42, DisableErrors: true})
+	rng := rand.New(rand.NewSource(8))
+	for _, w := range probe.NonsenseWords(25, rng) {
+		if got := site.ClassFor(w); got != corpus.NoMatch {
+			t.Errorf("nonsense word %q class = %v, want no-match", w, got)
+		}
+	}
+}
+
+func TestMaxResultsCap(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, MaxResults: 4, DisableErrors: true})
+	for _, w := range probe.Dictionary()[:300] {
+		if site.ClassFor(w) != corpus.MultiMatch {
+			continue
+		}
+		html, _ := site.Query(w)
+		page := &corpus.Page{HTML: html}
+		if got := len(page.TruthObjects()); got > 4 {
+			t.Fatalf("query %q shows %d objects, cap is 4", w, got)
+		}
+	}
+}
+
+func TestErrEveryDisablesErrors(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, DisableErrors: true})
+	for _, w := range probe.Dictionary() {
+		if site.ClassFor(w) == corpus.ErrorPage {
+			t.Fatalf("error page served with DisableErrors")
+		}
+	}
+}
+
+func TestLayoutDiversity(t *testing.T) {
+	sites := NewSites(50, 42)
+	layouts := make(map[Layout]bool)
+	for _, s := range sites {
+		layouts[s.Layout()] = true
+	}
+	if len(layouts) < 25 {
+		t.Errorf("only %d distinct layouts across 50 sites", len(layouts))
+	}
+	// Multiple result styles represented.
+	styles := make(map[ResultStyle]bool)
+	for _, s := range sites {
+		styles[s.Layout().ResultStyle] = true
+	}
+	if len(styles) < 4 {
+		t.Errorf("only %d result styles in use", len(styles))
+	}
+}
+
+func TestPagesParseCleanly(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 4, Seed: 42})
+	for _, w := range probe.Dictionary()[:60] {
+		html, _ := site.Query(w)
+		tree := htmlx.Parse(html)
+		if tree.FindTag("body") == nil {
+			t.Fatalf("page for %q has no body:\n%s", w, html[:120])
+		}
+		if !tree.HasText() {
+			t.Fatalf("page for %q has no content", w)
+		}
+	}
+}
+
+func TestStructuralJitterPresent(t *testing.T) {
+	// Across many queries, some pages must carry the optional promo line
+	// and others must not — the positional jitter Figure 8's P metric
+	// depends on.
+	site := NewSite(SiteConfig{ID: 0, Seed: 42})
+	with, without := 0, 0
+	for _, w := range probe.Dictionary()[:100] {
+		html, _ := site.Query(w)
+		if strings.Contains(html, `class="promo"`) {
+			with++
+		} else {
+			without++
+		}
+	}
+	if with == 0 || without == 0 {
+		t.Errorf("promo jitter degenerate: with=%d without=%d", with, without)
+	}
+}
+
+func TestAdRotatesWithQuery(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, DisableErrors: true})
+	ads := make(map[string]bool)
+	for _, w := range probe.Dictionary()[:60] {
+		html, _ := site.Query(w)
+		if i := strings.Index(html, `class="ad"`); i >= 0 {
+			end := strings.Index(html[i:], "</div>")
+			ads[html[i:i+end]] = true
+		}
+	}
+	if len(ads) < 2 {
+		t.Errorf("advertisement region static across queries (%d variants)", len(ads))
+	}
+}
+
+func TestAsProbeSites(t *testing.T) {
+	sites := NewSites(3, 1)
+	ps := AsProbeSites(sites)
+	if len(ps) != 3 || ps[1].ID() != 1 {
+		t.Errorf("AsProbeSites broken")
+	}
+}
+
+func TestLabeler(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42})
+	labeler := Labeler()
+	for _, w := range probe.Dictionary()[:50] {
+		html, _ := site.Query(w)
+		if got := labeler(site, w, html); got != site.ClassFor(w) {
+			t.Errorf("labeler disagrees with ClassFor on %q", w)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package deepweb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thor/internal/probe"
+)
+
+// ResultStyle selects the markup family a site uses for its result list.
+type ResultStyle int
+
+const (
+	// StyleTable renders results as table rows.
+	StyleTable ResultStyle = iota
+	// StyleUL renders results as an unordered list.
+	StyleUL
+	// StyleOL renders results as an ordered list.
+	StyleOL
+	// StyleDivList renders results as a column of divs.
+	StyleDivList
+	// StyleDL renders results as a definition list.
+	StyleDL
+	numResultStyles
+)
+
+// AdPosition selects where the dynamic advertisement region appears.
+type AdPosition int
+
+const (
+	// AdTop places the ad above the results.
+	AdTop AdPosition = iota
+	// AdBottom places the ad below the results.
+	AdBottom
+	// AdSide places the ad in a sidebar table cell.
+	AdSide
+	numAdPositions
+)
+
+// Layout is a site's presentation template: the set of structural choices
+// that make its dynamically generated pages look different from every
+// other site's, while staying consistent across that site's own pages —
+// the "handful of templates per site" regularity THOR exploits
+// (Section 3, structural relevance).
+type Layout struct {
+	ResultStyle ResultStyle
+	AdPos       AdPosition
+	NavAsTable  bool // navigation bar as a table instead of a list
+	WrapDepth   int  // extra div nesting around the results region (0–2)
+	HeaderTag   string
+	DetailAsDL  bool // single-match detail as <dl> instead of <table>
+	LinkTitles  bool // first field rendered as a hyperlink
+	UseFontTags bool // 1990s-style <font> decoration
+	BoldLabels  bool // field labels in <b>
+}
+
+// randomLayout draws a layout deterministically from rng.
+func randomLayout(rng *rand.Rand) Layout {
+	headers := []string{"h1", "h2", "h3"}
+	return Layout{
+		ResultStyle: ResultStyle(rng.Intn(int(numResultStyles))),
+		AdPos:       AdPosition(rng.Intn(int(numAdPositions))),
+		NavAsTable:  rng.Intn(2) == 0,
+		WrapDepth:   rng.Intn(3),
+		HeaderTag:   headers[rng.Intn(len(headers))],
+		DetailAsDL:  rng.Intn(2) == 0,
+		LinkTitles:  rng.Intn(3) > 0,
+		UseFontTags: rng.Intn(3) == 0,
+		BoldLabels:  rng.Intn(2) == 0,
+	}
+}
+
+// chrome is the static page furniture generated once per site: navigation
+// links, boilerplate paragraphs, footer text, and the advertisement
+// inventory the ad region rotates through.
+type chrome struct {
+	title     string
+	navLinks  []string
+	boiler    []string
+	footer    string
+	ads       []string
+	tagline   string
+	searchTip string
+}
+
+func newChrome(name string, rng *rand.Rand) chrome {
+	dict := probe.Dictionary()
+	para := func(words int) string {
+		parts := make([]string, words)
+		for i := range parts {
+			parts[i] = dict[rng.Intn(len(dict))]
+		}
+		s := strings.Join(parts, " ")
+		return strings.ToUpper(s[:1]) + s[1:] + "."
+	}
+	navCount := 4 + rng.Intn(4)
+	nav := make([]string, navCount)
+	navWords := []string{"Home", "Browse", "Categories", "New Arrivals",
+		"Bestsellers", "About Us", "Help", "Contact", "My Account", "Deals"}
+	rng.Shuffle(len(navWords), func(i, j int) { navWords[i], navWords[j] = navWords[j], navWords[i] })
+	copy(nav, navWords[:navCount])
+	boilerCount := 2 + rng.Intn(3)
+	boiler := make([]string, boilerCount)
+	for i := range boiler {
+		boiler[i] = para(25 + rng.Intn(20))
+	}
+	ads := make([]string, 8)
+	for i := range ads {
+		ads[i] = "Sponsored: " + para(6+rng.Intn(6))
+	}
+	return chrome{
+		title:     name,
+		navLinks:  nav,
+		boiler:    boiler,
+		footer:    fmt.Sprintf("Copyright 2003 %s. All rights reserved. %s", name, para(10)),
+		ads:       ads,
+		tagline:   para(8),
+		searchTip: "Tip: " + para(12),
+	}
+}
+
+// pageBuilder assembles a page from chrome + layout, inserting the
+// class-specific body supplied by the caller.
+type pageBuilder struct {
+	layout Layout
+	chrome chrome
+	// sideAd holds the rendered sidebar ad for AdSide layouts; the caller
+	// sets it before invoking page.
+	sideAd string
+}
+
+func (pb *pageBuilder) page(query string, bodyFn func(b *strings.Builder)) string {
+	var b strings.Builder
+	b.WriteString("<html><head><title>")
+	b.WriteString(pb.chrome.title)
+	b.WriteString("</title><style>body{font-family:arial}</style>")
+	b.WriteString(`<meta name="generator" content="sitegen/1.0"></head><body>`)
+	pb.header(&b)
+	pb.nav(&b)
+	pb.searchForm(&b, query)
+	// Real answer pages carry per-page structural jitter: optional promo
+	// lines and notices appear on some responses and not others, shifting
+	// the sibling positions of everything after them. This keeps path
+	// identity from being a perfect matching oracle (Figure 8's P metric).
+	// The jitter deliberately reuses tags that occur throughout the page
+	// (p, a) so it perturbs positions, not tag signatures.
+	// The promo is a div so it steals the sibling position of later divs
+	// (such as the results container) on the pages where it appears.
+	if hashString(query+"|promo")%4 == 0 {
+		fmt.Fprintf(&b, `<div class="promo"><a href="/deals">%s</a></div>`, pb.chrome.tagline)
+	}
+	if hashString(query+"|notice")%5 == 0 {
+		fmt.Fprintf(&b, `<p class="notice">%s</p>`, pb.chrome.searchTip)
+	}
+	if pb.layout.AdPos == AdSide {
+		b.WriteString(`<table width="100%"><tr><td>`)
+	}
+	bodyFn(&b)
+	if pb.layout.AdPos == AdSide {
+		b.WriteString(`</td><td valign="top">`)
+		// Sidebar ad slot is filled by the body function via adRegion when
+		// positioned top/bottom; the side slot is written here by the
+		// caller storing the ad in pb.sideAd.
+		b.WriteString(pb.sideAd)
+		b.WriteString("</td></tr></table>")
+	}
+	pb.boilerplate(&b)
+	pb.footer(&b)
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func (pb *pageBuilder) header(b *strings.Builder) {
+	h := pb.layout.HeaderTag
+	fmt.Fprintf(b, `<%s><img src="/logo.gif" alt="logo"> %s</%s>`, h, pb.chrome.title, h)
+	fmt.Fprintf(b, "<p class=\"tagline\"><span>%s</span></p>", pb.chrome.tagline)
+}
+
+func (pb *pageBuilder) nav(b *strings.Builder) {
+	if pb.layout.NavAsTable {
+		b.WriteString(`<table class="nav"><tr>`)
+		for _, l := range pb.chrome.navLinks {
+			fmt.Fprintf(b, `<td><a href="/%s">%s</a></td>`, slug(l), l)
+		}
+		b.WriteString("</tr></table>")
+		return
+	}
+	b.WriteString(`<ul class="nav">`)
+	for _, l := range pb.chrome.navLinks {
+		fmt.Fprintf(b, `<li><a href="/%s">%s</a>`, slug(l), l)
+	}
+	b.WriteString("</ul>")
+}
+
+func (pb *pageBuilder) boilerplate(b *strings.Builder) {
+	b.WriteString(`<div class="about">`)
+	for _, p := range pb.chrome.boiler {
+		fmt.Fprintf(b, "<p>%s</p>", p)
+	}
+	b.WriteString("</div>")
+	fmt.Fprintf(b, "<p class=\"tip\">%s</p>", pb.chrome.searchTip)
+}
+
+func (pb *pageBuilder) footer(b *strings.Builder) {
+	fmt.Fprintf(b, `<div class="footer"><hr><small>%s</small><br><small>Served by %s</small></div>`,
+		pb.chrome.footer, pb.chrome.title)
+}
+
+// searchForm renders the site's search interface — the query front-end the
+// prober submits keywords to.
+func (pb *pageBuilder) searchForm(b *strings.Builder, query string) {
+	fmt.Fprintf(b, `<form action="/search" method="get">`+
+		`<label>Search:</label> <input type="text" name="q" value="%s">`+
+		`<select name="scope"><option>All</option><option>Titles</option></select>`+
+		`<input type="submit" value="Go"></form>`, query)
+}
+
+// adRegion renders the dynamic advertisement: content rotates with the
+// query, making it dynamically generated but *not* query-answer content —
+// exactly the confusion source the paper reports in Section 4.2.
+func (pb *pageBuilder) adRegion(query string) string {
+	ad := pb.chrome.ads[hashString(query)%uint32(len(pb.chrome.ads))]
+	if pb.layout.UseFontTags {
+		return fmt.Sprintf(`<div class="ad"><font color="red">%s</font></div>`, ad)
+	}
+	return fmt.Sprintf(`<div class="ad"><em>%s</em></div>`, ad)
+}
+
+func slug(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, " ", "-"))
+}
+
+func hashString(s string) uint32 {
+	// FNV-1a.
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,155 @@
+package deepweb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"thor/internal/htmlx"
+)
+
+func TestRandomLayoutDeterministic(t *testing.T) {
+	a := randomLayout(rand.New(rand.NewSource(3)))
+	b := randomLayout(rand.New(rand.NewSource(3)))
+	if a != b {
+		t.Errorf("layouts differ for same seed: %+v vs %+v", a, b)
+	}
+}
+
+func TestNewChromeContents(t *testing.T) {
+	c := newChrome("Test Store", rand.New(rand.NewSource(1)))
+	if c.title != "Test Store" {
+		t.Errorf("title = %q", c.title)
+	}
+	if len(c.navLinks) < 4 || len(c.navLinks) > 7 {
+		t.Errorf("nav links = %d", len(c.navLinks))
+	}
+	if len(c.boiler) < 2 {
+		t.Errorf("boilerplate paragraphs = %d", len(c.boiler))
+	}
+	if len(c.ads) != 8 {
+		t.Errorf("ad inventory = %d", len(c.ads))
+	}
+	for _, ad := range c.ads {
+		if !strings.HasPrefix(ad, "Sponsored:") {
+			t.Errorf("ad %q lacks marker", ad)
+		}
+	}
+	if !strings.Contains(c.footer, "Test Store") {
+		t.Errorf("footer lacks site name: %q", c.footer)
+	}
+}
+
+func pageWith(layout Layout, query string) string {
+	pb := &pageBuilder{
+		layout: layout,
+		chrome: newChrome("L Site", rand.New(rand.NewSource(2))),
+	}
+	pb.sideAd = pb.adRegion(query)
+	return pb.page(query, func(b *strings.Builder) {
+		b.WriteString("<p>body content</p>")
+	})
+}
+
+func TestPageNavStyles(t *testing.T) {
+	asTable := pageWith(Layout{NavAsTable: true, HeaderTag: "h1"}, "q")
+	if !strings.Contains(asTable, `<table class="nav">`) {
+		t.Error("table nav missing")
+	}
+	asList := pageWith(Layout{NavAsTable: false, HeaderTag: "h1"}, "q")
+	if !strings.Contains(asList, `<ul class="nav">`) {
+		t.Error("list nav missing")
+	}
+}
+
+func TestPageAdPositions(t *testing.T) {
+	side := pageWith(Layout{AdPos: AdSide, HeaderTag: "h2"}, "q")
+	if !strings.Contains(side, `<td valign="top">`) {
+		t.Error("side ad cell missing")
+	}
+	if !strings.Contains(side, `class="ad"`) {
+		t.Error("ad region missing from side layout")
+	}
+}
+
+func TestPageSearchFormEchoesQuery(t *testing.T) {
+	html := pageWith(Layout{HeaderTag: "h1"}, "zebra")
+	if !strings.Contains(html, `value="zebra"`) {
+		t.Error("search form does not echo the query")
+	}
+	tree := htmlx.Parse(html)
+	if tree.FindTag("form") == nil || tree.FindTag("select") == nil {
+		t.Error("search form structure incomplete")
+	}
+}
+
+func TestPageHeaderTagHonored(t *testing.T) {
+	for _, h := range []string{"h1", "h2", "h3"} {
+		html := pageWith(Layout{HeaderTag: h}, "q")
+		if !strings.Contains(html, "<"+h+">") {
+			t.Errorf("header tag %s missing", h)
+		}
+	}
+}
+
+func TestPageStructureParses(t *testing.T) {
+	// Every layout combination must yield a parseable page with the
+	// standard chrome present.
+	for style := ResultStyle(0); style < numResultStyles; style++ {
+		for ad := AdPosition(0); ad < numAdPositions; ad++ {
+			layout := Layout{ResultStyle: style, AdPos: ad, HeaderTag: "h2", WrapDepth: 1}
+			tree := htmlx.Parse(pageWith(layout, "query"))
+			if tree.FindTag("form") == nil {
+				t.Fatalf("style=%d ad=%d: no search form", style, ad)
+			}
+			if tree.FindTag("title") == nil {
+				t.Fatalf("style=%d ad=%d: no title", style, ad)
+			}
+			if !tree.HasText() {
+				t.Fatalf("style=%d ad=%d: no text", style, ad)
+			}
+		}
+	}
+}
+
+func TestAdRegionDeterministicPerQuery(t *testing.T) {
+	pb := &pageBuilder{
+		layout: Layout{},
+		chrome: newChrome("X", rand.New(rand.NewSource(5))),
+	}
+	if pb.adRegion("alpha") != pb.adRegion("alpha") {
+		t.Error("ad region not deterministic per query")
+	}
+	distinct := map[string]bool{}
+	for _, q := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		distinct[pb.adRegion(q)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("ad region never rotates")
+	}
+}
+
+func TestAdRegionFontDecoration(t *testing.T) {
+	pb := &pageBuilder{
+		layout: Layout{UseFontTags: true},
+		chrome: newChrome("X", rand.New(rand.NewSource(5))),
+	}
+	if !strings.Contains(pb.adRegion("q"), "<font") {
+		t.Error("font decoration missing")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("New Arrivals"); got != "new-arrivals" {
+		t.Errorf("slug = %q", got)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if hashString("abc") != hashString("abc") {
+		t.Error("hash not stable")
+	}
+	if hashString("abc") == hashString("abd") {
+		t.Error("suspiciously colliding hash")
+	}
+}

@@ -1,0 +1,126 @@
+package deepweb
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/probe"
+)
+
+// hotKeyword finds a keyword matching more records than one page shows.
+func hotKeyword(t *testing.T, site *Site) string {
+	t.Helper()
+	for _, w := range probe.Dictionary() {
+		if site.ClassFor(w) == corpus.MultiMatch && site.NumPages(w) >= 3 {
+			return w
+		}
+	}
+	t.Skip("no keyword spans 3+ pages")
+	return ""
+}
+
+func TestQueryPagePartitionsResults(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, MaxResults: 5, DisableErrors: true})
+	kw := hotKeyword(t, site)
+	total := site.NumPages(kw)
+	matches := len(site.Database().Search(kw))
+
+	seen := 0
+	for p := 1; p <= total; p++ {
+		html, url := site.QueryPage(kw, p)
+		page := &corpus.Page{HTML: html}
+		objs := len(page.TruthObjects())
+		if objs == 0 || objs > 5 {
+			t.Fatalf("page %d shows %d objects", p, objs)
+		}
+		seen += objs
+		if p > 1 && !strings.Contains(url, "page=") {
+			t.Errorf("page %d url %q lacks page param", p, url)
+		}
+	}
+	if seen != matches {
+		t.Errorf("pagination covered %d of %d matches", seen, matches)
+	}
+}
+
+func TestQueryPagePagerLinks(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, MaxResults: 5, DisableErrors: true})
+	kw := hotKeyword(t, site)
+	total := site.NumPages(kw)
+
+	first, _ := site.QueryPage(kw, 1)
+	if !strings.Contains(first, ">Next<") || strings.Contains(first, ">Previous<") {
+		t.Errorf("first page pager wrong")
+	}
+	mid, _ := site.QueryPage(kw, 2)
+	if !strings.Contains(mid, ">Next<") || !strings.Contains(mid, ">Previous<") {
+		t.Errorf("middle page pager wrong")
+	}
+	last, _ := site.QueryPage(kw, total)
+	if strings.Contains(last, ">Next<") || !strings.Contains(last, ">Previous<") {
+		t.Errorf("last page pager wrong")
+	}
+}
+
+func TestQueryPageClamps(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, MaxResults: 5, DisableErrors: true})
+	kw := hotKeyword(t, site)
+	total := site.NumPages(kw)
+	beyond, _ := site.QueryPage(kw, total+10)
+	lastPage, _ := site.QueryPage(kw, total)
+	if beyond != lastPage {
+		t.Error("page beyond the last did not clamp")
+	}
+	neg, _ := site.QueryPage(kw, -3)
+	first, _ := site.QueryPage(kw, 1)
+	if neg != first {
+		t.Error("negative page did not clamp to first")
+	}
+}
+
+func TestNumPagesNonMulti(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, DisableErrors: true})
+	if got := site.NumPages("xqnonsense"); got != 1 {
+		t.Errorf("no-match NumPages = %d", got)
+	}
+}
+
+func TestSinglePageQueryUnchanged(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42})
+	for _, w := range probe.Dictionary()[:40] {
+		q, _ := site.Query(w)
+		qp, _ := site.QueryPage(w, 1)
+		if q != qp {
+			t.Fatalf("Query and QueryPage(1) differ for %q", w)
+		}
+	}
+}
+
+func TestProberFollowsPagination(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, MaxResults: 5, DisableErrors: true})
+	kw := hotKeyword(t, site)
+	plan := probe.Plan{DictionaryWords: []string{kw}}
+
+	flat := &probe.Prober{Plan: plan, Labeler: Labeler()}
+	if got := len(flat.ProbeSite(site).Pages); got != 1 {
+		t.Fatalf("non-paginating prober collected %d pages", got)
+	}
+
+	deep := &probe.Prober{Plan: plan, Labeler: Labeler(), MaxPages: 2}
+	col := deep.ProbeSite(site)
+	if got := len(col.Pages); got != 2 {
+		t.Fatalf("paginating prober collected %d pages, want 2", got)
+	}
+	for _, p := range col.Pages {
+		if p.Class != corpus.MultiMatch {
+			t.Errorf("paginated page labeled %v", p.Class)
+		}
+		if p.Query != kw {
+			t.Errorf("paginated page query %q", p.Query)
+		}
+	}
+	if col.Pages[0].URL == col.Pages[1].URL {
+		t.Error("paginated pages share a URL")
+	}
+}

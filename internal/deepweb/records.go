@@ -1,0 +1,197 @@
+// Package deepweb simulates the Deep Web substrate of the paper's
+// evaluation: autonomous database-backed web sites that answer single
+// keyword queries with dynamically generated pages. The paper probed 50
+// live sites (found via crawling and Google) to collect 5,500 pages; those
+// sites are long gone and were never redistributable, so this package
+// builds the closest synthetic equivalent: 50 generated site profiles with
+// distinct templates, record schemas, vocabularies, navigation chrome,
+// boilerplate, and dynamic advertisement regions, each backed by an
+// in-memory record database with an inverted keyword index.
+//
+// The substitution preserves everything THOR's algorithms observe: per-site
+// page templates, structurally distinct answer classes (multi-match,
+// single-match, no-match, error), static cross-page regions (navigation,
+// boilerplate) versus query-varying regions (answers) versus dynamic
+// non-query regions (advertisements), and the probe→class mapping of
+// dictionary versus nonsense keywords. Ground truth is emitted as marker
+// attributes that the extraction algorithms never read.
+package deepweb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thor/internal/probe"
+)
+
+// FieldKind describes how a record field's value is generated and
+// displayed.
+type FieldKind int
+
+const (
+	// KindWords is free text of a few vocabulary words.
+	KindWords FieldKind = iota
+	// KindName is a capitalized proper-name-like phrase.
+	KindName
+	// KindPrice is a dollar amount.
+	KindPrice
+	// KindYear is a four-digit year.
+	KindYear
+	// KindLong is a longer free-text description.
+	KindLong
+)
+
+// Field is one column of a site's record schema.
+type Field struct {
+	Name string
+	Kind FieldKind
+}
+
+// Schema is the record layout of a site's backing database.
+type Schema struct {
+	Name   string // e.g. "books"
+	Fields []Field
+}
+
+// schemaFamilies are the domain archetypes the 50 simulated sites draw
+// from, mirroring the diversity of the paper's crawled search forms
+// (e-commerce, music, news, jobs, reference).
+var schemaFamilies = []Schema{
+	{Name: "books", Fields: []Field{
+		{"title", KindWords}, {"author", KindName}, {"publisher", KindName},
+		{"year", KindYear}, {"price", KindPrice},
+	}},
+	{Name: "music", Fields: []Field{
+		{"artist", KindName}, {"album", KindWords}, {"genre", KindWords},
+		{"year", KindYear}, {"label", KindName},
+	}},
+	{Name: "products", Fields: []Field{
+		{"name", KindWords}, {"brand", KindName}, {"category", KindWords},
+		{"price", KindPrice}, {"description", KindLong},
+	}},
+	{Name: "articles", Fields: []Field{
+		{"headline", KindWords}, {"byline", KindName}, {"section", KindWords},
+		{"year", KindYear}, {"summary", KindLong},
+	}},
+	{Name: "jobs", Fields: []Field{
+		{"position", KindWords}, {"company", KindName}, {"location", KindName},
+		{"salary", KindPrice}, {"details", KindLong},
+	}},
+}
+
+// Record is a single database row: field name → rendered value.
+type Record map[string]string
+
+// Database is a site's backing store: records plus an inverted keyword
+// index over the tokens of every field value.
+type Database struct {
+	Schema  Schema
+	Records []Record
+	index   map[string][]int
+}
+
+// vocabulary partitions a site's indexed word stock by how often each word
+// occurs, so dictionary probes produce the full spread of answer classes:
+// common words hit many records (multi-match), rare words hit exactly one
+// (single-match), and words outside the site vocabulary hit none
+// (no-match).
+type vocabulary struct {
+	common []string // appear throughout the record text
+	mid    []string // appear in a handful of records
+	rare   []string // injected into exactly one record each
+}
+
+func newVocabulary(rng *rand.Rand) vocabulary {
+	dict := probe.Dictionary()
+	rng.Shuffle(len(dict), func(i, j int) { dict[i], dict[j] = dict[j], dict[i] })
+	return vocabulary{
+		common: dict[:150],
+		mid:    dict[150:550],
+		rare:   dict[550:640],
+	}
+}
+
+// textWords draws n words for free-text fields: mostly common, sometimes
+// mid-tier.
+func (v vocabulary) textWords(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			out[i] = v.mid[rng.Intn(len(v.mid))]
+		} else {
+			out[i] = v.common[rng.Intn(len(v.common))]
+		}
+	}
+	return out
+}
+
+// NewDatabase generates a deterministic record database for a site.
+func NewDatabase(schema Schema, numRecords int, rng *rand.Rand) *Database {
+	vocab := newVocabulary(rng)
+	db := &Database{Schema: schema, index: make(map[string][]int)}
+	for i := 0; i < numRecords; i++ {
+		rec := make(Record, len(schema.Fields))
+		for _, f := range schema.Fields {
+			rec[f.Name] = genValue(f.Kind, vocab, rng)
+		}
+		db.Records = append(db.Records, rec)
+	}
+	// Inject each rare word into exactly one record so single-match pages
+	// exist. The word is appended to the first free-text field.
+	textField := schema.Fields[0].Name
+	for _, w := range vocab.rare {
+		i := rng.Intn(len(db.Records))
+		db.Records[i][textField] = db.Records[i][textField] + " " + w
+	}
+	db.buildIndex()
+	return db
+}
+
+func genValue(kind FieldKind, vocab vocabulary, rng *rand.Rand) string {
+	switch kind {
+	case KindWords:
+		return strings.Join(vocab.textWords(rng, 2+rng.Intn(3)), " ")
+	case KindName:
+		words := vocab.textWords(rng, 2)
+		for i, w := range words {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+		return strings.Join(words, " ")
+	case KindPrice:
+		return fmt.Sprintf("$%d.%02d", 5+rng.Intn(495), rng.Intn(100))
+	case KindYear:
+		return fmt.Sprintf("%d", 1950+rng.Intn(55))
+	case KindLong:
+		return strings.Join(vocab.textWords(rng, 8+rng.Intn(10)), " ")
+	default:
+		return ""
+	}
+}
+
+func (db *Database) buildIndex() {
+	for i, rec := range db.Records {
+		seen := make(map[string]bool)
+		for _, val := range rec {
+			for _, tok := range strings.Fields(strings.ToLower(val)) {
+				tok = strings.Trim(tok, "$.,")
+				if tok == "" || seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				db.index[tok] = append(db.index[tok], i)
+			}
+		}
+	}
+}
+
+// Search returns the indexes of records containing keyword.
+func (db *Database) Search(keyword string) []int {
+	return db.index[strings.ToLower(strings.TrimSpace(keyword))]
+}
+
+// NumRecords returns the number of records in the database.
+func (db *Database) NumRecords() int { return len(db.Records) }
+
+// DistinctTokens returns the size of the inverted index's vocabulary.
+func (db *Database) DistinctTokens() int { return len(db.index) }

@@ -1,0 +1,100 @@
+package deepweb
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"thor/internal/corpus"
+)
+
+// Handler returns an http.Handler serving the site's dynamic pages, so a
+// simulated deep-web source can be probed over a real network stack:
+//
+//	GET /search?q=keyword  → the dynamically generated answer page
+//	GET /                  → the site's search form (a no-query front page)
+//
+// The handler is stateless and safe for concurrent use.
+func (s *Site) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		page := 1
+		if p := r.URL.Query().Get("page"); p != "" {
+			fmt.Sscanf(p, "%d", &page)
+		}
+		html, _ := s.QueryPage(q, page)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if s.ClassFor(q) == corpus.ErrorPage {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		fmt.Fprint(w, html)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, s.frontPage())
+	})
+	return mux
+}
+
+// frontPage renders the site's static entry page with its search form —
+// the kind of page a crawler can reach, behind which the deep-web content
+// hides.
+func (s *Site) frontPage() string {
+	pb := &s.builder
+	pb.sideAd = pb.adRegion("")
+	return pb.page("", func(b *strings.Builder) {
+		fmt.Fprintf(b, "<h4>Welcome to %s</h4>", s.name)
+		fmt.Fprintf(b, "<p>Search our database of %d %s records using the form above.</p>",
+			s.db.NumRecords(), s.db.Schema.Name)
+	})
+}
+
+// Farm serves many simulated sites under one handler, routed by a site
+// query parameter or path prefix /site/<id>/search. It lets one test
+// server stand in for a whole deep web.
+type Farm struct {
+	Sites []*Site
+}
+
+// NewFarm builds a farm over n generated sites.
+func NewFarm(n int, seed int64) *Farm {
+	return &Farm{Sites: NewSites(n, seed)}
+}
+
+// Handler routes /site/<id>/... to the corresponding site's handler and
+// serves a directory of sites at the root.
+func (f *Farm) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, s := range f.Sites {
+		prefix := fmt.Sprintf("/site/%d", s.ID())
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, s.Handler()))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, f.directory())
+	})
+	return mux
+}
+
+func (f *Farm) directory() string {
+	var b strings.Builder
+	b.WriteString("<html><head><title>Simulated Deep Web</title></head><body><h1>Sites</h1><ul>")
+	sites := append([]*Site(nil), f.Sites...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].ID() < sites[j].ID() })
+	for _, s := range sites {
+		fmt.Fprintf(&b, `<li><a href="/site/%d/">%s</a> (%d records)</li>`,
+			s.ID(), s.Name(), s.Database().NumRecords())
+	}
+	b.WriteString("</ul></body></html>")
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package deepweb
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/probe"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSiteHandlerSearch(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, DisableErrors: true})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	// Find a multi-match keyword.
+	var kw string
+	for _, w := range probe.Dictionary() {
+		if site.ClassFor(w) == corpus.MultiMatch {
+			kw = w
+			break
+		}
+	}
+	code, body := get(t, srv, "/search?q="+kw)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	want, _ := site.Query(kw)
+	if body != want {
+		t.Error("served page differs from Query output")
+	}
+}
+
+func TestSiteHandlerErrorStatus(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 0, Seed: 42, ErrEvery: 2})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+	var kw string
+	for _, w := range probe.Dictionary() {
+		if site.ClassFor(w) == corpus.ErrorPage {
+			kw = w
+			break
+		}
+	}
+	if kw == "" {
+		t.Skip("no error keyword found")
+	}
+	code, body := get(t, srv, "/search?q="+kw)
+	if code != http.StatusInternalServerError {
+		t.Errorf("error page status = %d, want 500", code)
+	}
+	if !strings.Contains(body, "Internal Server Error") {
+		t.Errorf("error body missing marker")
+	}
+}
+
+func TestSiteHandlerFrontPage(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 1, Seed: 42})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("front page status = %d", code)
+	}
+	if !strings.Contains(body, "<form") || !strings.Contains(body, site.Name()) {
+		t.Errorf("front page missing search form or site name")
+	}
+	code, _ = get(t, srv, "/nonexistent")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestFarmRouting(t *testing.T) {
+	farm := NewFarm(3, 42)
+	srv := httptest.NewServer(farm.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("directory status = %d", code)
+	}
+	for _, s := range farm.Sites {
+		if !strings.Contains(body, s.Name()) {
+			t.Errorf("directory missing site %q", s.Name())
+		}
+	}
+
+	code, body = get(t, srv, "/site/1/search?q=music")
+	if code != http.StatusOK && code != http.StatusInternalServerError {
+		t.Fatalf("farm search status = %d", code)
+	}
+	want, _ := farm.Sites[1].Query("music")
+	if body != want {
+		t.Error("farm routed to wrong site")
+	}
+
+	code, _ = get(t, srv, "/site/99/search?q=x")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown site status = %d, want 404", code)
+	}
+}
+
+// TestProbeOverHTTP closes the loop: a prober driving the site through a
+// real HTTP round trip collects the same pages as direct calls.
+type httpSite struct {
+	id   int
+	name string
+	base string
+}
+
+func (h *httpSite) ID() int      { return h.id }
+func (h *httpSite) Name() string { return h.name }
+func (h *httpSite) Query(kw string) (string, string) {
+	url := h.base + "/search?q=" + kw
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", url
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body), url
+}
+
+func TestProbeOverHTTP(t *testing.T) {
+	site := NewSite(SiteConfig{ID: 2, Seed: 42})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	remote := &httpSite{id: site.ID(), name: site.Name(), base: srv.URL}
+	pr := &probe.Prober{Plan: probe.NewPlan(20, 2, 1)}
+	col := pr.ProbeSite(remote)
+	if len(col.Pages) != 22 {
+		t.Fatalf("probed %d pages over HTTP", len(col.Pages))
+	}
+	for _, p := range col.Pages {
+		direct, _ := site.Query(p.Query)
+		if p.HTML != direct {
+			t.Fatalf("HTTP page for %q differs from direct query", p.Query)
+		}
+	}
+}

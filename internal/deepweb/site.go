@@ -1,0 +1,419 @@
+package deepweb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thor/internal/corpus"
+	"thor/internal/probe"
+)
+
+// Site is one simulated deep-web source: a record database behind a
+// single-keyword search interface that renders template-driven dynamic
+// pages. It implements probe.Site.
+type Site struct {
+	id      int
+	name    string
+	host    string
+	db      *Database
+	builder pageBuilder
+
+	// maxResults caps the rows shown on a multi-match page, like real
+	// search front-ends paginate.
+	maxResults int
+	// errEvery injects a deterministic exception page for roughly one in
+	// errEvery queries (0 disables), modeling the error/exception class of
+	// answer pages. The decision is a pure function of the keyword so
+	// ClassFor agrees with Query.
+	errEvery uint32
+	// multiRegion adds the related-items second QA-Pagelet to multi-match
+	// pages.
+	multiRegion bool
+}
+
+// SiteConfig controls site generation.
+type SiteConfig struct {
+	ID         int
+	Seed       int64
+	NumRecords int    // default 300
+	MaxResults int    // default 10
+	ErrEvery   uint32 // inject an error page for ~1/ErrEvery queries; default 23 (≈4%)
+	// DisableErrors turns off error-page injection entirely.
+	DisableErrors bool
+	// MultiRegion adds a second primary content region ("related items")
+	// to multi-match pages — the multiple-QA-Pagelet site shape Section 1
+	// mentions. Extracting it requires Config.NumPagelets ≥ 2.
+	MultiRegion bool
+}
+
+// NewSite generates a deterministic simulated deep-web site.
+func NewSite(cfg SiteConfig) *Site {
+	if cfg.NumRecords <= 0 {
+		cfg.NumRecords = 300
+	}
+	if cfg.MaxResults <= 0 {
+		cfg.MaxResults = 10
+	}
+	if cfg.ErrEvery == 0 {
+		cfg.ErrEvery = 23
+	}
+	if cfg.DisableErrors {
+		cfg.ErrEvery = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*1_000_003))
+	family := schemaFamilies[cfg.ID%len(schemaFamilies)]
+	name := fmt.Sprintf("%s%d.example.com", family.Name, cfg.ID)
+	s := &Site{
+		id:          cfg.ID,
+		name:        strings.ToUpper(family.Name[:1]) + family.Name[1:] + fmt.Sprintf(" Source %d", cfg.ID),
+		host:        name,
+		db:          NewDatabase(family, cfg.NumRecords, rng),
+		maxResults:  cfg.MaxResults,
+		errEvery:    cfg.ErrEvery,
+		multiRegion: cfg.MultiRegion,
+	}
+	s.builder = pageBuilder{
+		layout: randomLayout(rng),
+		chrome: newChrome(s.name, rng),
+	}
+	return s
+}
+
+// NewSites generates n simulated sites with distinct schemas and layouts.
+func NewSites(n int, seed int64) []*Site {
+	sites := make([]*Site, n)
+	for i := range sites {
+		sites[i] = NewSite(SiteConfig{ID: i, Seed: seed})
+	}
+	return sites
+}
+
+// AsProbeSites adapts a site slice to the prober's interface.
+func AsProbeSites(sites []*Site) []probe.Site {
+	out := make([]probe.Site, len(sites))
+	for i, s := range sites {
+		out[i] = s
+	}
+	return out
+}
+
+// ID implements probe.Site.
+func (s *Site) ID() int { return s.id }
+
+// Name implements probe.Site.
+func (s *Site) Name() string { return s.name }
+
+// Database exposes the backing store (used by tests and examples).
+func (s *Site) Database() *Database { return s.db }
+
+// Layout exposes the site's presentation template.
+func (s *Site) Layout() Layout { return s.builder.layout }
+
+// ClassFor returns the answer-page class the site will serve for keyword.
+// It is a pure function of the keyword, so it doubles as the exact labeler
+// replacing the paper's hand labeling.
+func (s *Site) ClassFor(keyword string) corpus.Class {
+	if s.errEvery > 0 && hashString(s.host+"|"+keyword)%s.errEvery == 0 {
+		return corpus.ErrorPage
+	}
+	switch n := len(s.db.Search(keyword)); {
+	case n == 0:
+		return corpus.NoMatch
+	case n == 1:
+		return corpus.SingleMatch
+	default:
+		return corpus.MultiMatch
+	}
+}
+
+// Labeler returns the exact page labeler for simulated sites, suitable for
+// probe.Prober.
+func Labeler() func(site probe.Site, keyword, html string) corpus.Class {
+	return func(site probe.Site, keyword, _ string) corpus.Class {
+		return site.(*Site).ClassFor(keyword)
+	}
+}
+
+// Query implements probe.Site: it runs the keyword search and renders the
+// first dynamically generated response page.
+func (s *Site) Query(keyword string) (html, url string) {
+	return s.QueryPage(keyword, 1)
+}
+
+// QueryPage serves result page number page (1-based) for the keyword,
+// implementing probe.PagedSite. Multi-match answers paginate at
+// MaxResults records per page like real search front-ends; page numbers
+// beyond the last page clamp to the last page. Non-multi-match answers
+// have a single page.
+func (s *Site) QueryPage(keyword string, page int) (html, url string) {
+	if page < 1 {
+		page = 1
+	}
+	url = fmt.Sprintf("http://%s/search?q=%s", s.host, keyword)
+	if page > 1 {
+		url += fmt.Sprintf("&page=%d", page)
+	}
+	switch s.ClassFor(keyword) {
+	case corpus.ErrorPage:
+		return s.renderError(keyword), url
+	case corpus.NoMatch:
+		return s.renderNoMatch(keyword), url
+	case corpus.SingleMatch:
+		ids := s.db.Search(keyword)
+		return s.renderSingleMatch(keyword, s.db.Records[ids[0]]), url
+	default:
+		ids := s.db.Search(keyword)
+		total := s.pageCount(len(ids))
+		if page > total {
+			page = total
+		}
+		lo := (page - 1) * s.maxResults
+		hi := lo + s.maxResults
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		recs := make([]Record, 0, hi-lo)
+		for _, id := range ids[lo:hi] {
+			recs = append(recs, s.db.Records[id])
+		}
+		return s.renderMultiMatch(keyword, recs, page, total), url
+	}
+}
+
+// NumPages implements probe.PagedSite: the number of result pages the
+// keyword's answer spans.
+func (s *Site) NumPages(keyword string) int {
+	if s.ClassFor(keyword) != corpus.MultiMatch {
+		return 1
+	}
+	return s.pageCount(len(s.db.Search(keyword)))
+}
+
+func (s *Site) pageCount(matches int) int {
+	pages := (matches + s.maxResults - 1) / s.maxResults
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// renderMultiMatch produces the list-of-matches page. The results
+// container carries the ground-truth pagelet marker and each row the
+// object marker. When the answer spans several pages a pager line links
+// the neighbors, as real search front-ends do.
+func (s *Site) renderMultiMatch(query string, recs []Record, page, totalPages int) string {
+	pb := &s.builder
+	pb.sideAd = pb.adRegion(query)
+	return pb.page(query, func(b *strings.Builder) {
+		fmt.Fprintf(b, "<h4>Search results for %s</h4>", query)
+		fmt.Fprintf(b, "<p>Showing %d matching items (page %d of %d).</p>",
+			len(recs), page, totalPages)
+		if pb.layout.AdPos == AdTop {
+			b.WriteString(pb.adRegion(query))
+		}
+		s.openWrappers(b)
+		s.renderResults(b, recs)
+		s.closeWrappers(b)
+		if totalPages > 1 {
+			b.WriteString(`<p class="pager">`)
+			if page > 1 {
+				fmt.Fprintf(b, `<a href="/search?q=%s&amp;page=%d">Previous</a> `, query, page-1)
+			}
+			if page < totalPages {
+				fmt.Fprintf(b, `<a href="/search?q=%s&amp;page=%d">Next</a>`, query, page+1)
+			}
+			b.WriteString("</p>")
+		}
+		if s.multiRegion {
+			s.renderRelated(b, query)
+		}
+		if pb.layout.AdPos == AdBottom {
+			b.WriteString(pb.adRegion(query))
+		}
+	})
+}
+
+// renderRelated writes the second primary content region of multi-region
+// sites: a query-dependent "related items" list, itself a QA-Pagelet.
+func (s *Site) renderRelated(b *strings.Builder, query string) {
+	marker := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthPagelet)
+	obj := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthObject)
+	n := len(s.db.Records)
+	base := int(hashString(query + "|related"))
+	fmt.Fprintf(b, `<div class="related"><h5>Related items</h5><ol%s>`, marker)
+	titleField := s.db.Schema.Fields[0].Name
+	for i := 0; i < 3; i++ {
+		rec := s.db.Records[(base+i*7)%n]
+		fmt.Fprintf(b, `<li%s><a href="/item/%s">%s</a></li>`,
+			obj, slug(rec[titleField]), rec[titleField])
+	}
+	b.WriteString("</ol></div>")
+}
+
+func (s *Site) openWrappers(b *strings.Builder) {
+	for i := 0; i < s.builder.layout.WrapDepth; i++ {
+		fmt.Fprintf(b, `<div class="wrap%d">`, i)
+	}
+}
+
+func (s *Site) closeWrappers(b *strings.Builder) {
+	for i := 0; i < s.builder.layout.WrapDepth; i++ {
+		b.WriteString("</div>")
+	}
+}
+
+// renderResults writes the QA-Pagelet: the region of query matches.
+func (s *Site) renderResults(b *strings.Builder, recs []Record) {
+	marker := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthPagelet)
+	obj := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthObject)
+	lay := s.builder.layout
+	fields := s.db.Schema.Fields
+	switch lay.ResultStyle {
+	case StyleTable:
+		fmt.Fprintf(b, `<table class="results" border="1"%s><tr>`, marker)
+		for _, f := range fields {
+			fmt.Fprintf(b, "<th>%s</th>", f.Name)
+		}
+		b.WriteString("</tr>")
+		for _, r := range recs {
+			fmt.Fprintf(b, "<tr%s>", obj)
+			for j, f := range fields {
+				b.WriteString("<td>")
+				s.renderField(b, r, f, j == 0)
+				b.WriteString("</td>")
+			}
+			b.WriteString("</tr>")
+		}
+		b.WriteString("</table>")
+	case StyleUL, StyleOL:
+		tag := "ul"
+		if lay.ResultStyle == StyleOL {
+			tag = "ol"
+		}
+		fmt.Fprintf(b, `<%s class="results"%s>`, tag, marker)
+		for _, r := range recs {
+			fmt.Fprintf(b, "<li%s>", obj)
+			for j, f := range fields {
+				if j > 0 {
+					b.WriteString(" <span>|</span> ")
+				}
+				s.renderField(b, r, f, j == 0)
+			}
+			b.WriteString("</li>")
+		}
+		fmt.Fprintf(b, "</%s>", tag)
+	case StyleDivList:
+		fmt.Fprintf(b, `<div class="results"%s>`, marker)
+		for _, r := range recs {
+			fmt.Fprintf(b, `<div class="result"%s>`, obj)
+			for j, f := range fields {
+				b.WriteString("<p>")
+				s.renderField(b, r, f, j == 0)
+				b.WriteString("</p>")
+			}
+			b.WriteString("</div>")
+		}
+		b.WriteString("</div>")
+	case StyleDL:
+		// One definition list per record so each QA-Object is a single
+		// subtree (a dt/dd pair split across siblings would not be).
+		fmt.Fprintf(b, `<div class="results"%s>`, marker)
+		for _, r := range recs {
+			fmt.Fprintf(b, "<dl%s><dt>", obj)
+			s.renderField(b, r, fields[0], true)
+			b.WriteString("</dt><dd>")
+			for j, f := range fields[1:] {
+				if j > 0 {
+					b.WriteString("; ")
+				}
+				s.renderField(b, r, f, false)
+			}
+			b.WriteString("</dd></dl>")
+		}
+		b.WriteString("</div>")
+	}
+}
+
+// renderField writes one field value with the site's decoration habits.
+func (s *Site) renderField(b *strings.Builder, r Record, f Field, first bool) {
+	lay := s.builder.layout
+	val := r[f.Name]
+	if lay.BoldLabels && !first {
+		fmt.Fprintf(b, "<b>%s:</b> ", f.Name)
+	}
+	switch {
+	case first && lay.LinkTitles:
+		fmt.Fprintf(b, `<a href="/item/%s">%s</a>`, slug(val), val)
+	case lay.UseFontTags && f.Kind == KindPrice:
+		fmt.Fprintf(b, `<font color="green">%s</font>`, val)
+	case f.Kind == KindPrice:
+		fmt.Fprintf(b, "<strong>%s</strong>", val)
+	default:
+		b.WriteString(val)
+	}
+}
+
+// renderSingleMatch produces the detail page for exactly one match; the
+// detail region is the page's QA-Pagelet and each field row a QA-Object.
+func (s *Site) renderSingleMatch(query string, rec Record) string {
+	pb := &s.builder
+	pb.sideAd = pb.adRegion(query)
+	marker := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthPagelet)
+	obj := fmt.Sprintf(` %s="%s"`, corpus.TruthMarkerAttr, corpus.TruthObject)
+	fields := s.db.Schema.Fields
+	return pb.page(query, func(b *strings.Builder) {
+		fmt.Fprintf(b, "<h4>Details for your search: %s</h4>", query)
+		if pb.layout.AdPos == AdTop {
+			b.WriteString(pb.adRegion(query))
+		}
+		s.openWrappers(b)
+		if pb.layout.DetailAsDL {
+			// The value cells carry the object markers: they are the
+			// query-dependent units phase two recommends, while the dt
+			// labels are static furniture.
+			fmt.Fprintf(b, `<dl class="detail"%s>`, marker)
+			for _, f := range fields {
+				fmt.Fprintf(b, "<dt>%s</dt><dd%s>", f.Name, obj)
+				s.renderField(b, rec, f, false)
+				b.WriteString("</dd>")
+			}
+			b.WriteString("</dl>")
+		} else {
+			fmt.Fprintf(b, `<table class="detail" border="0"%s>`, marker)
+			for _, f := range fields {
+				fmt.Fprintf(b, "<tr%s><td><b>%s</b></td><td>", obj, f.Name)
+				s.renderField(b, rec, f, false)
+				b.WriteString("</td></tr>")
+			}
+			b.WriteString("</table>")
+		}
+		s.closeWrappers(b)
+		if pb.layout.AdPos == AdBottom {
+			b.WriteString(pb.adRegion(query))
+		}
+	})
+}
+
+// renderNoMatch produces the "no matches" page: chrome plus an apology
+// that echoes the query but contains no QA-Pagelet.
+func (s *Site) renderNoMatch(query string) string {
+	pb := &s.builder
+	pb.sideAd = pb.adRegion(query)
+	return pb.page(query, func(b *strings.Builder) {
+		fmt.Fprintf(b, `<div class="nomatch"><h4>No matches</h4>`)
+		fmt.Fprintf(b, "<p>Your search for <b>%s</b> returned no results.</p>", query)
+		b.WriteString("<p>Suggestions: check your spelling, try fewer keywords, or browse the categories above.</p></div>")
+	})
+}
+
+// renderError produces the exception page class: a terse server-error
+// response that shares almost nothing with the site's answer templates.
+func (s *Site) renderError(query string) string {
+	return fmt.Sprintf(`<html><head><title>500 Internal Server Error</title></head>`+
+		`<body><h1>Internal Server Error</h1>`+
+		`<p>The server encountered an unexpected condition while processing query %q.</p>`+
+		`<p>Error code: %d. Please try again later.</p>`+
+		`<hr><address>%s</address></body></html>`,
+		query, 500+hashString(query)%17, s.host)
+}

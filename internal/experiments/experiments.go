@@ -1,0 +1,155 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 4). Each Fig* function runs one experiment over the simulated
+// deep-web corpus and returns a structured, printable result; the
+// cmd/thorbench binary is a thin CLI over this package, and the root
+// bench_test.go times the underlying computations.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// Options are the corpus-scale knobs shared by all experiments, defaulting
+// to the paper's setup: 50 sites probed with 100 dictionary and 10
+// nonsense words (5,500 pages), 10 repetitions per measurement.
+type Options struct {
+	Sites      int
+	DictWords  int
+	Nonsense   int
+	Reps       int
+	Seed       int64
+	Full       bool // lift the caps on the scalability experiments
+	SynthCap   int  // when > 0, drop synthetic sweep sizes above this (tests)
+	KMRestarts int  // K-Means restarts (paper: 10)
+	K          int  // clusters (paper varies 2–5; default 4 = #classes)
+}
+
+// DefaultOptions returns the paper-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		Sites:      50,
+		DictWords:  100,
+		Nonsense:   10,
+		Reps:       10,
+		Seed:       42,
+		KMRestarts: 10,
+		K:          4,
+	}
+}
+
+// ProbesPerSite returns the number of pages sampled per site.
+func (o Options) ProbesPerSite() int { return o.DictWords + o.Nonsense }
+
+// corpusCache memoizes probed corpora per (sites, probes, seed) so the
+// figures of one thorbench invocation share a single probing pass.
+var corpusCache sync.Map
+
+type corpusKey struct {
+	sites, dict, nonsense int
+	seed                  int64
+}
+
+// BuildCorpus probes Sites simulated deep-web sites with the configured
+// plan and returns the labeled corpus. Results are memoized process-wide.
+func BuildCorpus(o Options) *corpus.Corpus {
+	key := corpusKey{o.Sites, o.DictWords, o.Nonsense, o.Seed}
+	if v, ok := corpusCache.Load(key); ok {
+		return v.(*corpus.Corpus)
+	}
+	sites := deepweb.NewSites(o.Sites, o.Seed)
+	plan := probe.NewPlan(o.DictWords, o.Nonsense, o.Seed+1000)
+	pr := &probe.Prober{Plan: plan, Labeler: deepweb.Labeler()}
+	c := pr.ProbeAll(deepweb.AsProbeSites(sites))
+	corpusCache.Store(key, c)
+	return c
+}
+
+// Series is one named line of a figure: y values over x values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a printable experiment result: a set of series over a common
+// x axis plus free-form notes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// String renders the figure as an aligned text table, one row per x value
+// and one column per series — the same rows/series the paper plots.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	// Header.
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %12s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			fmt.Fprintf(&b, "%-14g", f.Series[0].X[i])
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, "  %12.4f", s.Y[i])
+				} else {
+					fmt.Fprintf(&b, "  %12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Row is one labeled result row of a table-style figure (e.g. per-approach
+// precision/recall).
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// TableResult is a printable labeled-rows result.
+type TableResult struct {
+	Title  string
+	Header []string
+	Rows   []Row
+	Notes  []string
+}
+
+// String renders the table.
+func (t *TableResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, h := range t.Header {
+		fmt.Fprintf(&b, "  %10s", h)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "  %10.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+// tinyOptions keeps experiment tests fast: 4 sites, 40 probes each.
+func tinyOptions() Options {
+	return Options{
+		Sites: 4, DictWords: 36, Nonsense: 4,
+		Reps: 1, Seed: 42, K: 4, KMRestarts: 5,
+		SynthCap: 1100,
+	}
+}
+
+func TestBuildCorpusShapeAndMemoization(t *testing.T) {
+	o := tinyOptions()
+	c1 := BuildCorpus(o)
+	if len(c1.Collections) != o.Sites {
+		t.Fatalf("collections = %d", len(c1.Collections))
+	}
+	if c1.TotalPages() != o.Sites*o.ProbesPerSite() {
+		t.Fatalf("pages = %d", c1.TotalPages())
+	}
+	c2 := BuildCorpus(o)
+	if c1 != c2 {
+		t.Error("corpus not memoized for identical options")
+	}
+	o2 := o
+	o2.Seed++
+	if BuildCorpus(o2) == c1 {
+		t.Error("different seed shared the memoized corpus")
+	}
+	dist := c1.ClassDistribution()
+	for c := corpus.Class(0); c < corpus.NumClasses; c++ {
+		if dist[c] == 0 {
+			t.Errorf("class %v absent from test corpus", c)
+		}
+	}
+}
+
+func seriesByName(f *Figure, name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+func TestFig45ShapeAndOrdering(t *testing.T) {
+	o := tinyOptions()
+	ent, times := Fig45(o)
+	if len(ent.Series) != len(ApproachOrder) {
+		t.Fatalf("entropy series = %d", len(ent.Series))
+	}
+	for _, s := range ent.Series {
+		if len(s.X) != len(Fig4Sizes) || len(s.Y) != len(s.X) {
+			t.Fatalf("series %s has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("series %s entropy out of range: %v", s.Name, y)
+			}
+		}
+	}
+	// The paper's ordering at full collection size: THOR's TFIDF tag
+	// signatures beat random assignment decisively and beat the
+	// content-based representations.
+	last := len(Fig4Sizes) - 1
+	ttag := seriesByName(ent, "TTag").Y[last]
+	rnd := seriesByName(ent, "Rand").Y[last]
+	tcon := seriesByName(ent, "TCon").Y[last]
+	urls := seriesByName(ent, "URLs").Y[last]
+	if ttag >= rnd {
+		t.Errorf("TTag entropy %v not below random %v", ttag, rnd)
+	}
+	if ttag >= tcon {
+		t.Errorf("TTag entropy %v not below TFIDF-content %v", ttag, tcon)
+	}
+	if ttag >= urls {
+		t.Errorf("TTag entropy %v not below URL-based %v", ttag, urls)
+	}
+	if ttag > 0.1 {
+		t.Errorf("TTag entropy %v, want near zero", ttag)
+	}
+	// Timing series present and positive.
+	for _, s := range times.Series {
+		for _, y := range s.Y {
+			if y < 0 {
+				t.Fatalf("negative time in %s", s.Name)
+			}
+		}
+	}
+	// Printable.
+	if out := ent.String(); !strings.Contains(out, "TTag") || !strings.Contains(out, "pages/site") {
+		t.Errorf("Figure.String missing content:\n%s", out)
+	}
+}
+
+func TestFig67Shape(t *testing.T) {
+	o := tinyOptions()
+	ent, times := Fig67(o)
+	sizes := SynthSizes(o)
+	for _, s := range ent.Series {
+		if len(s.Y) != len(sizes) {
+			t.Fatalf("series %s: %d points, want %d", s.Name, len(s.Y), len(sizes))
+		}
+	}
+	// Entropy roughly flat for TTag as collections grow (paper: nearly
+	// constant over 1,000×); allow slack but catch blowups.
+	ttag := seriesByName(ent, "TTag")
+	if ttag.Y[len(ttag.Y)-1] > ttag.Y[0]+0.25 {
+		t.Errorf("TTag synthetic entropy grew: %v", ttag.Y)
+	}
+	// Time grows with collection size for the K-Means approaches.
+	tt := seriesByName(times, "TTag")
+	if tt.Y[len(tt.Y)-1] <= tt.Y[0] {
+		t.Errorf("TTag time did not grow with 100× pages: %v", tt.Y)
+	}
+}
+
+func TestFig8CombinedBeatsSingles(t *testing.T) {
+	o := tinyOptions()
+	res := Fig8(o)
+	if len(res.Rows) != len(DistanceVariants) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byLabel := make(map[string]Row)
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+	}
+	allF1 := byLabel["All"].Values[2]
+	if allF1 < 0.85 {
+		t.Errorf("combined metric F1 = %v, want ≥ 0.85", allF1)
+	}
+	for _, single := range []string{"F", "N", "D"} {
+		if byLabel[single].Values[2] > allF1 {
+			t.Errorf("single feature %s F1 %v beats combined %v", single,
+				byLabel[single].Values[2], allF1)
+		}
+	}
+	if out := res.String(); !strings.Contains(out, "All") {
+		t.Errorf("TableResult.String missing rows")
+	}
+}
+
+func TestFig9TFIDFBimodality(t *testing.T) {
+	o := tinyOptions()
+	res := Fig9(o)
+	if res.WithTFIDF.Total == 0 || res.WithoutTFIDF.Total == 0 {
+		t.Fatal("empty histograms")
+	}
+	withoutFrac, withFrac := res.Bimodality()
+	if withFrac <= withoutFrac {
+		t.Errorf("TFIDF bimodality %v not above raw %v", withFrac, withoutFrac)
+	}
+	if withFrac < 0.6 {
+		t.Errorf("TFIDF extreme-bin fraction = %v, want strong bimodality", withFrac)
+	}
+	if !strings.Contains(res.String(), "[0.0,0.1)") {
+		t.Errorf("histogram rendering broken")
+	}
+}
+
+func TestFig10TTagWins(t *testing.T) {
+	o := tinyOptions()
+	res := Fig10(o)
+	byLabel := make(map[string]Row)
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+	}
+	// On the tiny 4-site corpus, single-match clusters hold only a couple
+	// of pages, so recall runs a little below the 50-site figure.
+	ttag := byLabel["TTag"]
+	if ttag.Values[0] < 0.85 || ttag.Values[1] < 0.75 {
+		t.Errorf("TTag overall P/R = %v, want P ≥ 0.85, R ≥ 0.75", ttag.Values)
+	}
+	for _, weak := range []string{"URLs", "Rand"} {
+		if byLabel[weak].Values[2] >= ttag.Values[2] {
+			t.Errorf("%s F1 %v not below TTag %v", weak, byLabel[weak].Values[2], ttag.Values[2])
+		}
+	}
+}
+
+func TestFig11Tradeoff(t *testing.T) {
+	o := tinyOptions()
+	res := Fig11(o)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Recall must not decrease as more clusters pass; precision must not
+	// increase from 1 to 3 clusters.
+	if res.Rows[2].Values[1] < res.Rows[0].Values[1]-1e-9 {
+		t.Errorf("recall fell as clusters passed grew: %v → %v",
+			res.Rows[0].Values[1], res.Rows[2].Values[1])
+	}
+	if res.Rows[2].Values[0] > res.Rows[0].Values[0]+1e-9 {
+		t.Errorf("precision rose as clusters passed grew: %v → %v",
+			res.Rows[0].Values[0], res.Rows[2].Values[0])
+	}
+}
+
+func TestStats(t *testing.T) {
+	o := tinyOptions()
+	s := Stats(o)
+	if s.Pages != o.Sites*o.ProbesPerSite() {
+		t.Errorf("pages = %d", s.Pages)
+	}
+	if s.AvgDistinctTags < 5 || s.AvgDistinctTags > 60 {
+		t.Errorf("avg tags = %v", s.AvgDistinctTags)
+	}
+	if s.AvgDistinctTerms <= s.AvgDistinctTags {
+		t.Errorf("terms (%v) should outnumber tags (%v) — the basis of the Fig 5 speed gap",
+			s.AvgDistinctTerms, s.AvgDistinctTags)
+	}
+	if s.TruthPageletPages == 0 {
+		t.Error("no pagelet-bearing pages")
+	}
+	if !strings.Contains(s.String(), "distinct tags") {
+		t.Error("Stats.String broken")
+	}
+}
+
+func TestTreeEditComparison(t *testing.T) {
+	o := tinyOptions()
+	res := TreeEditComparison(o, 10)
+	if res.SpeedupFactor <= 1 {
+		t.Errorf("tree edit distance not slower than tag signatures: %v", res.SpeedupFactor)
+	}
+	if res.TreeEditSample != 10 {
+		t.Errorf("measured %d pairs", res.TreeEditSample)
+	}
+	if !strings.Contains(res.String(), "factor") {
+		t.Error("String broken")
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	o := tinyOptions()
+	res := KSweep(o)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's remark: performance varies only mildly over k=2..5; in
+	// particular k=4 and k=5 should both work well.
+	for _, r := range res.Rows[2:] {
+		if r.Values[1] < 0.75 {
+			t.Errorf("%s precision = %v, want reasonable", r.Label, r.Values[1])
+		}
+	}
+}
+
+func TestRestartSweep(t *testing.T) {
+	o := tinyOptions()
+	res := RestartSweep(o)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Entropy with M=20 restarts must not exceed entropy with M=1 by a
+	// meaningful margin (restarts can only improve the chosen clustering).
+	first := res.Rows[0].Values[0]
+	last := res.Rows[len(res.Rows)-1].Values[0]
+	if last > first+0.05 {
+		t.Errorf("more restarts worsened entropy: M=1 %v → M=20 %v", first, last)
+	}
+}
+
+func TestThresholdSweepFlatMiddle(t *testing.T) {
+	o := tinyOptions()
+	res := ThresholdSweep(o)
+	// The paper: the exact threshold choice is not essential because the
+	// similarity distribution is bimodal — F1 at 0.3 and 0.7 should both
+	// be close to F1 at 0.5.
+	var at3, at5, at7 float64
+	for _, r := range res.Rows {
+		f1 := 0.0
+		p, rec := r.Values[0], r.Values[1]
+		if p+rec > 0 {
+			f1 = 2 * p * rec / (p + rec)
+		}
+		switch r.Label {
+		case "th=0.3":
+			at3 = f1
+		case "th=0.5":
+			at5 = f1
+		case "th=0.7":
+			at7 = f1
+		}
+	}
+	if at5-at3 > 0.15 || at5-at7 > 0.15 {
+		t.Errorf("threshold too sensitive: F1 at 0.3/0.5/0.7 = %v/%v/%v", at3, at5, at7)
+	}
+}
+
+func TestRankingAblation(t *testing.T) {
+	o := tinyOptions()
+	res := RankingAblation(o)
+	byLabel := make(map[string]float64)
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r.Values[0]
+	}
+	if byLabel["combined"] < 0.75 {
+		t.Errorf("combined ranking hit-rate = %v", byLabel["combined"])
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits a figure as CSV: one row per x value, one column per
+// series, ready for any plotting tool.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			row := []string{formatFloat(f.Series[0].X[i])}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, formatFloat(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits a table-style result as CSV: one row per labeled entry.
+func (t *TableResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, t.Header...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, r := range t.Rows {
+		row := []string{r.Label}
+		for _, v := range r.Values {
+			row = append(row, formatFloat(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits both histograms side by side: bin, raw fraction, TFIDF
+// fraction.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin_low", "bin_high", "raw_fraction", "tfidf_fraction"}); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for i := range r.WithoutTFIDF.Counts {
+		lo := float64(i) * r.WithoutTFIDF.BinWidth
+		hi := lo + r.WithoutTFIDF.BinWidth
+		row := []string{
+			formatFloat(lo), formatFloat(hi),
+			formatFloat(r.WithoutTFIDF.Fraction(i)),
+			formatFloat(r.WithTFIDF.Fraction(i)),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{
+		XLabel: "pages",
+		Series: []Series{
+			{Name: "TTag", X: []float64{5, 10}, Y: []float64{0.01, 0.02}},
+			{Name: "Rand", X: []float64{5, 10}, Y: []float64{0.5, 0.6}},
+		},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "pages" || rows[0][1] != "TTag" || rows[0][2] != "Rand" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "5" || rows[1][1] != "0.01" || rows[1][2] != "0.5" {
+		t.Errorf("row = %v", rows[1])
+	}
+}
+
+func TestFigureWriteCSVRaggedSeries(t *testing.T) {
+	f := &Figure{
+		XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "b", X: []float64{1}, Y: []float64{9}},
+		},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if rows[2][2] != "" {
+		t.Errorf("missing point should be empty, got %q", rows[2][2])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tr := &TableResult{
+		Header: []string{"precision", "recall"},
+		Rows: []Row{
+			{Label: "TTag", Values: []float64{0.97, 0.96}},
+		},
+	}
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if rows[0][0] != "label" || rows[1][0] != "TTag" || rows[1][1] != "0.97" {
+		t.Errorf("csv = %v", rows)
+	}
+}
+
+func TestFig9WriteCSV(t *testing.T) {
+	r := &Fig9Result{
+		WithoutTFIDF: &Histogram{BinWidth: 0.5, Counts: []int{3, 1}, Total: 4},
+		WithTFIDF:    &Histogram{BinWidth: 0.5, Counts: []int{1, 3}, Total: 4},
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][2] != "0.75" || rows[1][3] != "0.25" {
+		t.Errorf("fractions = %v", rows[1])
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+func TestMultiRegionAblation(t *testing.T) {
+	o := tinyOptions()
+	res := MultiRegionAblation(o)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	one, two := res.Rows[0], res.Rows[1]
+	// One selection on two-region pages caps recall around one half.
+	if one.Values[1] > 0.6 {
+		t.Errorf("pagelets=1 recall = %v, expected capped near 0.5", one.Values[1])
+	}
+	// Two selections must beat one on recall by a wide margin.
+	if two.Values[1] < one.Values[1]+0.2 {
+		t.Errorf("pagelets=2 recall %v barely above pagelets=1 %v",
+			two.Values[1], one.Values[1])
+	}
+	// And the third selection must not raise recall further.
+	three := res.Rows[2]
+	if three.Values[1] > two.Values[1]+0.05 {
+		t.Errorf("pagelets=3 recall %v above pagelets=2 %v", three.Values[1], two.Values[1])
+	}
+}
+
+func TestBisectingAblation(t *testing.T) {
+	o := tinyOptions()
+	res := BisectingAblation(o)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		entropy, purity := r.Values[0], r.Values[1]
+		if entropy > 0.2 {
+			t.Errorf("%s entropy = %v, both clusterers should do well here", r.Label, entropy)
+		}
+		if purity < 0.85 {
+			t.Errorf("%s purity = %v", r.Label, purity)
+		}
+	}
+}
+
+func TestAdaptiveProbingAblation(t *testing.T) {
+	o := tinyOptions()
+	res := AdaptiveProbingAblation(o)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	fixed, adaptive := res.Rows[0], res.Rows[1]
+	if adaptive.Values[0] <= fixed.Values[0] {
+		t.Errorf("adaptive collected %v pages/site, fixed %v — feedback round missing",
+			adaptive.Values[0], fixed.Values[0])
+	}
+	// Mined probes hit the database far more often than dictionary draws.
+	if adaptive.Values[2] <= fixed.Values[2] {
+		t.Errorf("feedback hit-rate %v not above fixed %v",
+			adaptive.Values[2], fixed.Values[2])
+	}
+}

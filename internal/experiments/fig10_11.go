@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thor/internal/core"
+	"thor/internal/quality"
+)
+
+// Fig10 reproduces Figure 10: overall two-phase precision and recall when
+// phase one uses each of the clustering approaches (TTag, RTag, TCon,
+// RCon, Size, URLs, Rand) with the combined subtree distance metric.
+func Fig10(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "Figure 10: overall two-phase precision/recall by clustering approach",
+		Header: []string{"precision", "recall", "f1"},
+	}
+	// Paper's figure orders best-first.
+	order := []core.Approach{
+		core.TFIDFTags, core.RawTags, core.TFIDFContent, core.RawContent,
+		core.SizeBased, core.URLBased, core.RandomAssign,
+	}
+	for _, a := range order {
+		var counter quality.Counter
+		for _, col := range corp.Collections {
+			cfg := core.DefaultConfig()
+			cfg.Approach = a
+			cfg.K = o.K
+			cfg.Restarts = o.KMRestarts
+			cfg.Seed = o.Seed + int64(col.SiteID)
+			ext := core.NewExtractor(cfg)
+			r := ext.Extract(col.Pages)
+			c, i, t := core.Score(r.Pagelets, col.Pages)
+			counter.Add(c, i, t)
+		}
+		pr := counter.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  a.String(),
+			Values: []float64{pr.Precision, pr.Recall, pr.F1()},
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("full pipeline, k=%d, top %d clusters passed", o.K, core.DefaultConfig().TopClusters))
+	return res
+}
+
+// Fig11 reproduces Figure 11: the precision/recall trade-off as the number
+// of clusters passed from phase one to phase two grows. As in the paper,
+// the clustering phase generates three clusters and 1, 2, then all 3 are
+// passed: with one cluster precision is high but recall suffers (pagelets
+// in unpassed clusters are overlooked); with all three recall is maximal
+// but precision falls (pages without pagelets flood phase two).
+func Fig11(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "Figure 11: precision/recall vs clusters passed to phase 2 (k=3, TTag)",
+		Header: []string{"precision", "recall", "f1"},
+	}
+	for pass := 1; pass <= 3; pass++ {
+		var counter quality.Counter
+		for _, col := range corp.Collections {
+			cfg := core.DefaultConfig()
+			cfg.K = 3
+			cfg.TopClusters = pass
+			cfg.Restarts = o.KMRestarts
+			cfg.Seed = o.Seed + int64(col.SiteID)
+			ext := core.NewExtractor(cfg)
+			r := ext.Extract(col.Pages)
+			c, i, t := core.Score(r.Pagelets, col.Pages)
+			counter.Add(c, i, t)
+		}
+		pr := counter.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("%d cluster(s)", pass),
+			Values: []float64{pr.Precision, pr.Recall, pr.F1()},
+		})
+	}
+	return res
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/quality"
+)
+
+// Fig4Sizes are the collection sizes (pages per site) swept by Figures 4
+// and 5.
+var Fig4Sizes = []int{5, 10, 20, 40, 60, 80, 110}
+
+// ApproachOrder is the order approaches appear in the paper's Figure 4
+// legend, worst to best.
+var ApproachOrder = []core.Approach{
+	core.RandomAssign, core.URLBased, core.SizeBased,
+	core.RawContent, core.TFIDFContent, core.RawTags, core.TFIDFTags,
+}
+
+// Fig4 reproduces Figure 4: average clustering entropy versus pages per
+// site for each clustering approach, averaged over the 50 site collections
+// and Reps random page subsamples each.
+func Fig4(o Options) *Figure {
+	ent, _ := runFig45(o)
+	return ent
+}
+
+// Fig5 reproduces Figure 5: average time of one clustering run versus
+// pages per site for each approach, over the same sweep as Figure 4.
+func Fig5(o Options) *Figure {
+	_, times := runFig45(o)
+	return times
+}
+
+// Fig45 returns both figures from a single sweep (they share all the
+// computation).
+func Fig45(o Options) (entropy, times *Figure) { return runFig45(o) }
+
+func runFig45(o Options) (entropyFig, timeFig *Figure) {
+	corp := BuildCorpus(o)
+	entropyFig = &Figure{
+		Title:  "Figure 4: average entropy vs pages per site",
+		XLabel: "pages/site",
+		YLabel: "entropy",
+	}
+	timeFig = &Figure{
+		Title:  "Figure 5: average clustering time (s) vs pages per site",
+		XLabel: "pages/site",
+		YLabel: "seconds",
+	}
+	for _, a := range ApproachOrder {
+		es := Series{Name: a.String()}
+		ts := Series{Name: a.String()}
+		for _, n := range Fig4Sizes {
+			avgE, avgT := measureApproach(corp, a, n, o)
+			es.X = append(es.X, float64(n))
+			es.Y = append(es.Y, avgE)
+			ts.X = append(ts.X, float64(n))
+			ts.Y = append(ts.Y, avgT)
+		}
+		entropyFig.Series = append(entropyFig.Series, es)
+		timeFig.Series = append(timeFig.Series, ts)
+	}
+	note := fmt.Sprintf("%d sites, %d reps, k=%d, %d restarts",
+		len(corp.Collections), o.Reps, o.K, o.KMRestarts)
+	entropyFig.Notes = append(entropyFig.Notes, note)
+	timeFig.Notes = append(timeFig.Notes, note)
+	return entropyFig, timeFig
+}
+
+// measureApproach clusters Reps random n-page subsamples of every
+// collection with approach a and returns the mean entropy and mean
+// wall-clock seconds per clustering run.
+func measureApproach(corp *corpus.Corpus, a core.Approach, n int, o Options) (avgEntropy, avgSeconds float64) {
+	rng := rand.New(rand.NewSource(o.Seed + int64(a)*7919 + int64(n)))
+	var entSum, secSum float64
+	runs := 0
+	for _, col := range corp.Collections {
+		for rep := 0; rep < o.Reps; rep++ {
+			pages := samplePages(col, n, rng)
+			cfg := core.Config{
+				K:        o.K,
+				Restarts: o.KMRestarts,
+				Approach: a,
+				Seed:     rng.Int63(),
+			}
+			start := time.Now()
+			cl, _ := core.ClusterPages(pages, cfg)
+			secSum += time.Since(start).Seconds()
+			labels := make([]int, len(pages))
+			for i, p := range pages {
+				labels[i] = int(p.Class)
+			}
+			entSum += quality.Entropy(cl, labels, int(corpus.NumClasses))
+			runs++
+		}
+	}
+	return entSum / float64(runs), secSum / float64(runs)
+}
+
+// samplePages draws n distinct pages uniformly from a collection (all of
+// them when n exceeds the collection size).
+func samplePages(col *corpus.Collection, n int, rng *rand.Rand) []*corpus.Page {
+	if n >= len(col.Pages) {
+		return col.Pages
+	}
+	perm := rng.Perm(len(col.Pages))
+	out := make([]*corpus.Page, n)
+	for i := 0; i < n; i++ {
+		out[i] = col.Pages[perm[i]]
+	}
+	return out
+}

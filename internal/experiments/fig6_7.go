@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"thor/internal/cluster"
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/quality"
+	"thor/internal/synth"
+	"thor/internal/vector"
+)
+
+// SynthApproaches are the approaches compared on the synthetic sets in
+// Figures 6 and 7 (URL-based is omitted there, as synthetic pages have no
+// URLs; the paper's Figure 6/7 legends likewise drop it).
+var SynthApproaches = []core.Approach{
+	core.RandomAssign, core.SizeBased,
+	core.RawContent, core.TFIDFContent, core.RawTags, core.TFIDFTags,
+}
+
+// SynthSizes returns the pages-per-site scales of the synthetic sweep. The
+// paper sweeps 110 → 110,000 (5.5M pages total); the default harness stops
+// at 11,000 pages/site so a run finishes in CI time, and Full lifts the
+// cap to the paper's maximum. SynthCap (when set) truncates the sweep
+// further — the unit tests use it to stay fast.
+func SynthSizes(o Options) []int {
+	sizes := []int{110, 1100, 11000}
+	if o.Full {
+		sizes = append(sizes, 110000)
+	}
+	if o.SynthCap > 0 {
+		kept := sizes[:0]
+		for _, s := range sizes {
+			if s <= o.SynthCap {
+				kept = append(kept, s)
+			}
+		}
+		sizes = kept
+	}
+	return sizes
+}
+
+// synthSiteBudget caps how many of the 50 per-site models are actually
+// clustered at each scale so default runs stay tractable; the average over
+// the sampled sites estimates the average over all. Full removes the caps.
+func synthSiteBudget(size int, o Options) int {
+	if o.Full {
+		return o.Sites
+	}
+	switch {
+	case size <= 1100:
+		return o.Sites
+	case size <= 11000:
+		return 10
+	default:
+		return 3
+	}
+}
+
+// Fig6 reproduces Figure 6: average entropy on the synthetic data sets as
+// collections grow from 110 to 110,000 pages per site.
+func Fig6(o Options) *Figure {
+	ent, _ := runFig67(o)
+	return ent
+}
+
+// Fig7 reproduces Figure 7: average time of one clustering run on the
+// synthetic sets (the paper's log–log plot showing linear K-Means
+// scaling).
+func Fig7(o Options) *Figure {
+	_, t := runFig67(o)
+	return t
+}
+
+// Fig67 returns both synthetic-scalability figures from one sweep.
+func Fig67(o Options) (entropy, times *Figure) { return runFig67(o) }
+
+func runFig67(o Options) (entropyFig, timeFig *Figure) {
+	corp := BuildCorpus(o)
+	// One generative model per site, as in the paper: the synthetic pages
+	// of a site follow that site's class-conditional signature
+	// distributions.
+	models := make([]*synth.Model, len(corp.Collections))
+	for i, col := range corp.Collections {
+		models[i] = synth.BuildModel(col.Pages)
+	}
+	entropyFig = &Figure{
+		Title:  "Figure 6: average entropy vs pages per site (synthetic sets)",
+		XLabel: "pages/site",
+		YLabel: "entropy",
+	}
+	timeFig = &Figure{
+		Title:  "Figure 7: average clustering time (s) vs pages per site (synthetic sets)",
+		XLabel: "pages/site",
+		YLabel: "seconds",
+	}
+	sizes := SynthSizes(o)
+	for _, a := range SynthApproaches {
+		es := Series{Name: a.String()}
+		ts := Series{Name: a.String()}
+		for _, size := range sizes {
+			budget := synthSiteBudget(size, o)
+			var entSum, secSum float64
+			runs := 0
+			for m := 0; m < budget && m < len(models); m++ {
+				pages := models[m].Sample(size, o.Seed+int64(m*31+size))
+				e, s := clusterSynth(pages, a, o, int64(m))
+				entSum += e
+				secSum += s
+				runs++
+			}
+			es.X = append(es.X, float64(size))
+			es.Y = append(es.Y, entSum/float64(runs))
+			ts.X = append(ts.X, float64(size))
+			ts.Y = append(ts.Y, secSum/float64(runs))
+		}
+		entropyFig.Series = append(entropyFig.Series, es)
+		timeFig.Series = append(timeFig.Series, ts)
+	}
+	note := fmt.Sprintf("sizes %v; per-size site budgets applied unless -full", sizes)
+	entropyFig.Notes = append(entropyFig.Notes, note)
+	timeFig.Notes = append(timeFig.Notes, note)
+	return entropyFig, timeFig
+}
+
+// clusterSynth clusters one synthetic collection with approach a and
+// returns (entropy, seconds). Restarts are reduced at large scales —
+// timing measures a single clustering run either way.
+func clusterSynth(pages []synth.Page, a core.Approach, o Options, salt int64) (float64, float64) {
+	labels := synth.Labels(pages)
+	restarts := o.KMRestarts
+	if len(pages) > 1100 {
+		restarts = 1
+	}
+	seed := o.Seed + salt
+	var cl cluster.Clustering
+	start := time.Now()
+	switch a {
+	case core.TFIDFTags:
+		cl = kmeansDocs(synth.TagSignatures(pages), true, o.K, restarts, seed)
+	case core.RawTags:
+		cl = kmeansDocs(synth.TagSignatures(pages), false, o.K, restarts, seed)
+	case core.TFIDFContent:
+		cl = kmeansDocs(synth.ContentSignatures(pages), true, o.K, restarts, seed)
+	case core.RawContent:
+		cl = kmeansDocs(synth.ContentSignatures(pages), false, o.K, restarts, seed)
+	case core.SizeBased:
+		cl = cluster.BySize(synth.Sizes(pages), o.K, seed)
+	case core.RandomAssign:
+		cl = cluster.Random(len(pages), o.K, seed)
+	default:
+		panic("experiments: approach not supported on synthetic pages: " + a.String())
+	}
+	secs := time.Since(start).Seconds()
+	return quality.Entropy(cl, labels, int(corpus.NumClasses)), secs
+}
+
+func kmeansDocs(docs []map[string]int, tfidf bool, k, restarts int, seed int64) cluster.Clustering {
+	var vecs []vector.Sparse
+	if tfidf {
+		vecs = vector.TFIDF(docs)
+	} else {
+		vecs = vector.RawFrequency(docs)
+	}
+	res := cluster.KMeans(vecs, cluster.KMeansConfig{K: k, Restarts: restarts, Seed: seed})
+	return res.Clustering
+}

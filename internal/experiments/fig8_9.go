@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/quality"
+)
+
+// DistanceVariants are the subtree-distance ablations of Figure 8: each of
+// the four shape features alone, then the combined metric.
+var DistanceVariants = []struct {
+	Label   string
+	Weights core.ShapeWeights
+}{
+	{"F", core.WeightsFanoutOnly},
+	{"N", core.WeightsNodesOnly},
+	{"D", core.WeightsDepthOnly},
+	{"P", core.WeightsPathOnly},
+	{"All", core.WeightsAll},
+}
+
+// Fig8 reproduces Figure 8: precision and recall of the QA-Pagelet
+// identification phase in isolation, under each subtree distance variant.
+// Phase two runs on perfectly pre-labeled page clusters (the pages
+// pre-labeled as containing QA-Pagelets, grouped by class), exactly the
+// isolation setup of Section 4.2.
+func Fig8(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "Figure 8: phase-2 precision/recall by subtree distance metric",
+		Header: []string{"precision", "recall", "f1"},
+	}
+	for _, v := range DistanceVariants {
+		counter := phase2OnLabeledClusters(corp, v.Weights, o)
+		pr := counter.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  v.Label,
+			Values: []float64{pr.Precision, pr.Recall, pr.F1()},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"input: pre-labeled pagelet-bearing pages per site, one cluster per class")
+	return res
+}
+
+// phase2OnLabeledClusters runs phase two on every hand-labeled
+// pagelet-bearing class cluster of every site and pools the tallies.
+func phase2OnLabeledClusters(corp *corpus.Corpus, w core.ShapeWeights, o Options) quality.Counter {
+	var counter quality.Counter
+	cfg := core.DefaultConfig()
+	cfg.ShapeWeights = w
+	cfg.Seed = o.Seed
+	for _, col := range corp.Collections {
+		for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
+			pages := col.ByClass(class)
+			if len(pages) < 2 {
+				continue
+			}
+			ext := core.NewExtractor(cfg)
+			p2 := ext.ExtractCluster(pages)
+			c, i, t := core.Score(p2.Pagelets, pages)
+			counter.Add(c, i, t)
+		}
+	}
+	return counter
+}
+
+// Histogram is a binned distribution over [0,1].
+type Histogram struct {
+	Title string
+	// BinWidth is the width of each bin (0.1 in the paper's Figure 9).
+	BinWidth float64
+	// Counts[i] is the number of observations in [i·w, (i+1)·w).
+	Counts []int
+	Total  int
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Add records an observation (clamped to [0,1]).
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1 {
+		v = 1 - 1e-9
+	}
+	h.Counts[int(v/h.BinWidth)]++
+	h.Total++
+}
+
+// String renders the histogram with text bars.
+func (h *Histogram) String() string {
+	out := h.Title + "\n"
+	for i, c := range h.Counts {
+		frac := h.Fraction(i)
+		bar := ""
+		for j := 0; j < int(frac*60); j++ {
+			bar += "#"
+		}
+		out += fmt.Sprintf("  [%.1f,%.1f)  %5d (%5.1f%%) %s\n",
+			float64(i)*h.BinWidth, float64(i+1)*h.BinWidth, c, 100*frac, bar)
+	}
+	return out
+}
+
+// Fig9Result pairs the two histograms of Figure 9.
+type Fig9Result struct {
+	WithoutTFIDF *Histogram
+	WithTFIDF    *Histogram
+}
+
+// String renders both histograms side by side, as in the paper's figure.
+func (r *Fig9Result) String() string {
+	return r.WithoutTFIDF.String() + "\n" + r.WithTFIDF.String()
+}
+
+// Bimodality returns, for each histogram, the fraction of subtree sets in
+// the extreme bins (below 0.2 or at/above 0.8) — the quantitative form of
+// the paper's observation that TFIDF separates subtree sets into clearly
+// static and clearly dynamic groups.
+func (r *Fig9Result) Bimodality() (without, with float64) {
+	f := func(h *Histogram) float64 {
+		if h.Total == 0 {
+			return 0
+		}
+		ext := 0
+		for i, c := range h.Counts {
+			lo := float64(i) * h.BinWidth
+			if lo < 0.2 || lo >= 0.8 {
+				ext += c
+			}
+		}
+		return float64(ext) / float64(h.Total)
+	}
+	return f(r.WithoutTFIDF), f(r.WithTFIDF)
+}
+
+// Fig9 reproduces Figure 9: the distribution of intra-subtree-set
+// similarity over all common subtree sets, computed with raw term counts
+// (left) versus TFIDF weighting (right). With TFIDF the distribution is
+// bimodal — query-independent static sets near 1, query-dependent dynamic
+// sets near 0 — which is what makes the 0.5 threshold uncritical.
+func Fig9(o Options) *Fig9Result {
+	corp := BuildCorpus(o)
+	res := &Fig9Result{
+		WithoutTFIDF: &Histogram{
+			Title:    "Figure 9 (left): intra-subtree-set similarity, raw counts",
+			BinWidth: 0.1, Counts: make([]int, 10),
+		},
+		WithTFIDF: &Histogram{
+			Title:    "Figure 9 (right): intra-subtree-set similarity, TFIDF",
+			BinWidth: 0.1, Counts: make([]int, 10),
+		},
+	}
+	for _, raw := range []bool{true, false} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.RawContentVectors = raw
+		hist := res.WithTFIDF
+		if raw {
+			hist = res.WithoutTFIDF
+		}
+		for _, col := range corp.Collections {
+			for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
+				pages := col.ByClass(class)
+				if len(pages) < 2 {
+					continue
+				}
+				ext := core.NewExtractor(cfg)
+				p2 := ext.ExtractCluster(pages)
+				for _, set := range p2.Sets {
+					hist.Add(set.IntraSim)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+func TestSamplePages(t *testing.T) {
+	col := &corpus.Collection{}
+	for i := 0; i < 20; i++ {
+		col.Pages = append(col.Pages, &corpus.Page{Query: string(rune('a' + i))})
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	got := samplePages(col, 5, rng)
+	if len(got) != 5 {
+		t.Fatalf("sampled %d", len(got))
+	}
+	seen := make(map[*corpus.Page]bool)
+	for _, p := range got {
+		if seen[p] {
+			t.Fatal("duplicate page sampled")
+		}
+		seen[p] = true
+	}
+	// Requesting more than available returns the whole collection.
+	if got := samplePages(col, 100, rng); len(got) != 20 {
+		t.Errorf("oversample = %d", len(got))
+	}
+}
+
+func TestSynthSiteBudget(t *testing.T) {
+	o := Options{Sites: 50}
+	if got := synthSiteBudget(110, o); got != 50 {
+		t.Errorf("budget(110) = %d", got)
+	}
+	if got := synthSiteBudget(11000, o); got != 10 {
+		t.Errorf("budget(11000) = %d", got)
+	}
+	if got := synthSiteBudget(110000, o); got != 3 {
+		t.Errorf("budget(110000) = %d", got)
+	}
+	o.Full = true
+	if got := synthSiteBudget(110000, o); got != 50 {
+		t.Errorf("full budget = %d", got)
+	}
+}
+
+func TestSynthSizes(t *testing.T) {
+	o := Options{}
+	if got := SynthSizes(o); len(got) != 3 || got[2] != 11000 {
+		t.Errorf("default sizes = %v", got)
+	}
+	o.Full = true
+	if got := SynthSizes(o); len(got) != 4 || got[3] != 110000 {
+		t.Errorf("full sizes = %v", got)
+	}
+	o.Full = false
+	o.SynthCap = 1100
+	if got := SynthSizes(o); len(got) != 2 {
+		t.Errorf("capped sizes = %v", got)
+	}
+}
+
+func TestOptionsProbesPerSite(t *testing.T) {
+	o := Options{DictWords: 100, Nonsense: 10}
+	if o.ProbesPerSite() != 110 {
+		t.Errorf("ProbesPerSite = %d", o.ProbesPerSite())
+	}
+}
+
+func TestHistogramAddClamps(t *testing.T) {
+	h := &Histogram{BinWidth: 0.1, Counts: make([]int, 10)}
+	h.Add(-0.5) // clamps to first bin
+	h.Add(1.5)  // clamps to last bin
+	h.Add(0.55)
+	if h.Counts[0] != 1 || h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total != 3 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Fraction(0) != 1.0/3 {
+		t.Errorf("fraction = %v", h.Fraction(0))
+	}
+	empty := &Histogram{BinWidth: 0.1, Counts: make([]int, 10)}
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Sites != 50 || o.DictWords != 100 || o.Nonsense != 10 || o.Reps != 10 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

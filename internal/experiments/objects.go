@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/objects"
+	"thor/internal/quality"
+)
+
+// ObjectPartitioning evaluates THOR's third stage: on pagelets the
+// two-phase algorithm extracted correctly, how well does QA-Object
+// partitioning recover the individual query matches? Reported per page
+// class: multi-match pagelets partition into result items; single-match
+// detail pagelets partition into field objects. (The paper defers stage
+// three to its technical report; this is the missing evaluation row.)
+func ObjectPartitioning(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	pt := objects.NewPartitioner(objects.Config{})
+	res := &TableResult{
+		Title:  "QA-Object partitioning: P/R on correctly extracted pagelets",
+		Header: []string{"precision", "recall", "f1"},
+	}
+	var multi, single quality.Counter
+	for _, col := range corp.Collections {
+		cfg := core.DefaultConfig()
+		cfg.Restarts = o.KMRestarts
+		cfg.Seed = o.Seed + int64(col.SiteID)
+		r := core.NewExtractor(cfg).Extract(col.Pages)
+		for _, pl := range r.Pagelets {
+			// Only score stage 3 where stage 2 was right; its errors are
+			// measured by Figures 8–11.
+			hit := false
+			for _, truth := range pl.Page.TruthPagelets() {
+				if truth == pl.Node {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			truth := pl.Page.TruthObjects()
+			got := pt.Partition(pl.Node, pl.Objects)
+			match := 0
+			for _, g := range got {
+				for _, want := range truth {
+					if g == want {
+						match++
+						break
+					}
+				}
+			}
+			counter := &multi
+			if pl.Page.Class == corpus.SingleMatch {
+				counter = &single
+			}
+			counter.Add(match, len(got), len(truth))
+		}
+	}
+	rows := []struct {
+		label string
+		c     quality.Counter
+	}{
+		{"multi-match", multi},
+		{"single-match", single},
+		{"pooled", pooled(multi, single)},
+	}
+	for _, r := range rows {
+		pr := r.c.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  r.label,
+			Values: []float64{pr.Precision, pr.Recall, pr.F1()},
+		})
+	}
+	return res
+}
+
+func pooled(a, b quality.Counter) quality.Counter {
+	a.Merge(b)
+	return a
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestObjectPartitioning(t *testing.T) {
+	o := tinyOptions()
+	res := ObjectPartitioning(o)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byLabel := make(map[string]Row)
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+	}
+	multi := byLabel["multi-match"]
+	if multi.Values[0] < 0.9 || multi.Values[1] < 0.9 {
+		t.Errorf("multi-match object P/R = %v, want ≥ 0.9 on correct pagelets", multi.Values)
+	}
+	pooledRow := byLabel["pooled"]
+	if pooledRow.Values[2] < 0.8 {
+		t.Errorf("pooled object F1 = %v", pooledRow.Values[2])
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"thor/internal/corpus"
+	"thor/internal/htmlx"
+)
+
+// CorpusStats reports the corpus statistics quoted in Section 4: the
+// per-page averages of distinct tags (paper: 22.3) and distinct content
+// terms (paper: 184.0) that explain the order-of-magnitude speed gap
+// between tag-based and content-based clustering, plus page counts, class
+// distribution, sizes, and parse timing.
+type CorpusStats struct {
+	Sites             int
+	Pages             int
+	ClassCounts       [corpus.NumClasses]int
+	AvgDistinctTags   float64
+	AvgDistinctTerms  float64
+	AvgPageBytes      float64
+	AvgParseTime      time.Duration
+	TruthPageletPages int
+}
+
+// String renders the statistics.
+func (s *CorpusStats) String() string {
+	out := "Corpus statistics\n"
+	out += fmt.Sprintf("  sites: %d, pages: %d\n", s.Sites, s.Pages)
+	for c := corpus.Class(0); c < corpus.NumClasses; c++ {
+		out += fmt.Sprintf("  %-14s %5d (%.1f%%)\n", c.String()+":",
+			s.ClassCounts[c], 100*float64(s.ClassCounts[c])/float64(s.Pages))
+	}
+	out += fmt.Sprintf("  avg distinct tags/page:  %.1f (paper: 22.3)\n", s.AvgDistinctTags)
+	out += fmt.Sprintf("  avg distinct terms/page: %.1f (paper: 184.0)\n", s.AvgDistinctTerms)
+	out += fmt.Sprintf("  avg page size:           %.0f bytes\n", s.AvgPageBytes)
+	out += fmt.Sprintf("  avg parse time:          %v\n", s.AvgParseTime)
+	out += fmt.Sprintf("  pages bearing pagelets:  %d\n", s.TruthPageletPages)
+	return out
+}
+
+// Stats computes the corpus statistics over a freshly probed corpus.
+func Stats(o Options) *CorpusStats {
+	corp := BuildCorpus(o)
+	s := &CorpusStats{Sites: len(corp.Collections), Pages: corp.TotalPages()}
+	s.ClassCounts = corp.ClassDistribution()
+	var tagSum, termSum, byteSum float64
+	var parseTotal time.Duration
+	for _, col := range corp.Collections {
+		for _, p := range col.Pages {
+			start := time.Now()
+			tree := htmlx.Parse(p.HTML)
+			parseTotal += time.Since(start)
+			tagSum += float64(tree.DistinctTags())
+			termSum += float64(tree.DistinctTerms())
+			byteSum += float64(p.Size())
+			if p.Class.HasPagelets() {
+				s.TruthPageletPages++
+			}
+		}
+	}
+	n := float64(s.Pages)
+	s.AvgDistinctTags = tagSum / n
+	s.AvgDistinctTerms = termSum / n
+	s.AvgPageBytes = byteSum / n
+	s.AvgParseTime = parseTotal / time.Duration(s.Pages)
+	return s
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/quality"
+)
+
+// KSweep is the ablation behind the Section 4.1 remark that varying the
+// number of clusters k from 2 to 5 changes overall performance only
+// mildly: extra clusters merely refine the grain, and phase two depends
+// only on the quality of each cluster. It reports entropy and end-to-end
+// P/R for k = 2..5.
+func KSweep(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "k sweep: entropy and overall P/R for k = 2..5 (TTag)",
+		Header: []string{"entropy", "precision", "recall"},
+	}
+	for k := 2; k <= 5; k++ {
+		var counter quality.Counter
+		var entSum float64
+		for _, col := range corp.Collections {
+			cfg := core.DefaultConfig()
+			cfg.K = k
+			cfg.Restarts = o.KMRestarts
+			cfg.Seed = o.Seed + int64(col.SiteID)
+			ext := core.NewExtractor(cfg)
+			r := ext.Extract(col.Pages)
+			entSum += quality.Entropy(r.Phase1.Clustering, col.Labels(), int(corpus.NumClasses))
+			c, i, t := core.Score(r.Pagelets, col.Pages)
+			counter.Add(c, i, t)
+		}
+		pr := counter.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("k=%d", k),
+			Values: []float64{entSum / float64(len(corp.Collections)), pr.Precision, pr.Recall},
+		})
+	}
+	return res
+}
+
+// RestartSweep studies the K-Means restart count M (the paper settles on
+// 10 as the balance between speed and cluster quality): average entropy
+// for M = 1, 2, 5, 10, 20.
+func RestartSweep(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "restart sweep: average entropy vs K-Means restarts M (TTag)",
+		Header: []string{"entropy"},
+	}
+	for _, m := range []int{1, 2, 5, 10, 20} {
+		var entSum float64
+		for _, col := range corp.Collections {
+			cfg := core.Config{K: o.K, Restarts: m, Approach: core.TFIDFTags,
+				Seed: o.Seed + int64(col.SiteID)}
+			cl, _ := core.ClusterPages(col.Pages, cfg)
+			entSum += quality.Entropy(cl, col.Labels(), int(corpus.NumClasses))
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("M=%d", m),
+			Values: []float64{entSum / float64(len(corp.Collections))},
+		})
+	}
+	return res
+}
+
+// ThresholdSweep varies the static/dynamic intra-set similarity threshold
+// and reports phase-2 P/R, substantiating the paper's claim that the exact
+// choice of the 0.5 threshold is not essential because the similarity
+// distribution is bimodal.
+func ThresholdSweep(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "threshold sweep: phase-2 P/R vs static/dynamic similarity threshold",
+		Header: []string{"precision", "recall"},
+	}
+	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		var counter quality.Counter
+		cfg := core.DefaultConfig()
+		cfg.SimThreshold = th
+		cfg.Seed = o.Seed
+		for _, col := range corp.Collections {
+			for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
+				pages := col.ByClass(class)
+				if len(pages) < 2 {
+					continue
+				}
+				ext := core.NewExtractor(cfg)
+				p2 := ext.ExtractCluster(pages)
+				c, i, t := core.Score(p2.Pagelets, pages)
+				counter.Add(c, i, t)
+			}
+		}
+		pr := counter.PR()
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("th=%.1f", th),
+			Values: []float64{pr.Precision, pr.Recall},
+		})
+	}
+	return res
+}
+
+// RankingAblation evaluates the three cluster-ranking criteria of
+// Section 3.1.3 separately and combined: for each variant it reports how
+// often the top-ranked cluster is pagelet-bearing (majority of its pages
+// contain QA-Pagelets) — the property ranking exists to deliver.
+func RankingAblation(o Options) *TableResult {
+	corp := BuildCorpus(o)
+	res := &TableResult{
+		Title:  "cluster-ranking ablation: fraction of sites whose top-ranked cluster bears pagelets",
+		Header: []string{"hit-rate"},
+	}
+	variants := []struct {
+		label   string
+		weights [3]float64 // distinct terms, fanout, size
+	}{
+		{"terms", [3]float64{1, 0, 0}},
+		{"fanout", [3]float64{0, 1, 0}},
+		{"size", [3]float64{0, 0, 1}},
+		{"combined", [3]float64{1, 1, 1}},
+	}
+	for _, v := range variants {
+		hits := 0
+		for _, col := range corp.Collections {
+			cfg := core.DefaultConfig()
+			cfg.Restarts = o.KMRestarts
+			cfg.Seed = o.Seed + int64(col.SiteID)
+			r := core.Phase1(col.Pages, cfg)
+			top := bestByWeights(r.Ranked, v.weights)
+			if top != nil && majorityBearsPagelets(top.Pages) {
+				hits++
+			}
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  v.label,
+			Values: []float64{float64(hits) / float64(len(corp.Collections))},
+		})
+	}
+	return res
+}
+
+// bestByWeights re-ranks phase-1 clusters under a custom criterion
+// weighting and returns the winner.
+func bestByWeights(clusters []*core.PageCluster, w [3]float64) *core.PageCluster {
+	var maxT, maxF, maxS float64
+	for _, c := range clusters {
+		if c.AvgDistinctTerms > maxT {
+			maxT = c.AvgDistinctTerms
+		}
+		if c.AvgMaxFanout > maxF {
+			maxF = c.AvgMaxFanout
+		}
+		if c.AvgPageSize > maxS {
+			maxS = c.AvgPageSize
+		}
+	}
+	var best *core.PageCluster
+	bestScore := -1.0
+	for _, c := range clusters {
+		var s float64
+		if maxT > 0 {
+			s += w[0] * c.AvgDistinctTerms / maxT
+		}
+		if maxF > 0 {
+			s += w[1] * c.AvgMaxFanout / maxF
+		}
+		if maxS > 0 {
+			s += w[2] * c.AvgPageSize / maxS
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+func majorityBearsPagelets(pages []*corpus.Page) bool {
+	bearing := 0
+	for _, p := range pages {
+		if p.Class.HasPagelets() {
+			bearing++
+		}
+	}
+	return bearing*2 > len(pages)
+}

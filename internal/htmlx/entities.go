@@ -1,0 +1,83 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps the HTML entity names that occur in practice on
+// deep-web answer pages to their replacement text. Unknown entities are
+// left verbatim, which is what HTML Tidy does in its forgiving mode.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "copy": "©", "reg": "®", "trade": "™",
+	"hellip": "…", "mdash": "—", "ndash": "–",
+	"lsquo": "‘", "rsquo": "’", "ldquo": "“", "rdquo": "”",
+	"bull": "•", "middot": "·", "deg": "°",
+	"laquo": "«", "raquo": "»", "sect": "§", "para": "¶",
+	"times": "×", "divide": "÷", "plusmn": "±",
+	"frac12": "½", "frac14": "¼", "frac34": "¾",
+	"cent": "¢", "pound": "£", "yen": "¥", "euro": "€",
+	"agrave": "à", "aacute": "á", "eacute": "é",
+	"egrave": "è", "iacute": "í", "oacute": "ó",
+	"uacute": "ú", "ntilde": "ñ", "uuml": "ü",
+	"ouml": "ö", "auml": "ä", "szlig": "ß",
+}
+
+// DecodeEntities replaces HTML character references in s with the
+// characters they denote. Both named references (&amp;) and numeric
+// references (&#65; &#x41;) are handled; malformed or unknown references
+// are left untouched.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		b.WriteString(s[:amp])
+		s = s[amp:]
+		repl, consumed := decodeOne(s)
+		if consumed == 0 {
+			b.WriteByte('&')
+			s = s[1:]
+		} else {
+			b.WriteString(repl)
+			s = s[consumed:]
+		}
+		amp = strings.IndexByte(s, '&')
+		if amp < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+	}
+}
+
+// decodeOne decodes a single entity at the start of s (which begins with
+// '&'). It returns the replacement text and the number of input bytes
+// consumed, or ("", 0) if s does not start a well-formed known entity.
+func decodeOne(s string) (string, int) {
+	semi := strings.IndexByte(s, ';')
+	if semi < 0 || semi == 1 || semi > 12 {
+		return "", 0
+	}
+	body := s[1:semi]
+	if body[0] == '#' {
+		num := body[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		code, err := strconv.ParseUint(num, base, 32)
+		if err != nil || code == 0 || code > 0x10ffff {
+			return "", 0
+		}
+		return string(rune(code)), semi + 1
+	}
+	if repl, ok := namedEntities[strings.ToLower(body)]; ok {
+		return repl, semi + 1
+	}
+	return "", 0
+}

@@ -1,0 +1,68 @@
+package htmlx
+
+import "testing"
+
+func TestDecodeEntitiesNamed(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a &amp; b", "a & b"},
+		{"&lt;tag&gt;", "<tag>"},
+		{"&quot;q&quot;", `"q"`},
+		{"&apos;", "'"},
+		{"&nbsp;", " "},
+		{"&copy; 2003", "© 2003"},
+		{"no entities here", "no entities here"},
+		{"", ""},
+		{"&AMP;", "&"}, // case-insensitive names
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c.in); got != c.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeEntitiesNumeric(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"&#65;", "A"},
+		{"&#x41;", "A"},
+		{"&#X41;", "A"},
+		{"&#233;", "é"},
+		{"&#x20AC;", "€"},
+		{"x&#65;y", "xAy"},
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c.in); got != c.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeEntitiesMalformed(t *testing.T) {
+	// Malformed or unknown references pass through verbatim.
+	cases := []string{
+		"&",
+		"&;",
+		"&unknownentity;",
+		"&#;",
+		"&#x;",
+		"&#xZZ;",
+		"&#0;",                   // NUL is rejected
+		"&#1114112;",             // beyond U+10FFFF
+		"&noSemicolon",           // no terminator
+		"a & b < c",              // bare ampersand mid-text
+		"&waytoolongentityname;", // over length cap
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c); got != c {
+			t.Errorf("DecodeEntities(%q) = %q, want unchanged", c, got)
+		}
+	}
+}
+
+func TestDecodeEntitiesMixed(t *testing.T) {
+	in := "Fish &amp; Chips &#38; Gravy &unknown; &lt;b&gt;"
+	want := "Fish & Chips & Gravy &unknown; <b>"
+	if got := DecodeEntities(in); got != want {
+		t.Errorf("DecodeEntities = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,168 @@
+package htmlx
+
+import (
+	"strings"
+
+	"thor/internal/tagtree"
+)
+
+// impliedEnd maps a tag to the set of open tags it implicitly closes when it
+// appears. These rules approximate HTML Tidy's repairs for the tag soup
+// commonly produced by deep-web template engines (unclosed <li>, <tr>, <td>,
+// <p>, <option>, and friends).
+var impliedEnd = map[string]map[string]bool{
+	"li":       {"li": true},
+	"dt":       {"dt": true, "dd": true},
+	"dd":       {"dt": true, "dd": true},
+	"tr":       {"tr": true, "td": true, "th": true},
+	"td":       {"td": true, "th": true},
+	"th":       {"td": true, "th": true},
+	"thead":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"tbody":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"tfoot":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"option":   {"option": true},
+	"optgroup": {"option": true, "optgroup": true},
+	"p": {
+		"p": true,
+	},
+	// Block-level elements close an open paragraph.
+	"div": {"p": true}, "ul": {"p": true}, "ol": {"p": true},
+	"table": {"p": true}, "h1": {"p": true}, "h2": {"p": true},
+	"h3": {"p": true}, "h4": {"p": true}, "h5": {"p": true},
+	"h6": {"p": true}, "blockquote": {"p": true}, "pre": {"p": true},
+	"form": {"p": true}, "hr": {"p": true},
+}
+
+// scopeStop are tags beyond which implicit closing never reaches: a new
+// <li> inside a nested <ul> must not close the outer <li>.
+var scopeStop = map[string]bool{
+	"html": true, "body": true, "div": true, "table": true, "ul": true,
+	"ol": true, "dl": true, "select": true, "form": true, "td": true,
+	"th": true, "object": true, "fieldset": true,
+}
+
+// Parse converts HTML text into a tag tree. It never fails: arbitrarily
+// malformed input yields a best-effort tree, exactly as a Tidy-then-parse
+// pipeline would. The returned root is always an <html> element (one is
+// synthesized when the input lacks it). Whitespace-only text is dropped and
+// surrounding whitespace in text nodes is trimmed, matching Tidy's
+// normalization. Comments, doctypes, and processing instructions are
+// discarded, as are <script> and <style> bodies, none of which participate
+// in THOR's page model.
+func Parse(src string) *tagtree.Node {
+	root := tagtree.NewTag("html")
+	stack := []*tagtree.Node{root}
+	top := func() *tagtree.Node { return stack[len(stack)-1] }
+
+	z := &tokenizer{src: src}
+	sawHTML := false
+	for {
+		tok, ok := z.next()
+		if !ok {
+			break
+		}
+		switch tok.kind {
+		case tokText:
+			text := collapseSpace(tok.data)
+			if text == "" {
+				continue
+			}
+			parent := top()
+			if parent.Tag == "script" || parent.Tag == "style" {
+				continue
+			}
+			parent.AppendChild(tagtree.NewContent(text))
+		case tokComment, tokDoctype:
+			// Dropped: Tidy-cleaned trees carry no comments or doctype.
+		case tokStartTag, tokSelfClosingTag:
+			name := tok.data
+			if name == "html" {
+				// Merge attributes onto the synthesized root; never nest.
+				if !sawHTML {
+					sawHTML = true
+					for _, a := range tok.attrs {
+						root.SetAttr(a.key, a.val)
+					}
+				}
+				continue
+			}
+			closeImplied(&stack, name)
+			node := tagtree.NewTag(name)
+			for _, a := range tok.attrs {
+				node.Attrs = append(node.Attrs, tagtree.Attribute{Key: a.key, Val: a.val})
+			}
+			top().AppendChild(node)
+			if tok.kind == tokStartTag && !tagtree.IsVoidTag(name) {
+				stack = append(stack, node)
+			}
+		case tokEndTag:
+			name := tok.data
+			if name == "html" {
+				stack = stack[:1]
+				continue
+			}
+			// Find the matching open element; ignore the end tag if none.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == name {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return root
+}
+
+// closeImplied pops open elements that the incoming tag implicitly closes.
+func closeImplied(stack *[]*tagtree.Node, incoming string) {
+	closes := impliedEnd[incoming]
+	if closes == nil {
+		return
+	}
+	s := *stack
+	for len(s) > 1 {
+		cur := s[len(s)-1].Tag
+		if closes[cur] {
+			s = s[:len(s)-1]
+			continue
+		}
+		if scopeStop[cur] && !closes[cur] {
+			break
+		}
+		// A non-matching, non-scoping element (e.g. <b>) blocks nothing
+		// for table parts but does for list items; be conservative and
+		// only look through inline formatting elements.
+		if inlineTags[cur] {
+			// Keep scanning upward without popping: implicit closing in
+			// Tidy unwinds through inline wrappers.
+			found := false
+			for i := len(s) - 2; i >= 1; i-- {
+				if closes[s[i].Tag] {
+					found = true
+					s = s[:i]
+					break
+				}
+				if scopeStop[s[i].Tag] || !inlineTags[s[i].Tag] {
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		break
+	}
+	*stack = s
+}
+
+var inlineTags = map[string]bool{
+	"a": true, "b": true, "i": true, "em": true, "strong": true,
+	"span": true, "font": true, "u": true, "small": true, "big": true,
+	"code": true, "tt": true, "sub": true, "sup": true,
+}
+
+// collapseSpace trims text and collapses internal whitespace runs to single
+// spaces, mirroring Tidy's text normalization.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,325 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/tagtree"
+)
+
+// mustFind fails the test if the tag is absent.
+func mustFind(t *testing.T, root *tagtree.Node, tag string) *tagtree.Node {
+	t.Helper()
+	n := root.FindTag(tag)
+	if n == nil {
+		t.Fatalf("tag %q not found in:\n%s", tag, root.Outline())
+	}
+	return n
+}
+
+func TestParseWellFormed(t *testing.T) {
+	root := Parse(`<html><body><p>hello</p></body></html>`)
+	if root.Tag != "html" {
+		t.Fatalf("root = %q", root.Tag)
+	}
+	p := mustFind(t, root, "p")
+	if p.Text() != "hello" {
+		t.Errorf("p text = %q", p.Text())
+	}
+	if p.Parent.Tag != "body" {
+		t.Errorf("p parent = %q", p.Parent.Tag)
+	}
+}
+
+func TestParseSynthesizesHTMLRoot(t *testing.T) {
+	root := Parse(`<p>bare fragment</p>`)
+	if root.Tag != "html" {
+		t.Fatalf("root = %q, want html", root.Tag)
+	}
+	if mustFind(t, root, "p").Text() != "bare fragment" {
+		t.Error("fragment content lost")
+	}
+}
+
+func TestParseCaseFolding(t *testing.T) {
+	root := Parse(`<DIV CLASS="Big"><SPAN>x</SPAN></DIV>`)
+	div := mustFind(t, root, "div")
+	if v, ok := div.Attr("class"); !ok || v != "Big" {
+		t.Errorf("class attr = %q (names fold, values don't)", v)
+	}
+	mustFind(t, root, "span")
+}
+
+func TestParseAttributes(t *testing.T) {
+	root := Parse(`<a href="/x" title='single' checked data-n=42 empty="">link</a>`)
+	a := mustFind(t, root, "a")
+	tests := []struct{ key, want string }{
+		{"href", "/x"}, {"title", "single"}, {"checked", ""},
+		{"data-n", "42"}, {"empty", ""},
+	}
+	for _, c := range tests {
+		if v, ok := a.Attr(c.key); !ok || v != c.want {
+			t.Errorf("attr %q = %q, %v; want %q", c.key, v, ok, c.want)
+		}
+	}
+}
+
+func TestParseAttributeEntityDecoding(t *testing.T) {
+	root := Parse(`<a title="Fish &amp; Chips">x</a>`)
+	if v, _ := mustFind(t, root, "a").Attr("title"); v != "Fish & Chips" {
+		t.Errorf("title = %q", v)
+	}
+}
+
+func TestParseTextEntityDecoding(t *testing.T) {
+	root := Parse(`<p>1 &lt; 2 &amp;&amp; 3 &gt; 2</p>`)
+	if got := mustFind(t, root, "p").Text(); got != "1 < 2 && 3 > 2" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseDropsCommentsAndDoctype(t *testing.T) {
+	root := Parse(`<!DOCTYPE html><!-- a comment --><html><body><!-- another --><p>x</p></body></html>`)
+	var count int
+	root.Walk(func(n *tagtree.Node) bool { count++; return true })
+	// html, body, p, text
+	if count != 4 {
+		t.Errorf("node count = %d, want 4:\n%s", count, root.Outline())
+	}
+}
+
+func TestParseSkipsScriptAndStyleBodies(t *testing.T) {
+	root := Parse(`<html><head><style>p { color: red }</style>` +
+		`<script>if (a < b) { document.write("<p>ignore</p>"); }</script>` +
+		`</head><body><p>real</p></body></html>`)
+	ps := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "p" })
+	if len(ps) != 1 || ps[0].Text() != "real" {
+		t.Errorf("script/style content leaked: %d p tags", len(ps))
+	}
+	if strings.Contains(root.Text(), "color") {
+		t.Errorf("style text leaked into content: %q", root.Text())
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	root := Parse(`<p>a<br>b<img src="x.gif">c</p>`)
+	p := mustFind(t, root, "p")
+	if got := p.Text(); got != "a b c" {
+		t.Errorf("text = %q", got)
+	}
+	br := mustFind(t, root, "br")
+	if len(br.Children) != 0 {
+		t.Errorf("br has children: %v", br.Children)
+	}
+	if br.Parent != p {
+		t.Errorf("br parent = %q, want p", br.Parent.Tag)
+	}
+}
+
+func TestParseSelfClosingTag(t *testing.T) {
+	root := Parse(`<div><widget/>after</div>`)
+	w := mustFind(t, root, "widget")
+	if len(w.Children) != 0 {
+		t.Errorf("self-closing tag has children")
+	}
+	if got := mustFind(t, root, "div").Text(); got != "after" {
+		t.Errorf("text after self-closing = %q", got)
+	}
+}
+
+func TestParseUnclosedListItems(t *testing.T) {
+	root := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	lis := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "li" })
+	if len(lis) != 3 {
+		t.Fatalf("li count = %d, want 3:\n%s", len(lis), root.Outline())
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := lis[i].Text(); got != want {
+			t.Errorf("li[%d] = %q, want %q", i, got, want)
+		}
+		if lis[i].Parent.Tag != "ul" {
+			t.Errorf("li[%d] parent = %q", i, lis[i].Parent.Tag)
+		}
+	}
+}
+
+func TestParseNestedListScoping(t *testing.T) {
+	// The inner <li> must not close the outer one across the nested <ul>.
+	root := Parse(`<ul><li>outer<ul><li>inner</ul></li></ul>`)
+	outer := mustFind(t, root, "ul")
+	if len(outer.Children) != 1 {
+		t.Fatalf("outer ul children = %d, want 1:\n%s", len(outer.Children), root.Outline())
+	}
+	inner := outer.Children[0].FindTag("ul")
+	if inner == nil {
+		t.Fatalf("nested ul not inside outer li:\n%s", root.Outline())
+	}
+}
+
+func TestParseUnclosedTableCells(t *testing.T) {
+	root := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	trs := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "tr" })
+	if len(trs) != 2 {
+		t.Fatalf("tr count = %d, want 2:\n%s", len(trs), root.Outline())
+	}
+	if got := len(trs[0].Children); got != 2 {
+		t.Errorf("first row cells = %d, want 2", got)
+	}
+	if got := trs[1].Children[0].Text(); got != "c" {
+		t.Errorf("second row cell = %q", got)
+	}
+}
+
+func TestParseParagraphImpliedClose(t *testing.T) {
+	root := Parse(`<p>one<p>two<div>block</div>`)
+	ps := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "p" })
+	if len(ps) != 2 {
+		t.Fatalf("p count = %d, want 2:\n%s", len(ps), root.Outline())
+	}
+	div := mustFind(t, root, "div")
+	if div.Parent.Tag == "p" {
+		t.Errorf("div nested inside p; block should close the paragraph")
+	}
+}
+
+func TestParseOptionImpliedClose(t *testing.T) {
+	root := Parse(`<select><option>a<option>b</select>`)
+	opts := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "option" })
+	if len(opts) != 2 {
+		t.Fatalf("option count = %d, want 2", len(opts))
+	}
+}
+
+func TestParseMismatchedEndTagIgnored(t *testing.T) {
+	root := Parse(`<div><span>x</b></span></div>`)
+	span := mustFind(t, root, "span")
+	if span.Text() != "x" {
+		t.Errorf("span text = %q", span.Text())
+	}
+	if span.Parent.Tag != "div" {
+		t.Errorf("structure disturbed by stray end tag")
+	}
+}
+
+func TestParseUnclosedElementsAtEOF(t *testing.T) {
+	root := Parse(`<div><table><tr><td>dangling`)
+	td := mustFind(t, root, "td")
+	if td.Text() != "dangling" {
+		t.Errorf("td text = %q", td.Text())
+	}
+}
+
+func TestParseWhitespaceCollapsed(t *testing.T) {
+	root := Parse("<p>  two\n\t words  </p>")
+	if got := mustFind(t, root, "p").Text(); got != "two words" {
+		t.Errorf("text = %q", got)
+	}
+	// Whitespace-only text between tags produces no content node.
+	root = Parse("<div>\n  <p>x</p>\n</div>")
+	div := mustFind(t, root, "div")
+	if len(div.Children) != 1 {
+		t.Errorf("div children = %d, want 1 (whitespace dropped)", len(div.Children))
+	}
+}
+
+func TestParseLiteralLessThan(t *testing.T) {
+	root := Parse(`<p>1 < 2 and 2 > 1</p>`)
+	if got := mustFind(t, root, "p").Text(); got != "1 < 2 and 2 > 1" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseDuplicateHTMLTags(t *testing.T) {
+	root := Parse(`<html lang="en"><body>x</body></html><html><body>y</body></html>`)
+	if root.Tag != "html" {
+		t.Fatalf("root = %q", root.Tag)
+	}
+	if v, _ := root.Attr("lang"); v != "en" {
+		t.Errorf("root lang = %q", v)
+	}
+	htmls := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "html" })
+	if len(htmls) != 1 {
+		t.Errorf("nested html elements: %d", len(htmls))
+	}
+}
+
+func TestParseRawTextUnterminated(t *testing.T) {
+	root := Parse(`<body><script>var x = 1;`)
+	// Must not panic or loop; script content is dropped.
+	if strings.Contains(root.Text(), "var x") {
+		t.Errorf("unterminated script content leaked")
+	}
+}
+
+func TestParseTitleRawText(t *testing.T) {
+	root := Parse(`<head><title>A < B Store</title></head>`)
+	title := mustFind(t, root, "title")
+	if got := title.Text(); got != "A < B Store" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 200
+	src := strings.Repeat("<div>", depth) + "x" + strings.Repeat("</div>", depth)
+	root := Parse(src)
+	n := root
+	for n.FindTag("div") != nil && n != n.FindTag("div") {
+		n = n.FindTag("div")
+	}
+	if !strings.Contains(root.Text(), "x") {
+		t.Error("deep content lost")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	root := Parse("")
+	if root.Tag != "html" || len(root.Children) != 0 {
+		t.Errorf("empty input gave %v", root.Outline())
+	}
+}
+
+func TestParseInlineFormattingPreserved(t *testing.T) {
+	root := Parse(`<p><b>bold</b> and <i>italic</i></p>`)
+	if mustFind(t, root, "b").Text() != "bold" || mustFind(t, root, "i").Text() != "italic" {
+		t.Error("inline elements mangled")
+	}
+}
+
+func TestParseRealisticTagSoup(t *testing.T) {
+	// A page in the style of 2003-era generated HTML, full of unclosed
+	// elements, uppercase tags, and bare attributes.
+	src := `<HTML><HEAD><TITLE>Results</TITLE>
+	<BODY BGCOLOR=white>
+	<TABLE WIDTH=100% BORDER=0><TR><TD><FONT SIZE=2>Nav</FONT>
+	<UL><LI><A HREF=/a>A<LI><A HREF=/b>B</UL>
+	<TABLE class=results><TR><TH>Name<TH>Price
+	<TR><TD>Widget<TD>$9.99
+	<TR><TD>Gadget<TD>$19.99
+	</TABLE></BODY></HTML>`
+	root := Parse(src)
+	tables := root.FindAll(func(n *tagtree.Node) bool { return n.Tag == "table" })
+	if len(tables) != 2 {
+		t.Fatalf("table count = %d, want 2:\n%s", len(tables), root.Outline())
+	}
+	results := tables[1]
+	if v, _ := results.Attr("class"); v != "results" {
+		// Table order may differ if nesting healed differently; find by attr.
+		results = nil
+		for _, tb := range tables {
+			if v, _ := tb.Attr("class"); v == "results" {
+				results = tb
+			}
+		}
+		if results == nil {
+			t.Fatalf("results table not found")
+		}
+	}
+	rows := results.FindAll(func(n *tagtree.Node) bool { return n.Tag == "tr" })
+	if len(rows) != 3 {
+		t.Errorf("results rows = %d, want 3:\n%s", len(rows), results.Outline())
+	}
+	if !strings.Contains(results.Text(), "$19.99") {
+		t.Errorf("cell content lost: %q", results.Text())
+	}
+}

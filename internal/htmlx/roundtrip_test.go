@@ -1,0 +1,161 @@
+package htmlx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thor/internal/tagtree"
+)
+
+// safeTags are tags with no implied-close interactions and no raw-text
+// mode, so a tree built from them serializes and re-parses losslessly.
+var safeTags = []string{"div", "span", "b", "em", "u", "code", "section", "article"}
+
+// genTree is a quick.Generator-compatible random tree builder: a tree of
+// safe tags with letter-only content, at most maxDepth deep.
+func genTree(rng *rand.Rand, depth int) *tagtree.Node {
+	n := tagtree.NewTag(safeTags[rng.Intn(len(safeTags))])
+	if rng.Intn(3) == 0 {
+		n.SetAttr("class", randWord(rng))
+	}
+	kids := rng.Intn(4)
+	for i := 0; i < kids; i++ {
+		if depth >= 4 || rng.Intn(2) == 0 {
+			n.AppendChild(tagtree.NewContent(randWord(rng)))
+		} else {
+			n.AppendChild(genTree(rng, depth+1))
+		}
+	}
+	return n
+}
+
+func randWord(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 1+rng.Intn(8))
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// mergeAdjacentText canonicalizes a tree by concatenating runs of adjacent
+// content-node children: Render emits adjacent content nodes with no
+// separator, so Parse necessarily reads them back as one.
+func mergeAdjacentText(n *tagtree.Node) *tagtree.Node {
+	out := tagtree.NewTag(n.Tag)
+	out.Type = n.Type
+	out.Content = n.Content
+	out.Attrs = append([]tagtree.Attribute(nil), n.Attrs...)
+	for _, c := range n.Children {
+		if c.Type == tagtree.ContentNode && len(out.Children) > 0 &&
+			out.Children[len(out.Children)-1].Type == tagtree.ContentNode {
+			out.Children[len(out.Children)-1].Content += c.Content
+			continue
+		}
+		out.Children = append(out.Children, mergeAdjacentText(c))
+	}
+	return out
+}
+
+// equalStructure compares two trees node by node.
+func equalStructure(a, b *tagtree.Node) bool {
+	if a.Type != b.Type || a.Tag != b.Tag {
+		return false
+	}
+	if a.Type == tagtree.ContentNode {
+		return a.Content == b.Content
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !equalStructure(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRenderParseRoundTrip is the core parser property: for any tree of
+// safe tags, Render then Parse reproduces the tree.
+func TestRenderParseRoundTrip(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		html := tagtree.NewTag("html")
+		body := tagtree.NewTag("body")
+		html.AppendChild(body)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			body.AppendChild(genTree(rng, 0))
+		}
+		parsed := Parse(html.Render())
+		if !equalStructure(mergeAdjacentText(html), mergeAdjacentText(parsed)) {
+			t.Logf("original:\n%s\nreparsed:\n%s", html.Outline(), parsed.Outline())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanics feeds the parser random byte soup: whatever the
+// input, Parse must return an html-rooted tree without panicking.
+func TestParseNeverPanics(t *testing.T) {
+	property := func(input string) bool {
+		root := Parse(input)
+		return root != nil && root.Tag == "html"
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMarkupSoupNeverPanics biases the fuzz toward markup-like input
+// so tag-handling paths get exercised, not just text.
+func TestParseMarkupSoupNeverPanics(t *testing.T) {
+	pieces := []string{
+		"<", ">", "</", "/>", "<div", "<div>", "</div>", "=", `"`, "'",
+		"<!--", "-->", "<!", "<script>", "</script>", "&amp;", "&#", ";",
+		"text", " ", "<p", "class", "<table>", "<tr>", "<td>", "<li>",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		var b []byte
+		for j := 0; j < rng.Intn(30); j++ {
+			b = append(b, pieces[rng.Intn(len(pieces))]...)
+		}
+		root := Parse(string(b))
+		if root == nil || root.Tag != "html" {
+			t.Fatalf("Parse(%q) returned bad root", string(b))
+		}
+	}
+}
+
+// TestParseIdempotentOnRendered re-parsing a rendered parse is a fixpoint:
+// Parse(Render(Parse(x))) is structurally equal to Parse(x).
+func TestParseIdempotentOnRendered(t *testing.T) {
+	srcs := []string{
+		`<ul><li>one<li>two</ul>`,
+		`<table><tr><td>a<td>b</table>`,
+		`<p>one<p>two`,
+		`<div class="x"><b>y</b> z</div>`,
+	}
+	for _, src := range srcs {
+		once := Parse(src)
+		twice := Parse(once.Render())
+		if !equalStructure(once, twice) {
+			t.Errorf("not idempotent for %q:\nonce:\n%s\ntwice:\n%s",
+				src, once.Outline(), twice.Outline())
+		}
+	}
+}

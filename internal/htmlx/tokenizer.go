@@ -1,0 +1,257 @@
+// Package htmlx is a from-scratch, forgiving HTML parser that turns
+// real-world (often malformed) markup into tag trees. It plays the role of
+// the HTML Tidy pre-processing step of THOR (Section 4 of the paper): pages
+// are cleaned and normalized before any analysis. The parser lowercases tag
+// and attribute names, closes unclosed elements, drops mismatched end tags,
+// decodes character references, and skips whitespace-only text.
+package htmlx
+
+import "strings"
+
+// tokenKind identifies the kind of a lexical token.
+type tokenKind int
+
+const (
+	tokText tokenKind = iota
+	tokStartTag
+	tokEndTag
+	tokSelfClosingTag
+	tokComment
+	tokDoctype
+)
+
+// token is one lexical unit of an HTML document.
+type token struct {
+	kind  tokenKind
+	data  string // tag name (lowercase) or text content
+	attrs []attr
+}
+
+type attr struct{ key, val string }
+
+// tokenizer scans HTML text into tokens. Raw-text elements (script, style,
+// textarea, title) swallow their content up to the matching end tag, as in
+// the HTML5 tokenization rules.
+type tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means the tokenizer is inside a raw-text
+	// element and must scan text until "</rawTag".
+	rawTag string
+}
+
+var rawTextTags = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+}
+
+// next returns the next token and true, or a zero token and false at end of
+// input.
+func (z *tokenizer) next() (token, bool) {
+	if z.pos >= len(z.src) {
+		return token{}, false
+	}
+	if z.rawTag != "" {
+		return z.rawText()
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.markup(); ok {
+			return tok, true
+		}
+		// A lone '<' that does not begin markup is literal text.
+	}
+	return z.text()
+}
+
+// text scans character data up to the next '<' that begins markup.
+func (z *tokenizer) text() (token, bool) {
+	start := z.pos
+	for z.pos < len(z.src) {
+		i := strings.IndexByte(z.src[z.pos:], '<')
+		if i < 0 {
+			z.pos = len(z.src)
+			break
+		}
+		z.pos += i
+		if z.beginsMarkup() {
+			break
+		}
+		z.pos++ // literal '<'
+	}
+	raw := z.src[start:z.pos]
+	return token{kind: tokText, data: DecodeEntities(raw)}, true
+}
+
+// beginsMarkup reports whether the '<' at z.pos starts a tag, comment, or
+// declaration rather than literal text.
+func (z *tokenizer) beginsMarkup() bool {
+	if z.pos+1 >= len(z.src) {
+		return false
+	}
+	c := z.src[z.pos+1]
+	return isAlpha(c) || c == '/' || c == '!' || c == '?'
+}
+
+// rawText scans the contents of a raw-text element up to its end tag.
+func (z *tokenizer) rawText() (token, bool) {
+	closer := "</" + z.rawTag
+	low := strings.ToLower(z.src[z.pos:])
+	i := strings.Index(low, closer)
+	if i < 0 {
+		// Unterminated raw element: consume the rest of the input.
+		text := z.src[z.pos:]
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return token{kind: tokText, data: text}, true
+	}
+	text := z.src[z.pos : z.pos+i]
+	z.pos += i
+	z.rawTag = ""
+	if text == "" {
+		// Nothing between start and end tag; emit the end tag directly.
+		return z.next()
+	}
+	return token{kind: tokText, data: text}, true
+}
+
+// markup scans a tag, comment, or declaration starting at '<'. It returns
+// ok=false when the text after '<' cannot be markup.
+func (z *tokenizer) markup() (token, bool) {
+	s := z.src
+	p := z.pos
+	if p+1 >= len(s) {
+		return token{}, false
+	}
+	switch {
+	case strings.HasPrefix(s[p:], "<!--"):
+		end := strings.Index(s[p+4:], "-->")
+		if end < 0 {
+			z.pos = len(s)
+			return token{kind: tokComment, data: s[p+4:]}, true
+		}
+		z.pos = p + 4 + end + 3
+		return token{kind: tokComment, data: s[p+4 : p+4+end]}, true
+	case s[p+1] == '!' || s[p+1] == '?':
+		end := strings.IndexByte(s[p:], '>')
+		if end < 0 {
+			z.pos = len(s)
+			return token{kind: tokDoctype, data: s[p:]}, true
+		}
+		z.pos = p + end + 1
+		return token{kind: tokDoctype, data: s[p : p+end+1]}, true
+	case s[p+1] == '/':
+		return z.endTag()
+	case isAlpha(s[p+1]):
+		return z.startTag()
+	default:
+		return token{}, false
+	}
+}
+
+func (z *tokenizer) endTag() (token, bool) {
+	s := z.src
+	p := z.pos + 2
+	start := p
+	for p < len(s) && isNameByte(s[p]) {
+		p++
+	}
+	name := strings.ToLower(s[start:p])
+	// Skip to '>' (attributes on end tags are ignored, per HTML5).
+	for p < len(s) && s[p] != '>' {
+		p++
+	}
+	if p < len(s) {
+		p++
+	}
+	z.pos = p
+	return token{kind: tokEndTag, data: name}, true
+}
+
+func (z *tokenizer) startTag() (token, bool) {
+	s := z.src
+	p := z.pos + 1
+	start := p
+	for p < len(s) && isNameByte(s[p]) {
+		p++
+	}
+	name := strings.ToLower(s[start:p])
+	var attrs []attr
+	selfClosing := false
+	for p < len(s) {
+		for p < len(s) && isSpace(s[p]) {
+			p++
+		}
+		if p >= len(s) {
+			break
+		}
+		if s[p] == '>' {
+			p++
+			break
+		}
+		if s[p] == '/' {
+			p++
+			if p < len(s) && s[p] == '>' {
+				selfClosing = true
+				p++
+				break
+			}
+			continue
+		}
+		// Attribute name.
+		aStart := p
+		for p < len(s) && !isSpace(s[p]) && s[p] != '=' && s[p] != '>' && s[p] != '/' {
+			p++
+		}
+		key := strings.ToLower(s[aStart:p])
+		val := ""
+		for p < len(s) && isSpace(s[p]) {
+			p++
+		}
+		if p < len(s) && s[p] == '=' {
+			p++
+			for p < len(s) && isSpace(s[p]) {
+				p++
+			}
+			if p < len(s) && (s[p] == '"' || s[p] == '\'') {
+				quote := s[p]
+				p++
+				vStart := p
+				for p < len(s) && s[p] != quote {
+					p++
+				}
+				val = s[vStart:p]
+				if p < len(s) {
+					p++
+				}
+			} else {
+				vStart := p
+				for p < len(s) && !isSpace(s[p]) && s[p] != '>' {
+					p++
+				}
+				val = s[vStart:p]
+			}
+		}
+		if key != "" {
+			attrs = append(attrs, attr{key: key, val: DecodeEntities(val)})
+		}
+	}
+	z.pos = p
+	kind := tokStartTag
+	if selfClosing {
+		kind = tokSelfClosingTag
+	} else if rawTextTags[name] {
+		z.rawTag = name
+	}
+	return token{kind: kind, data: name, attrs: attrs}, true
+}
+
+func isAlpha(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isNameByte(c byte) bool {
+	return isAlpha(c) || ('0' <= c && c <= '9') || c == '-' || c == ':' || c == '_'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}

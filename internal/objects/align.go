@@ -1,0 +1,173 @@
+package objects
+
+import (
+	"sort"
+	"strings"
+
+	"thor/internal/tagtree"
+)
+
+// Field is one extracted field of a QA-Object: the label (when the object
+// carries one, e.g. a detail page's "price:" cell) and the value text.
+type Field struct {
+	Label string
+	Value string
+}
+
+// Object is a structured QA-Object: its subtree plus the ordered fields
+// recovered from it.
+type Object struct {
+	Node   *tagtree.Node
+	Fields []Field
+}
+
+// Table is the aligned output of Stage 3 over one QA-Pagelet: objects as
+// rows over a common column layout — the itemized form handed to the deep
+// web search or information integration system (Section 2, Stage 3).
+type Table struct {
+	Columns []string // column labels; synthesized ("f1", "f2", …) when unlabeled
+	Objects []Object
+}
+
+// Rows renders the table as a matrix of value strings, one row per object,
+// padded with empty strings where an object lacks a column.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.Objects))
+	for i, o := range t.Objects {
+		row := make([]string, len(t.Columns))
+		for j := range t.Columns {
+			if j < len(o.Fields) {
+				row[j] = o.Fields[j].Value
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Align partitions the pagelet into QA-Objects and aligns their fields
+// into a Table. Field boundaries inside an object are the object's
+// leaf-level text units: consecutive content runs separated by structural
+// cell boundaries (td, li sub-elements, p, dd, …). Labels are recovered
+// when a field's text looks like a "label: value" pair or the object
+// interleaves label/value cells.
+func (pt *Partitioner) Align(pagelet *tagtree.Node, recommended []*tagtree.Node) *Table {
+	objs := pt.Partition(pagelet, recommended)
+	table := &Table{}
+	maxFields := 0
+	for _, o := range objs {
+		fields := extractFields(o)
+		table.Objects = append(table.Objects, Object{Node: o, Fields: fields})
+		if len(fields) > maxFields {
+			maxFields = len(fields)
+		}
+	}
+	table.Columns = columnLabels(table.Objects, maxFields)
+	return table
+}
+
+// fieldBoundaryTags begin a new field inside an object.
+var fieldBoundaryTags = map[string]bool{
+	"td": true, "th": true, "li": true, "p": true, "dd": true, "dt": true,
+	"div": true, "span": true, "h1": true, "h2": true, "h3": true,
+	"h4": true, "h5": true, "h6": true,
+}
+
+// extractFields splits an object subtree into fields at structural cell
+// boundaries. Text directly under the object root (or under inline
+// decoration) joins the current field.
+func extractFields(obj *tagtree.Node) []Field {
+	var fields []Field
+	var current strings.Builder
+	flush := func() {
+		text := strings.TrimSpace(current.String())
+		current.Reset()
+		if text == "" {
+			return
+		}
+		fields = append(fields, splitLabel(text))
+	}
+	var walk func(n *tagtree.Node)
+	walk = func(n *tagtree.Node) {
+		for _, c := range n.Children {
+			if c.Type == tagtree.ContentNode {
+				if current.Len() > 0 {
+					current.WriteByte(' ')
+				}
+				current.WriteString(c.Content)
+				continue
+			}
+			if fieldBoundaryTags[c.Tag] {
+				flush()
+				walk(c)
+				flush()
+				continue
+			}
+			walk(c) // inline decoration: b, a, font, strong, …
+		}
+	}
+	walk(obj)
+	flush()
+	return fields
+}
+
+// splitLabel recognizes "label: value" fields.
+func splitLabel(text string) Field {
+	if i := strings.Index(text, ":"); i > 0 && i < 30 && i+1 < len(text) {
+		label := strings.TrimSpace(text[:i])
+		value := strings.TrimSpace(text[i+1:])
+		if label != "" && value != "" && len(strings.Fields(label)) <= 3 {
+			return Field{Label: strings.ToLower(label), Value: value}
+		}
+	}
+	return Field{Value: text}
+}
+
+// columnLabels derives the table's column names: the majority label per
+// position when objects carry labels, else synthesized names.
+func columnLabels(objs []Object, width int) []string {
+	cols := make([]string, width)
+	for j := range cols {
+		votes := make(map[string]int)
+		for _, o := range objs {
+			if j < len(o.Fields) && o.Fields[j].Label != "" {
+				votes[o.Fields[j].Label]++
+			}
+		}
+		if label, n := majority(votes); n*2 > len(objs) {
+			cols[j] = label
+			continue
+		}
+		cols[j] = "f" + itoa(j+1)
+	}
+	return cols
+}
+
+func majority(votes map[string]int) (string, int) {
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie-breaking
+	best, bestN := "", 0
+	for _, k := range keys {
+		if votes[k] > bestN {
+			best, bestN = k, votes[k]
+		}
+	}
+	return best, bestN
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,118 @@
+package objects
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/htmlx"
+)
+
+func TestAlignTable(t *testing.T) {
+	html := `<table>
+		<tr><td>Widget</td><td>$9.99</td></tr>
+		<tr><td>Gadget</td><td>$19.99</td></tr>
+		<tr><td>Gizmo</td><td>$4.99</td></tr>
+	</table>`
+	pagelet := htmlx.Parse(html).FindTag("table")
+	table := NewPartitioner(Config{}).Align(pagelet, nil)
+	if len(table.Objects) != 3 {
+		t.Fatalf("objects = %d", len(table.Objects))
+	}
+	if len(table.Columns) != 2 {
+		t.Fatalf("columns = %v", table.Columns)
+	}
+	rows := table.Rows()
+	if rows[0][0] != "Widget" || rows[0][1] != "$9.99" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[2][1] != "$4.99" {
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+func TestAlignLabeledFields(t *testing.T) {
+	html := `<div>
+		<div class="r"><p>name: Alpha</p><p>price: $1</p></div>
+		<div class="r"><p>name: Beta</p><p>price: $2</p></div>
+		<div class="r"><p>name: Gamma</p><p>price: $3</p></div>
+	</div>`
+	pagelet := htmlx.Parse(html).FindTag("div")
+	table := NewPartitioner(Config{}).Align(pagelet, nil)
+	if len(table.Columns) != 2 || table.Columns[0] != "name" || table.Columns[1] != "price" {
+		t.Fatalf("columns = %v, want [name price]", table.Columns)
+	}
+	rows := table.Rows()
+	if rows[1][0] != "Beta" || rows[1][1] != "$2" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+}
+
+func TestAlignUnlabeledSynthesizesColumns(t *testing.T) {
+	html := `<ul><li>alpha one</li><li>beta two</li></ul>`
+	pagelet := htmlx.Parse(html).FindTag("ul")
+	table := NewPartitioner(Config{}).Align(pagelet, nil)
+	for _, c := range table.Columns {
+		if !strings.HasPrefix(c, "f") {
+			t.Errorf("synthesized column = %q", c)
+		}
+	}
+}
+
+func TestAlignRaggedObjects(t *testing.T) {
+	// Objects with different field counts pad with empty strings.
+	html := `<table>
+		<tr><td>a</td><td>b</td><td>c</td></tr>
+		<tr><td>d</td><td>e</td><td>f</td></tr>
+		<tr><td>g</td><td>h</td><td>i</td></tr>
+	</table>`
+	pagelet := htmlx.Parse(html).FindTag("table")
+	table := NewPartitioner(Config{}).Align(pagelet, nil)
+	rows := table.Rows()
+	for _, r := range rows {
+		if len(r) != len(table.Columns) {
+			t.Errorf("row width %d != columns %d", len(r), len(table.Columns))
+		}
+	}
+}
+
+func TestExtractFieldsInlineDecoration(t *testing.T) {
+	// Inline tags (b, a, strong) join the surrounding field rather than
+	// splitting it.
+	html := `<tr><td>The <b>Big</b> Widget</td><td><strong>$9</strong></td></tr>`
+	obj := htmlx.Parse(html).FindTag("tr")
+	fields := extractFields(obj)
+	if len(fields) != 2 {
+		t.Fatalf("fields = %+v, want 2", fields)
+	}
+	if fields[0].Value != "The Big Widget" {
+		t.Errorf("field 0 = %q", fields[0].Value)
+	}
+}
+
+func TestSplitLabel(t *testing.T) {
+	cases := []struct {
+		in    string
+		label string
+		value string
+	}{
+		{"price: $9.99", "price", "$9.99"},
+		{"plain text with no label", "", "plain text with no label"},
+		{"a very long leading phrase that is not a label: x", "", "a very long leading phrase that is not a label: x"},
+		{": empty label", "", ": empty label"},
+		{"year: 1999", "year", "1999"},
+	}
+	for _, c := range cases {
+		f := splitLabel(c.in)
+		if f.Label != c.label || f.Value != c.value {
+			t.Errorf("splitLabel(%q) = %+v, want {%q %q}", c.in, f, c.label, c.value)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", 1234567: "1234567"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

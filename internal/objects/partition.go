@@ -1,0 +1,241 @@
+// Package objects implements THOR's third stage, QA-Object partitioning
+// (Section 2, Stage 3): each extracted QA-Pagelet is partitioned into its
+// component QA-Objects — the close couplings of related information about
+// one item, e.g. the ten query matches inside a result-list pagelet. The
+// stage starts from the recommended dynamic subtrees phase two annotated
+// the pagelet with, examines each candidate's structure, and searches the
+// rest of the pagelet for similar structures, considering the size,
+// layout, and depth of the potential QA-Objects before deducing the
+// object separators.
+package objects
+
+import (
+	"sort"
+
+	"thor/internal/tagtree"
+)
+
+// Config tunes the partitioner.
+type Config struct {
+	// MinGroup is the smallest number of structurally similar siblings
+	// accepted as an object group (default 2 — a single item is the whole
+	// pagelet).
+	MinGroup int
+	// SizeTolerance is the largest relative node-count difference between
+	// two subtrees still considered the same layout (default 0.6: result
+	// rows vary in content volume but not drastically in structure).
+	SizeTolerance float64
+	// HeightSlack is the permitted difference in subtree height (default 1).
+	HeightSlack int
+}
+
+// DefaultConfig returns the partitioner defaults.
+func DefaultConfig() Config {
+	return Config{MinGroup: 2, SizeTolerance: 0.6, HeightSlack: 1}
+}
+
+// Partitioner splits QA-Pagelets into QA-Objects.
+type Partitioner struct {
+	cfg Config
+}
+
+// NewPartitioner returns a partitioner; zero config fields take defaults.
+func NewPartitioner(cfg Config) *Partitioner {
+	def := DefaultConfig()
+	if cfg.MinGroup <= 0 {
+		cfg.MinGroup = def.MinGroup
+	}
+	if cfg.SizeTolerance == 0 {
+		cfg.SizeTolerance = def.SizeTolerance
+	}
+	if cfg.HeightSlack == 0 {
+		cfg.HeightSlack = def.HeightSlack
+	}
+	return &Partitioner{cfg: cfg}
+}
+
+// Partition returns the QA-Objects of a pagelet. recommended are the
+// dynamic content subtrees phase two found nested inside the pagelet; they
+// seed the search for the object level. When the recommendation list is
+// empty the partitioner falls back to a purely structural scan. If no
+// repeated structure exists the pagelet itself is the single object.
+func (pt *Partitioner) Partition(pagelet *tagtree.Node, recommended []*tagtree.Node) []*tagtree.Node {
+	if pagelet == nil {
+		return nil
+	}
+	if group := pt.fromRecommendations(pagelet, recommended); group != nil {
+		return group
+	}
+	if group := pt.structuralScan(pagelet); group != nil {
+		return group
+	}
+	return []*tagtree.Node{pagelet}
+}
+
+// fromRecommendations finds the parent under which the most recommended
+// subtrees sit as siblings, then expands that seed group to every sibling
+// with a similar structure.
+func (pt *Partitioner) fromRecommendations(pagelet *tagtree.Node, recommended []*tagtree.Node) []*tagtree.Node {
+	inPagelet := func(n *tagtree.Node) bool {
+		return n == pagelet || pagelet.IsAncestorOf(n)
+	}
+	byParent := make(map[*tagtree.Node][]*tagtree.Node)
+	for _, r := range recommended {
+		if r == nil || r == pagelet || !inPagelet(r) || r.Parent == nil {
+			continue
+		}
+		byParent[r.Parent] = append(byParent[r.Parent], r)
+	}
+	// Prefer the shallowest parent with enough recommended children: the
+	// QA-Objects are the top-level repeated units of the pagelet; deeper
+	// repeated groups are the objects' own fields. Ties go to the parent
+	// with more recommended children.
+	var bestParent *tagtree.Node
+	bestCount := 0
+	for parent, group := range byParent {
+		if len(group) < pt.cfg.MinGroup {
+			continue
+		}
+		switch {
+		case bestParent == nil,
+			parent.Depth() < bestParent.Depth(),
+			parent.Depth() == bestParent.Depth() && len(group) > bestCount:
+			bestParent, bestCount = parent, len(group)
+		}
+	}
+	if bestParent == nil {
+		return nil
+	}
+	// Expand: every child of bestParent structurally similar to the seed
+	// group's exemplar is an object — this recovers objects phase two
+	// missed and drops dissimilar furniture like header rows.
+	exemplar := byParent[bestParent][0]
+	return pt.similarChildren(bestParent, exemplar)
+}
+
+// structuralScan searches the pagelet top-down for the first node with a
+// group of at least MinGroup structurally similar children, the classic
+// repeated-pattern heuristic.
+func (pt *Partitioner) structuralScan(pagelet *tagtree.Node) []*tagtree.Node {
+	var found []*tagtree.Node
+	pagelet.Walk(func(n *tagtree.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.Type != tagtree.TagNode || len(n.Children) < pt.cfg.MinGroup {
+			return true
+		}
+		if group := pt.largestSimilarGroup(n); len(group) >= pt.cfg.MinGroup {
+			found = group
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// similarChildren returns the children of parent structurally similar to
+// exemplar, in document order.
+func (pt *Partitioner) similarChildren(parent, exemplar *tagtree.Node) []*tagtree.Node {
+	var out []*tagtree.Node
+	for _, c := range parent.Children {
+		if pt.similar(c, exemplar) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// largestSimilarGroup partitions n's tag-node children into structural
+// shape groups and returns the largest.
+func (pt *Partitioner) largestSimilarGroup(n *tagtree.Node) []*tagtree.Node {
+	var groups [][]*tagtree.Node
+	for _, c := range n.Children {
+		if c.Type != tagtree.TagNode {
+			continue
+		}
+		placed := false
+		for i, g := range groups {
+			if pt.similar(c, g[0]) {
+				groups[i] = append(groups[i], c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []*tagtree.Node{c})
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	sort.SliceStable(groups, func(i, j int) bool { return len(groups[i]) > len(groups[j]) })
+	return groups[0]
+}
+
+// similar applies the size/layout/depth test of Stage 3: same tag, node
+// counts within SizeTolerance, heights within HeightSlack, and overlapping
+// child layout. Content values are deliberately ignored — objects answer
+// different queries, so only structure is comparable — but child *tag*
+// layout is not: a header row of <th> cells must not group with data rows
+// of <td> cells.
+func (pt *Partitioner) similar(a, b *tagtree.Node) bool {
+	if a.Type != tagtree.TagNode || b.Type != tagtree.TagNode || a.Tag != b.Tag {
+		return false
+	}
+	na, nb := a.NodeCount(), b.NodeCount()
+	max := na
+	if nb > max {
+		max = nb
+	}
+	if max > 0 {
+		diff := float64(abs(na-nb)) / float64(max)
+		if diff > pt.cfg.SizeTolerance {
+			return false
+		}
+	}
+	ha, hb := a.Height(), b.Height()
+	if abs(ha-hb) > pt.cfg.HeightSlack {
+		return false
+	}
+	if childTagJaccard(a, b) < 0.5 {
+		return false
+	}
+	// Both must carry content: an object without content is a separator.
+	return a.HasText() && b.HasText()
+}
+
+// childTagJaccard returns the Jaccard overlap of the two nodes' child tag
+// name sets. Two childless nodes overlap fully.
+func childTagJaccard(a, b *tagtree.Node) float64 {
+	sa, sb := childTagSet(a), childTagSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter, union := 0, len(sb)
+	for t := range sa {
+		if sb[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+func childTagSet(n *tagtree.Node) map[string]bool {
+	set := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		if c.Type == tagtree.TagNode {
+			set[c.Tag] = true
+		}
+	}
+	return set
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,189 @@
+package objects
+
+import (
+	"fmt"
+	"testing"
+
+	"thor/internal/htmlx"
+	"thor/internal/tagtree"
+)
+
+// tablePagelet builds a results table with a header row and n data rows.
+func tablePagelet(n int) *tagtree.Node {
+	html := `<table><tr><th>name</th><th>price</th></tr>`
+	for i := 0; i < n; i++ {
+		html += fmt.Sprintf(`<tr><td>item %d</td><td>$%d.00</td></tr>`, i, i+10)
+	}
+	html += `</table>`
+	return htmlx.Parse(html).FindTag("table")
+}
+
+func TestPartitionTableRows(t *testing.T) {
+	pagelet := tablePagelet(5)
+	pt := NewPartitioner(Config{})
+	objs := pt.Partition(pagelet, nil)
+	if len(objs) != 5 {
+		t.Fatalf("objects = %d, want 5 (header row excluded):\n%s", len(objs), pagelet.Outline())
+	}
+	for _, o := range objs {
+		if o.Tag != "tr" {
+			t.Errorf("object tag = %q", o.Tag)
+		}
+		if o.FindTag("th") != nil {
+			t.Errorf("header row grouped with data rows")
+		}
+	}
+}
+
+func TestPartitionListItems(t *testing.T) {
+	html := `<ul><li>one thing</li><li>two thing</li><li>red thing</li></ul>`
+	pagelet := htmlx.Parse(html).FindTag("ul")
+	objs := NewPartitioner(Config{}).Partition(pagelet, nil)
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+}
+
+func TestPartitionWithRecommendations(t *testing.T) {
+	pagelet := tablePagelet(6)
+	rows := pagelet.FindAll(func(n *tagtree.Node) bool {
+		return n.Tag == "tr" && n.FindTag("td") != nil
+	})
+	// Phase two typically recommends a few rows plus deeper field cells;
+	// the partitioner must settle on the row level and recover all rows.
+	var recommended []*tagtree.Node
+	recommended = append(recommended, rows[0], rows[2])
+	recommended = append(recommended, rows[0].FindTag("td"), rows[1].FindTag("td"))
+	objs := NewPartitioner(Config{}).Partition(pagelet, recommended)
+	if len(objs) != 6 {
+		t.Fatalf("objects = %d, want all 6 rows", len(objs))
+	}
+	for _, o := range objs {
+		if o.Tag != "tr" {
+			t.Errorf("object level wrong: %q", o.Tag)
+		}
+	}
+}
+
+func TestPartitionRecommendationsPreferShallowLevel(t *testing.T) {
+	// Deep recommendations (cells) outnumber shallow ones (rows); the
+	// shallowest qualifying parent must still win.
+	pagelet := tablePagelet(4)
+	var recommended []*tagtree.Node
+	pagelet.Walk(func(n *tagtree.Node) bool {
+		if n.Tag == "td" {
+			recommended = append(recommended, n)
+		}
+		return true
+	})
+	rows := pagelet.FindAll(func(n *tagtree.Node) bool {
+		return n.Tag == "tr" && n.FindTag("td") != nil
+	})
+	recommended = append(recommended, rows[0], rows[1])
+	objs := NewPartitioner(Config{}).Partition(pagelet, recommended)
+	if len(objs) != 4 || objs[0].Tag != "tr" {
+		t.Fatalf("objects = %d × %q, want 4 × tr", len(objs), objs[0].Tag)
+	}
+}
+
+func TestPartitionSingleItemFallsBack(t *testing.T) {
+	html := `<div><p>only one block of content here</p></div>`
+	pagelet := htmlx.Parse(html).FindTag("div")
+	objs := NewPartitioner(Config{}).Partition(pagelet, nil)
+	if len(objs) != 1 || objs[0] != pagelet {
+		t.Fatalf("no repeated structure: want the pagelet itself, got %d objects", len(objs))
+	}
+}
+
+func TestPartitionNil(t *testing.T) {
+	if got := NewPartitioner(Config{}).Partition(nil, nil); got != nil {
+		t.Errorf("Partition(nil) = %v", got)
+	}
+}
+
+func TestPartitionDetailFields(t *testing.T) {
+	// A single-match detail pagelet: each field row is an object.
+	html := `<table>
+		<tr><td><b>title</b></td><td>some value</td></tr>
+		<tr><td><b>author</b></td><td>other value</td></tr>
+		<tr><td><b>price</b></td><td>$10</td></tr>
+	</table>`
+	pagelet := htmlx.Parse(html).FindTag("table")
+	objs := NewPartitioner(Config{}).Partition(pagelet, nil)
+	if len(objs) != 3 {
+		t.Fatalf("detail objects = %d, want 3", len(objs))
+	}
+}
+
+func TestPartitionIgnoresDissimilarSiblings(t *testing.T) {
+	// A results div with a heading and a footer note around the records.
+	html := `<div>
+		<h4>heading text</h4>
+		<div class="r"><p>alpha item</p><p>$1</p></div>
+		<div class="r"><p>beta item</p><p>$2</p></div>
+		<div class="r"><p>gamma item</p><p>$3</p></div>
+		<p>footer note</p>
+	</div>`
+	pagelet := htmlx.Parse(html).FindTag("div")
+	objs := NewPartitioner(Config{}).Partition(pagelet, nil)
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	for _, o := range objs {
+		if o.Tag != "div" {
+			t.Errorf("object tag %q; heading/footer leaked in", o.Tag)
+		}
+	}
+}
+
+func TestPartitionMinGroup(t *testing.T) {
+	// With MinGroup 3, two similar children are not enough.
+	html := `<div><p>a 1</p><p>b 2</p></div>`
+	pagelet := htmlx.Parse(html).FindTag("div")
+	objs := NewPartitioner(Config{MinGroup: 3}).Partition(pagelet, nil)
+	if len(objs) != 1 || objs[0] != pagelet {
+		t.Fatalf("MinGroup=3 should fall back to whole pagelet")
+	}
+}
+
+func TestPartitionEmptyRowsExcluded(t *testing.T) {
+	// Separator rows without content must not become objects.
+	html := `<table>
+		<tr><td>real 1</td></tr>
+		<tr><td><hr></td></tr>
+		<tr><td>real 2</td></tr>
+		<tr><td>real 3</td></tr>
+	</table>`
+	pagelet := htmlx.Parse(html).FindTag("table")
+	objs := NewPartitioner(Config{}).Partition(pagelet, nil)
+	for _, o := range objs {
+		if !o.HasText() {
+			t.Errorf("content-free separator row became an object")
+		}
+	}
+	if len(objs) != 3 {
+		t.Errorf("objects = %d, want 3", len(objs))
+	}
+}
+
+func TestChildTagJaccard(t *testing.T) {
+	a := htmlx.Parse(`<tr><td>x</td><td>y</td></tr>`).FindTag("tr")
+	b := htmlx.Parse(`<tr><th>x</th><th>y</th></tr>`).FindTag("tr")
+	if got := childTagJaccard(a, a); got != 1 {
+		t.Errorf("self jaccard = %v", got)
+	}
+	if got := childTagJaccard(a, b); got != 0 {
+		t.Errorf("td vs th jaccard = %v, want 0", got)
+	}
+	leafA := htmlx.Parse(`<td>x</td>`).FindTag("td")
+	if got := childTagJaccard(leafA, leafA); got != 1 {
+		t.Errorf("childless jaccard = %v, want 1", got)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	pt := NewPartitioner(Config{})
+	if pt.cfg.MinGroup != 2 || pt.cfg.SizeTolerance != 0.6 || pt.cfg.HeightSlack != 1 {
+		t.Errorf("defaults not applied: %+v", pt.cfg)
+	}
+}

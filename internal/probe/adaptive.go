@@ -1,0 +1,104 @@
+package probe
+
+import (
+	"sort"
+
+	"thor/internal/corpus"
+)
+
+// AdaptiveProber extends the fixed probing plan of Section 2 with a
+// feedback round, the direction the paper's technical report sketches for
+// improving on naive dictionary probing: after the initial probes, the
+// most frequent content terms of the collected answer pages — words the
+// database demonstrably indexes — are themselves submitted as probes. This
+// deepens coverage of the database-specific vocabulary (e.g. domain jargon
+// absent from a generic dictionary) and surfaces answer-page classes that
+// generic words rarely trigger.
+type AdaptiveProber struct {
+	// Plan is the initial fixed plan (dictionary + nonsense words).
+	Plan Plan
+	// Labeler assigns classes to collected pages (see Prober.Labeler).
+	Labeler func(site Site, keyword, html string) corpus.Class
+	// FeedbackProbes is how many mined terms to probe in the feedback
+	// round (default 20).
+	FeedbackProbes int
+	// MinTermLen skips mined terms shorter than this (default 3).
+	MinTermLen int
+}
+
+// ProbeSite runs the initial plan and then the feedback round, returning
+// the combined collection. Pages from the feedback round are labeled like
+// any others.
+func (ap *AdaptiveProber) ProbeSite(site Site) *corpus.Collection {
+	base := &Prober{Plan: ap.Plan, Labeler: ap.Labeler}
+	col := base.ProbeSite(site)
+
+	extra := ap.FeedbackProbes
+	if extra <= 0 {
+		extra = 20
+	}
+	minLen := ap.MinTermLen
+	if minLen <= 0 {
+		minLen = 3
+	}
+	for _, term := range ap.mineTerms(col, extra, minLen) {
+		html, url := site.Query(term)
+		page := &corpus.Page{
+			SiteID: site.ID(),
+			URL:    url,
+			Query:  term,
+			HTML:   html,
+		}
+		if ap.Labeler != nil {
+			page.Class = ap.Labeler(site, term, html)
+		}
+		col.Pages = append(col.Pages, page)
+	}
+	return col
+}
+
+// mineTerms returns the top-n content terms of the collected answer pages,
+// by total frequency, excluding terms already probed and terms below the
+// length cutoff. Only pages that actually answered (multi- or single-
+// match) contribute: their content demonstrably overlaps the database.
+func (ap *AdaptiveProber) mineTerms(col *corpus.Collection, n, minLen int) []string {
+	probed := make(map[string]bool, len(ap.Plan.Keywords()))
+	for _, kw := range ap.Plan.Keywords() {
+		probed[kw] = true
+	}
+	freq := make(map[string]int)
+	for _, p := range col.Pages {
+		if !p.Class.HasPagelets() {
+			continue
+		}
+		for _, tok := range p.Tree().ContentTokens() {
+			if len(tok) < minLen || probed[tok] || !isAlphaWord(tok) {
+				continue
+			}
+			freq[tok]++
+		}
+	}
+	terms := make([]string, 0, len(freq))
+	for t := range freq {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if freq[terms[i]] != freq[terms[j]] {
+			return freq[terms[i]] > freq[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if len(terms) > n {
+		terms = terms[:n]
+	}
+	return terms
+}
+
+func isAlphaWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

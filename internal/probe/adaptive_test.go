@@ -1,0 +1,125 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+// vocabSite is a fake site whose database "indexes" a fixed word set;
+// answer pages echo database vocabulary so the adaptive round has
+// something to mine.
+type vocabSite struct {
+	indexed map[string]bool
+	queries []string
+}
+
+func newVocabSite(words ...string) *vocabSite {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return &vocabSite{indexed: m}
+}
+
+func (v *vocabSite) ID() int      { return 1 }
+func (v *vocabSite) Name() string { return "vocab" }
+func (v *vocabSite) Query(kw string) (string, string) {
+	v.queries = append(v.queries, kw)
+	url := "http://vocab/search?q=" + kw
+	if !v.indexed[kw] {
+		return `<html><body><p>no matches</p></body></html>`, url
+	}
+	// An answer page whose result list leaks more database vocabulary.
+	var b strings.Builder
+	b.WriteString(`<html><body><ul>`)
+	for w := range v.indexed {
+		b.WriteString("<li>entry " + w + " zebrafish quagmire</li>")
+	}
+	b.WriteString(`</ul></body></html>`)
+	return b.String(), url
+}
+
+func vocabLabeler(site Site, kw, _ string) corpus.Class {
+	if site.(*vocabSite).indexed[kw] {
+		return corpus.MultiMatch
+	}
+	return corpus.NoMatch
+}
+
+func TestAdaptiveProberMinesAnswerVocabulary(t *testing.T) {
+	site := newVocabSite("apple", "zebrafish", "quagmire")
+	ap := &AdaptiveProber{
+		Plan: Plan{
+			DictionaryWords: []string{"apple", "book"},
+			NonsenseWords:   []string{"xqzzz"},
+		},
+		Labeler:        vocabLabeler,
+		FeedbackProbes: 5,
+	}
+	col := ap.ProbeSite(site)
+	// Initial 3 probes plus feedback probes.
+	if len(col.Pages) <= 3 {
+		t.Fatalf("no feedback probes issued: %d pages", len(col.Pages))
+	}
+	// The mined terms must include database vocabulary absent from the
+	// initial plan ("zebrafish" or "quagmire"), and probing them must have
+	// produced answer pages.
+	minedHit := false
+	for _, p := range col.Pages[3:] {
+		if p.Query == "zebrafish" || p.Query == "quagmire" {
+			if p.Class != corpus.MultiMatch {
+				t.Errorf("mined probe %q class = %v", p.Query, p.Class)
+			}
+			minedHit = true
+		}
+		if p.Query == "apple" {
+			t.Errorf("already-probed word re-probed")
+		}
+	}
+	if !minedHit {
+		t.Errorf("feedback round never probed mined vocabulary; queries: %v", site.queries)
+	}
+}
+
+func TestAdaptiveProberNoAnswersNoFeedback(t *testing.T) {
+	site := newVocabSite() // nothing indexed: all probes miss
+	ap := &AdaptiveProber{
+		Plan:    Plan{DictionaryWords: []string{"apple", "book"}},
+		Labeler: vocabLabeler,
+	}
+	col := ap.ProbeSite(site)
+	if len(col.Pages) != 2 {
+		t.Errorf("pages = %d; feedback should mine nothing from no-match pages", len(col.Pages))
+	}
+}
+
+func TestAdaptiveProberRespectsFeedbackCap(t *testing.T) {
+	words := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	site := newVocabSite(words...)
+	ap := &AdaptiveProber{
+		Plan:           Plan{DictionaryWords: []string{"alpha"}},
+		Labeler:        vocabLabeler,
+		FeedbackProbes: 3,
+	}
+	col := ap.ProbeSite(site)
+	if got := len(col.Pages); got != 1+3 {
+		t.Errorf("pages = %d, want 4 (1 initial + 3 feedback)", got)
+	}
+}
+
+func TestMineTermsSkipsShortAndNonAlpha(t *testing.T) {
+	site := newVocabSite("apple")
+	ap := &AdaptiveProber{
+		Plan:       Plan{DictionaryWords: []string{"apple"}},
+		Labeler:    vocabLabeler,
+		MinTermLen: 6,
+	}
+	col := ap.ProbeSite(site)
+	for _, p := range col.Pages[1:] {
+		if len(p.Query) < 6 {
+			t.Errorf("short term %q probed despite MinTermLen", p.Query)
+		}
+	}
+}

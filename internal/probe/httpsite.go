@@ -1,0 +1,108 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// HTTPSite adapts a live deep-web search form to the prober's Site
+// interface: probes become GET requests against the site's search
+// endpoint. It is the piece a downstream user points at a real source;
+// everything after probing (clustering, identification, partitioning) is
+// oblivious to where the HTML came from.
+type HTTPSite struct {
+	// SiteID is the caller-assigned identifier.
+	SiteID int
+	// SiteName is the human-readable name (defaults to the host).
+	SiteName string
+	// SearchURL is the absolute URL of the search endpoint, e.g.
+	// "http://books.example.com/search".
+	SearchURL string
+	// QueryParam is the query-string parameter carrying the keyword
+	// (default "q").
+	QueryParam string
+	// PageParam, when non-empty, enables pagination support: result page
+	// n > 1 is requested as PageParam=n, and HTTPSite implements
+	// PagedSite. NumPages cannot be known without parsing, so it reports
+	// MaxPagesHint (default 1) for multi-page follow-up.
+	PageParam string
+	// MaxPagesHint bounds NumPages when PageParam is set.
+	MaxPagesHint int
+	// Client is the HTTP client (default: 15-second-timeout client).
+	Client *http.Client
+}
+
+var defaultClient = &http.Client{Timeout: 15 * time.Second}
+
+// ID implements Site.
+func (h *HTTPSite) ID() int { return h.SiteID }
+
+// Name implements Site.
+func (h *HTTPSite) Name() string {
+	if h.SiteName != "" {
+		return h.SiteName
+	}
+	if u, err := url.Parse(h.SearchURL); err == nil {
+		return u.Host
+	}
+	return h.SearchURL
+}
+
+// Query implements Site: it issues the GET request and returns the
+// response body. Network failures yield an empty page (the prober treats
+// it like any other response; an empty page clusters with error pages).
+func (h *HTTPSite) Query(keyword string) (html, pageURL string) {
+	return h.QueryPage(keyword, 1)
+}
+
+// QueryPage implements PagedSite when PageParam is configured.
+func (h *HTTPSite) QueryPage(keyword string, page int) (html, pageURL string) {
+	pageURL = h.buildURL(keyword, page)
+	client := h.Client
+	if client == nil {
+		client = defaultClient
+	}
+	resp, err := client.Get(pageURL)
+	if err != nil {
+		return "", pageURL
+	}
+	defer resp.Body.Close()
+	// Cap response size: answer pages are small; a runaway body should
+	// not exhaust memory.
+	const maxBody = 4 << 20
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", pageURL
+	}
+	return string(body), pageURL
+}
+
+// NumPages implements PagedSite with the configured hint; without a
+// PageParam the site is single-page.
+func (h *HTTPSite) NumPages(string) int {
+	if h.PageParam == "" || h.MaxPagesHint < 1 {
+		return 1
+	}
+	return h.MaxPagesHint
+}
+
+func (h *HTTPSite) buildURL(keyword string, page int) string {
+	param := h.QueryParam
+	if param == "" {
+		param = "q"
+	}
+	q := url.Values{}
+	q.Set(param, keyword)
+	if page > 1 && h.PageParam != "" {
+		q.Set(h.PageParam, strconv.Itoa(page))
+	}
+	sep := "?"
+	if u, err := url.Parse(h.SearchURL); err == nil && u.RawQuery != "" {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%s%s", h.SearchURL, sep, q.Encode())
+}

@@ -1,0 +1,127 @@
+package probe
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("kw")
+		page := r.URL.Query().Get("p")
+		if page == "" {
+			page = "1"
+		}
+		fmt.Fprintf(w, "<html><body><p>results for %s page %s</p></body></html>", q, page)
+	}))
+}
+
+func TestHTTPSiteQuery(t *testing.T) {
+	srv := echoServer(t)
+	defer srv.Close()
+	site := &HTTPSite{
+		SiteID:     3,
+		SearchURL:  srv.URL + "/search",
+		QueryParam: "kw",
+	}
+	html, pageURL := site.Query("guitar")
+	if !strings.Contains(html, "results for guitar page 1") {
+		t.Errorf("body = %q", html)
+	}
+	if !strings.Contains(pageURL, "kw=guitar") {
+		t.Errorf("url = %q", pageURL)
+	}
+}
+
+func TestHTTPSitePagination(t *testing.T) {
+	srv := echoServer(t)
+	defer srv.Close()
+	site := &HTTPSite{
+		SearchURL:    srv.URL + "/search",
+		QueryParam:   "kw",
+		PageParam:    "p",
+		MaxPagesHint: 3,
+	}
+	if site.NumPages("x") != 3 {
+		t.Errorf("NumPages = %d", site.NumPages("x"))
+	}
+	html, pageURL := site.QueryPage("drum", 2)
+	if !strings.Contains(html, "page 2") {
+		t.Errorf("body = %q", html)
+	}
+	if !strings.Contains(pageURL, "p=2") {
+		t.Errorf("url = %q", pageURL)
+	}
+	// Page 1 omits the parameter.
+	_, first := site.QueryPage("drum", 1)
+	if strings.Contains(first, "p=1") {
+		t.Errorf("page 1 url carries page param: %q", first)
+	}
+}
+
+func TestHTTPSiteNoPaginationByDefault(t *testing.T) {
+	site := &HTTPSite{SearchURL: "http://x/search"}
+	if site.NumPages("k") != 1 {
+		t.Errorf("NumPages = %d without PageParam", site.NumPages("k"))
+	}
+}
+
+func TestHTTPSiteName(t *testing.T) {
+	site := &HTTPSite{SearchURL: "http://books.example.com/search"}
+	if site.Name() != "books.example.com" {
+		t.Errorf("Name = %q", site.Name())
+	}
+	site.SiteName = "Books"
+	if site.Name() != "Books" {
+		t.Errorf("Name = %q", site.Name())
+	}
+}
+
+func TestHTTPSiteExistingQueryString(t *testing.T) {
+	srv := echoServer(t)
+	defer srv.Close()
+	site := &HTTPSite{
+		SearchURL:  srv.URL + "/search?lang=en",
+		QueryParam: "kw",
+	}
+	html, pageURL := site.Query("cat")
+	if !strings.Contains(pageURL, "lang=en&") {
+		t.Errorf("existing query string clobbered: %q", pageURL)
+	}
+	if !strings.Contains(html, "results for cat") {
+		t.Errorf("body = %q", html)
+	}
+}
+
+func TestHTTPSiteDownServer(t *testing.T) {
+	srv := echoServer(t)
+	srv.Close() // immediately unreachable
+	site := &HTTPSite{SearchURL: srv.URL + "/search"}
+	html, pageURL := site.Query("x")
+	if html != "" {
+		t.Errorf("unreachable server returned %q", html)
+	}
+	if pageURL == "" {
+		t.Error("url should still be reported")
+	}
+}
+
+func TestProberOverHTTPSite(t *testing.T) {
+	srv := echoServer(t)
+	defer srv.Close()
+	site := &HTTPSite{SearchURL: srv.URL + "/search", QueryParam: "kw"}
+	pr := &Prober{Plan: Plan{DictionaryWords: []string{"a", "b"}}}
+	col := pr.ProbeSite(site)
+	if len(col.Pages) != 2 {
+		t.Fatalf("pages = %d", len(col.Pages))
+	}
+	for _, p := range col.Pages {
+		if !strings.Contains(p.HTML, "results for "+p.Query) {
+			t.Errorf("page %q body mismatch", p.Query)
+		}
+	}
+}

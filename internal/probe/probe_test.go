@@ -1,0 +1,188 @@
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+func TestDictionary(t *testing.T) {
+	d := Dictionary()
+	if len(d) < 1000 {
+		t.Errorf("dictionary has %d words, want ≥ 1000", len(d))
+	}
+	if len(d) != DictionarySize() {
+		t.Errorf("DictionarySize disagrees with Dictionary()")
+	}
+	seen := make(map[string]bool)
+	for _, w := range d {
+		if w == "" || w != strings.ToLower(w) {
+			t.Errorf("bad dictionary word %q", w)
+		}
+		if seen[w] {
+			t.Errorf("duplicate dictionary word %q", w)
+		}
+		seen[w] = true
+	}
+	// Returned slice is a copy: mutating it must not corrupt the source.
+	d[0] = "MUTATED"
+	if Dictionary()[0] == "MUTATED" {
+		t.Error("Dictionary() exposes internal slice")
+	}
+}
+
+func TestInDictionary(t *testing.T) {
+	if !InDictionary("apple") {
+		t.Error("apple should be in the dictionary")
+	}
+	if InDictionary("xqzzyfoo") {
+		t.Error("xqzzyfoo should not be in the dictionary")
+	}
+}
+
+func TestNewPlan(t *testing.T) {
+	plan := NewPlan(100, 10, 1)
+	if len(plan.DictionaryWords) != 100 || len(plan.NonsenseWords) != 10 {
+		t.Fatalf("plan sizes: %d dict, %d nonsense",
+			len(plan.DictionaryWords), len(plan.NonsenseWords))
+	}
+	if got := len(plan.Keywords()); got != 110 {
+		t.Errorf("Keywords = %d, want 110", got)
+	}
+	// Dictionary words sampled without replacement.
+	seen := make(map[string]bool)
+	for _, w := range plan.DictionaryWords {
+		if seen[w] {
+			t.Errorf("duplicate probe word %q", w)
+		}
+		seen[w] = true
+		if !InDictionary(w) {
+			t.Errorf("probe word %q not from dictionary", w)
+		}
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	a := NewPlan(50, 5, 7)
+	b := NewPlan(50, 5, 7)
+	for i := range a.DictionaryWords {
+		if a.DictionaryWords[i] != b.DictionaryWords[i] {
+			t.Fatal("plans with same seed differ")
+		}
+	}
+	c := NewPlan(50, 5, 8)
+	same := true
+	for i := range a.DictionaryWords {
+		if a.DictionaryWords[i] != c.DictionaryWords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestNewPlanClampsToDictionary(t *testing.T) {
+	plan := NewPlan(1_000_000, 0, 1)
+	if len(plan.DictionaryWords) != DictionarySize() {
+		t.Errorf("oversized request gave %d words", len(plan.DictionaryWords))
+	}
+}
+
+func TestNonsenseWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := NonsenseWords(20, rng)
+	if len(words) != 20 {
+		t.Fatalf("got %d words", len(words))
+	}
+	for _, w := range words {
+		if !strings.HasPrefix(w, "xq") {
+			t.Errorf("nonsense word %q lacks xq prefix", w)
+		}
+		if InDictionary(w) {
+			t.Errorf("nonsense word %q is a dictionary word", w)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan := NewPlan(3, 2, 1)
+	if got := plan.String(); !strings.Contains(got, "3 dictionary") || !strings.Contains(got, "2 nonsense") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// fakeSite is a minimal probe.Site for prober tests.
+type fakeSite struct {
+	id      int
+	queries []string
+}
+
+func (f *fakeSite) ID() int      { return f.id }
+func (f *fakeSite) Name() string { return fmt.Sprintf("fake-%d", f.id) }
+func (f *fakeSite) Query(kw string) (string, string) {
+	f.queries = append(f.queries, kw)
+	return "<html><body><p>" + kw + "</p></body></html>",
+		"http://fake/search?q=" + kw
+}
+
+func TestProbeSite(t *testing.T) {
+	site := &fakeSite{id: 9}
+	pr := &Prober{
+		Plan: NewPlan(5, 2, 1),
+		Labeler: func(_ Site, kw, _ string) corpus.Class {
+			if strings.HasPrefix(kw, "xq") {
+				return corpus.NoMatch
+			}
+			return corpus.MultiMatch
+		},
+	}
+	col := pr.ProbeSite(site)
+	if col.SiteID != 9 || col.Name != "fake-9" {
+		t.Errorf("collection identity: %d %q", col.SiteID, col.Name)
+	}
+	if len(col.Pages) != 7 {
+		t.Fatalf("pages = %d, want 7", len(col.Pages))
+	}
+	if len(site.queries) != 7 {
+		t.Errorf("site received %d queries", len(site.queries))
+	}
+	dist := col.ClassDistribution()
+	if dist[corpus.MultiMatch] != 5 || dist[corpus.NoMatch] != 2 {
+		t.Errorf("label distribution = %v", dist)
+	}
+	for _, p := range col.Pages {
+		if !strings.Contains(p.HTML, p.Query) {
+			t.Errorf("page HTML missing query %q", p.Query)
+		}
+		if !strings.HasPrefix(p.URL, "http://fake/search?q=") {
+			t.Errorf("page URL = %q", p.URL)
+		}
+	}
+}
+
+func TestProbeSiteNilLabeler(t *testing.T) {
+	pr := &Prober{Plan: NewPlan(2, 0, 1)}
+	col := pr.ProbeSite(&fakeSite{id: 1})
+	for _, p := range col.Pages {
+		if p.Class != corpus.MultiMatch && p.Class != 0 {
+			t.Errorf("unexpected default class %v", p.Class)
+		}
+	}
+}
+
+func TestProbeAll(t *testing.T) {
+	pr := &Prober{Plan: NewPlan(3, 1, 1)}
+	sites := []Site{&fakeSite{id: 0}, &fakeSite{id: 1}, &fakeSite{id: 2}}
+	corp := pr.ProbeAll(sites)
+	if len(corp.Collections) != 3 {
+		t.Fatalf("collections = %d", len(corp.Collections))
+	}
+	if corp.TotalPages() != 12 {
+		t.Errorf("TotalPages = %d, want 12", corp.TotalPages())
+	}
+}

@@ -1,0 +1,158 @@
+// Package probe implements THOR's first stage, sample page collection by
+// query probing (Section 2, Stage 1): a deep web site is repeatedly queried
+// with single-word probes taken from two candidate-term sets — random words
+// from a dictionary and nonsense words unlikely to be indexed in any deep
+// web database — to collect a diverse set of sample answer pages covering
+// all structurally distinct answer classes.
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thor/internal/corpus"
+)
+
+// Site is the query interface a deep web source exposes to the prober: a
+// single-keyword search returning the response page HTML and the URL the
+// query resolved to.
+type Site interface {
+	// ID returns a stable identifier for the site.
+	ID() int
+	// Name returns a human-readable site name.
+	Name() string
+	// Query submits a single-keyword query and returns the raw HTML of the
+	// dynamically generated response page together with its URL.
+	Query(keyword string) (html, url string)
+}
+
+// PagedSite is optionally implemented by sources whose multi-match answers
+// paginate. A prober with MaxPages > 1 follows the pagination to sample
+// beyond the first result page.
+type PagedSite interface {
+	Site
+	// QueryPage returns result page number page (1-based) for the keyword.
+	QueryPage(keyword string, page int) (html, url string)
+	// NumPages reports how many result pages the keyword's answer spans.
+	NumPages(keyword string) int
+}
+
+// Plan is a probing plan: the keyword sequence submitted to a site.
+type Plan struct {
+	DictionaryWords []string
+	NonsenseWords   []string
+}
+
+// Keywords returns the full probe sequence: dictionary words followed by
+// nonsense words.
+func (p Plan) Keywords() []string {
+	out := make([]string, 0, len(p.DictionaryWords)+len(p.NonsenseWords))
+	out = append(out, p.DictionaryWords...)
+	out = append(out, p.NonsenseWords...)
+	return out
+}
+
+// NewPlan builds the paper's probing plan: dictWords random words sampled
+// without replacement from the embedded dictionary plus nonsense nonsense
+// words (Section 4 uses 100 and 10). Sampling is deterministic in seed.
+func NewPlan(dictWords, nonsense int, seed int64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	if dictWords > len(dictionary) {
+		dictWords = len(dictionary)
+	}
+	perm := rng.Perm(len(dictionary))
+	words := make([]string, dictWords)
+	for i := 0; i < dictWords; i++ {
+		words[i] = dictionary[perm[i]]
+	}
+	return Plan{
+		DictionaryWords: words,
+		NonsenseWords:   NonsenseWords(nonsense, rng),
+	}
+}
+
+// NonsenseWords generates n pronounceable-but-unindexed probe words. Each
+// is prefixed with "xq" — a digraph absent from English — and verified not
+// to collide with the dictionary, so they are guaranteed to generate
+// "no matches" responses from any site indexing natural text.
+func NonsenseWords(n int, rng *rand.Rand) []string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := make([]string, 0, n)
+	for len(out) < n {
+		b := []byte{'x', 'q'}
+		for i := 0; i < 5; i++ {
+			b = append(b, letters[rng.Intn(len(letters))])
+		}
+		w := string(b)
+		if !InDictionary(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Prober collects sample pages from deep web sites.
+type Prober struct {
+	Plan Plan
+	// Labeler assigns a class to each collected page; the simulated deep
+	// web supplies an exact labeler. When nil, pages get class NoMatch —
+	// callers that only need the HTML may ignore labels.
+	Labeler func(site Site, keyword, html string) corpus.Class
+	// MaxPages, when greater than 1 and the site implements PagedSite,
+	// follows multi-page answers up to this many result pages per
+	// keyword. The paper's prototype samples only first pages (the
+	// default here); deeper sampling yields more structurally identical
+	// answer pages per probe.
+	MaxPages int
+}
+
+// ProbeSite submits every keyword of the plan to the site and returns the
+// resulting collection of sampled pages.
+func (pr *Prober) ProbeSite(site Site) *corpus.Collection {
+	col := &corpus.Collection{SiteID: site.ID(), Name: site.Name()}
+	paged, isPaged := site.(PagedSite)
+	for _, kw := range pr.Plan.Keywords() {
+		html, url := site.Query(kw)
+		col.Pages = append(col.Pages, pr.makePage(site, kw, html, url))
+		if !isPaged || pr.MaxPages <= 1 {
+			continue
+		}
+		last := paged.NumPages(kw)
+		if last > pr.MaxPages {
+			last = pr.MaxPages
+		}
+		for p := 2; p <= last; p++ {
+			html, url := paged.QueryPage(kw, p)
+			col.Pages = append(col.Pages, pr.makePage(site, kw, html, url))
+		}
+	}
+	return col
+}
+
+func (pr *Prober) makePage(site Site, kw, html, url string) *corpus.Page {
+	page := &corpus.Page{
+		SiteID: site.ID(),
+		URL:    url,
+		Query:  kw,
+		HTML:   html,
+	}
+	if pr.Labeler != nil {
+		page.Class = pr.Labeler(site, kw, html)
+	}
+	return page
+}
+
+// ProbeAll probes every site and assembles a corpus.
+func (pr *Prober) ProbeAll(sites []Site) *corpus.Corpus {
+	c := &corpus.Corpus{}
+	for _, s := range sites {
+		c.Collections = append(c.Collections, pr.ProbeSite(s))
+	}
+	return c
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("plan(%d dictionary + %d nonsense probes)",
+		len(p.DictionaryWords), len(p.NonsenseWords))
+}

@@ -1,0 +1,195 @@
+// Package qaindex is the retrieval layer of the deep-web search engine the
+// paper's introduction envisions (Section 1): extracted QA-Objects are
+// indexed as fine-grained documents so users can search *inside* deep-web
+// answers ("list seller and price information of all digital cameras")
+// and can discover which sources answer a topic at all ("list all sites
+// supporting BLAST queries"). THOR feeds it: every QA-Object extracted in
+// stage three becomes one indexed document.
+package qaindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"thor/internal/stem"
+	"thor/internal/tagtree"
+)
+
+// Document is one indexed QA-Object.
+type Document struct {
+	// SiteID and SiteName identify the deep-web source.
+	SiteID   int
+	SiteName string
+	// ProbeQuery is the probe keyword whose answer page carried the
+	// object.
+	ProbeQuery string
+	// PageURL is the dynamic page the object was extracted from.
+	PageURL string
+	// Text is the object's full text.
+	Text string
+
+	terms  map[string]int
+	length int
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc   *Document
+	Score float64
+}
+
+// Index is an inverted index over QA-Object documents with BM25 ranking.
+// The zero value is ready to use; it is not safe for concurrent mutation.
+type Index struct {
+	docs     []*Document
+	postings map[string][]posting
+	totalLen int
+}
+
+type posting struct {
+	doc int
+	tf  int
+}
+
+// BM25 constants (standard Robertson/Spärck Jones defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Add indexes one QA-Object subtree as a document and returns it.
+func (ix *Index) Add(siteID int, siteName, probeQuery, pageURL string, obj *tagtree.Node) *Document {
+	text := strings.TrimSpace(obj.Text())
+	return ix.AddText(siteID, siteName, probeQuery, pageURL, text)
+}
+
+// AddText indexes a document from raw text (exposed for non-tree sources).
+func (ix *Index) AddText(siteID int, siteName, probeQuery, pageURL, text string) *Document {
+	doc := &Document{
+		SiteID: siteID, SiteName: siteName,
+		ProbeQuery: probeQuery, PageURL: pageURL, Text: text,
+		terms: make(map[string]int),
+	}
+	for _, tok := range tagtree.Tokenize(text) {
+		doc.terms[stem.Stem(tok)]++
+		doc.length++
+	}
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	if ix.postings == nil {
+		ix.postings = make(map[string][]posting)
+	}
+	for term, tf := range doc.terms {
+		ix.postings[term] = append(ix.postings[term], posting{doc: id, tf: tf})
+	}
+	ix.totalLen += doc.length
+	return doc
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Terms returns the vocabulary size.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// Search returns the top-k documents for a free-text query under BM25.
+// Query terms are stemmed like document terms.
+func (ix *Index) Search(query string, k int) []Hit {
+	return ix.search(query, k, -1)
+}
+
+// SearchSite restricts Search to one source — the per-site view of the
+// paper's retrieval engine.
+func (ix *Index) SearchSite(query string, k, siteID int) []Hit {
+	return ix.search(query, k, siteID)
+}
+
+func (ix *Index) search(query string, k, siteFilter int) []Hit {
+	n := len(ix.docs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(n)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[int]float64)
+	for _, tok := range tagtree.Tokenize(query) {
+		term := stem.Stem(tok)
+		plist := ix.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			doc := ix.docs[p.doc]
+			if siteFilter >= 0 && doc.SiteID != siteFilter {
+				continue
+			}
+			tf := float64(p.tf)
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(doc.length)/avgLen))
+			scores[p.doc] += idf * norm
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{Doc: ix.docs[id], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.PageURL < hits[j].Doc.PageURL // deterministic ties
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SitesSupporting returns, for a topic query, the distinct sources whose
+// indexed objects match it, ordered by their best-scoring object — the
+// "searching by sites" feature of the envisioned engine.
+func (ix *Index) SitesSupporting(query string) []SiteHit {
+	best := make(map[int]*SiteHit)
+	for _, h := range ix.search(query, len(ix.docs), -1) {
+		sh, ok := best[h.Doc.SiteID]
+		if !ok {
+			best[h.Doc.SiteID] = &SiteHit{
+				SiteID: h.Doc.SiteID, SiteName: h.Doc.SiteName,
+				Score: h.Score, Matches: 1,
+			}
+			continue
+		}
+		sh.Matches++
+		if h.Score > sh.Score {
+			sh.Score = h.Score
+		}
+	}
+	out := make([]SiteHit, 0, len(best))
+	for _, sh := range best {
+		out = append(out, *sh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SiteID < out[j].SiteID
+	})
+	return out
+}
+
+// SiteHit is one source in a search-by-sites result.
+type SiteHit struct {
+	SiteID   int
+	SiteName string
+	Score    float64 // best object score
+	Matches  int     // matching objects at the source
+}
+
+// String summarizes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("qaindex{%d objects, %d terms}", ix.Len(), ix.Terms())
+}

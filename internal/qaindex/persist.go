@@ -1,0 +1,92 @@
+package qaindex
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk index format: a gzipped gob snapshot of the documents. The
+// postings are rebuilt on load — they are derivable, and re-deriving keeps
+// the format small and forward-compatible with posting-layout changes.
+
+type docSnapshot struct {
+	SiteID     int
+	SiteName   string
+	ProbeQuery string
+	PageURL    string
+	Text       string
+}
+
+type indexSnapshot struct {
+	Version int
+	Docs    []docSnapshot
+}
+
+const indexVersion = 1
+
+// Write serializes the index to w.
+func (ix *Index) Write(w io.Writer) error {
+	snap := indexSnapshot{Version: indexVersion}
+	for _, d := range ix.docs {
+		snap.Docs = append(snap.Docs, docSnapshot{
+			SiteID: d.SiteID, SiteName: d.SiteName,
+			ProbeQuery: d.ProbeQuery, PageURL: d.PageURL, Text: d.Text,
+		})
+	}
+	gz := gzip.NewWriter(w)
+	if err := gob.NewEncoder(gz).Encode(&snap); err != nil {
+		gz.Close()
+		return fmt.Errorf("qaindex: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("qaindex: compress: %w", err)
+	}
+	return nil
+}
+
+// Read loads an index written by Write, rebuilding the postings.
+func Read(r io.Reader) (*Index, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("qaindex: decompress: %w", err)
+	}
+	defer gz.Close()
+	var snap indexSnapshot
+	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("qaindex: decode: %w", err)
+	}
+	if snap.Version != indexVersion {
+		return nil, fmt.Errorf("qaindex: unsupported format version %d", snap.Version)
+	}
+	ix := &Index{}
+	for _, d := range snap.Docs {
+		ix.AddText(d.SiteID, d.SiteName, d.ProbeQuery, d.PageURL, d.Text)
+	}
+	return ix, nil
+}
+
+// WriteFile writes the index to path.
+func (ix *Index) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("qaindex: %w", err)
+	}
+	if err := ix.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads an index from path.
+func ReadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qaindex: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,76 @@
+package qaindex
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	orig := seedIndex()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	if got.Terms() != orig.Terms() {
+		t.Errorf("terms = %d, want %d", got.Terms(), orig.Terms())
+	}
+	// Searches rank identically after the round trip.
+	a := orig.Search("digital camera", 5)
+	b := got.Search("digital camera", 5)
+	if len(a) != len(b) {
+		t.Fatalf("hits %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Doc.PageURL != b[i].Doc.PageURL || a[i].Score != b[i].Score {
+			t.Errorf("hit %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "objects.idx.gz")
+	orig := seedIndex()
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Errorf("len = %d", got.Len())
+	}
+}
+
+func TestIndexReadGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a gzip stream")); err == nil {
+		t.Error("Read accepted garbage")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.gz")); err == nil {
+		t.Error("ReadFile accepted missing file")
+	}
+}
+
+func TestIndexWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	ix := &Index{}
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty index round trip len = %d", got.Len())
+	}
+}

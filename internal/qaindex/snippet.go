@@ -1,0 +1,74 @@
+package qaindex
+
+import (
+	"strings"
+
+	"thor/internal/stem"
+	"thor/internal/tagtree"
+)
+
+// Snippet renders a result excerpt of at most maxLen characters centered
+// on the first query-term occurrence, with every query-term occurrence
+// wrapped in the given markers (e.g. "«", "»" for terminals or "<b>",
+// "</b>" for HTML). Matching is stem-based, like retrieval itself, so
+// "cameras" highlights "camera".
+func Snippet(doc *Document, query string, maxLen int, openMark, closeMark string) string {
+	if doc == nil || doc.Text == "" {
+		return ""
+	}
+	if maxLen <= 0 {
+		maxLen = 160
+	}
+	queryStems := make(map[string]bool)
+	for _, tok := range tagtree.Tokenize(query) {
+		queryStems[stem.Stem(tok)] = true
+	}
+
+	words := strings.Fields(doc.Text)
+	// Find the first matching word to center the window on.
+	first := -1
+	matches := make([]bool, len(words))
+	for i, w := range words {
+		toks := tagtree.Tokenize(w)
+		for _, tok := range toks {
+			if queryStems[stem.Stem(tok)] {
+				matches[i] = true
+				if first < 0 {
+					first = i
+				}
+				break
+			}
+		}
+	}
+	start := 0
+	if first > 0 {
+		// Back up a few words of left context.
+		start = first - 4
+		if start < 0 {
+			start = 0
+		}
+	}
+	var b strings.Builder
+	if start > 0 {
+		b.WriteString("… ")
+	}
+	for i := start; i < len(words); i++ {
+		next := words[i]
+		if matches[i] {
+			next = openMark + next + closeMark
+		}
+		add := len(next)
+		if b.Len() > 0 {
+			add++
+		}
+		if b.Len()+add > maxLen {
+			b.WriteString(" …")
+			break
+		}
+		if i > start {
+			b.WriteByte(' ')
+		}
+		b.WriteString(next)
+	}
+	return b.String()
+}

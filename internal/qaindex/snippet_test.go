@@ -1,0 +1,82 @@
+package qaindex
+
+import (
+	"strings"
+	"testing"
+)
+
+func snippetDoc(text string) *Document {
+	return &Document{Text: text}
+}
+
+func TestSnippetHighlights(t *testing.T) {
+	doc := snippetDoc("a shiny digital camera with leather case")
+	got := Snippet(doc, "camera", 200, "«", "»")
+	if !strings.Contains(got, "«camera»") {
+		t.Errorf("snippet = %q", got)
+	}
+}
+
+func TestSnippetStemMatching(t *testing.T) {
+	doc := snippetDoc("two cameras on sale")
+	got := Snippet(doc, "camera", 200, "[", "]")
+	if !strings.Contains(got, "[cameras]") {
+		t.Errorf("snippet = %q", got)
+	}
+}
+
+func TestSnippetCentersOnMatch(t *testing.T) {
+	long := strings.Repeat("filler ", 40) + "target word here " + strings.Repeat("tail ", 20)
+	doc := snippetDoc(long)
+	got := Snippet(doc, "target", 80, "«", "»")
+	if !strings.Contains(got, "«target»") {
+		t.Fatalf("match missing from snippet %q", got)
+	}
+	if !strings.HasPrefix(got, "… ") {
+		t.Errorf("left context not elided: %q", got)
+	}
+	if len(got) > 90 {
+		t.Errorf("snippet too long: %d chars", len(got))
+	}
+}
+
+func TestSnippetTruncatesRight(t *testing.T) {
+	doc := snippetDoc("match " + strings.Repeat("tail ", 60))
+	got := Snippet(doc, "match", 50, "«", "»")
+	if !strings.HasSuffix(got, " …") {
+		t.Errorf("right truncation missing: %q", got)
+	}
+}
+
+func TestSnippetNoMatch(t *testing.T) {
+	doc := snippetDoc("nothing relevant here at all")
+	got := Snippet(doc, "zebra", 60, "«", "»")
+	if strings.Contains(got, "«") {
+		t.Errorf("phantom highlight: %q", got)
+	}
+	if !strings.HasPrefix(got, "nothing") {
+		t.Errorf("snippet should start at the text head: %q", got)
+	}
+}
+
+func TestSnippetEdgeCases(t *testing.T) {
+	if got := Snippet(nil, "x", 10, "<", ">"); got != "" {
+		t.Errorf("nil doc snippet = %q", got)
+	}
+	if got := Snippet(snippetDoc(""), "x", 10, "<", ">"); got != "" {
+		t.Errorf("empty doc snippet = %q", got)
+	}
+	// Zero maxLen takes the default rather than emitting nothing.
+	got := Snippet(snippetDoc("some words here"), "words", 0, "<", ">")
+	if !strings.Contains(got, "<words>") {
+		t.Errorf("default maxLen snippet = %q", got)
+	}
+}
+
+func TestSnippetPunctuationAdjacent(t *testing.T) {
+	doc := snippetDoc("price: $9.99, camera, included.")
+	got := Snippet(doc, "camera", 100, "«", "»")
+	if !strings.Contains(got, "«camera,»") {
+		t.Errorf("punctuation-adjacent match missed: %q", got)
+	}
+}

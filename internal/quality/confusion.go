@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/cluster"
+)
+
+// ConfusionMatrix cross-tabulates a clustering against true class labels:
+// cell [i][j] counts the pages of cluster i that belong to class j. It is
+// the raw table behind entropy and purity, useful when a single number
+// hides what actually got confused with what.
+type ConfusionMatrix struct {
+	// Counts[i][j]: pages in cluster i with class j.
+	Counts [][]int
+	// ClassNames label the columns (optional; indexes used when empty).
+	ClassNames []string
+}
+
+// NewConfusionMatrix builds the matrix for a clustering.
+func NewConfusionMatrix(cl cluster.Clustering, labels []int, classes int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Counts: make([][]int, cl.K)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, classes)
+	}
+	for c, members := range cl.Clusters {
+		for _, i := range members {
+			m.Counts[c][labels[i]]++
+		}
+	}
+	return m
+}
+
+// ClusterSize returns the number of pages in cluster i.
+func (m *ConfusionMatrix) ClusterSize(i int) int {
+	n := 0
+	for _, c := range m.Counts[i] {
+		n += c
+	}
+	return n
+}
+
+// ClassTotal returns the number of pages of class j.
+func (m *ConfusionMatrix) ClassTotal(j int) int {
+	n := 0
+	for i := range m.Counts {
+		n += m.Counts[i][j]
+	}
+	return n
+}
+
+// ClassRecall returns, for class j, the largest fraction of its pages that
+// landed in a single cluster — how well the clustering kept the class
+// together.
+func (m *ConfusionMatrix) ClassRecall(j int) float64 {
+	total := m.ClassTotal(j)
+	if total == 0 {
+		return 0
+	}
+	max := 0
+	for i := range m.Counts {
+		if m.Counts[i][j] > max {
+			max = m.Counts[i][j]
+		}
+	}
+	return float64(max) / float64(total)
+}
+
+// String renders the matrix as an aligned table, clusters as rows.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	b.WriteString("cluster")
+	classes := 0
+	if len(m.Counts) > 0 {
+		classes = len(m.Counts[0])
+	}
+	for j := 0; j < classes; j++ {
+		name := fmt.Sprintf("class%d", j)
+		if j < len(m.ClassNames) {
+			name = m.ClassNames[j]
+		}
+		fmt.Fprintf(&b, "  %12s", name)
+	}
+	b.WriteString("\n")
+	for i, row := range m.Counts {
+		fmt.Fprintf(&b, "%7d", i)
+		for _, c := range row {
+			fmt.Fprintf(&b, "  %12d", c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

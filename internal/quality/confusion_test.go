@@ -1,0 +1,51 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 1, 2}
+	cl := mkClustering(6, [][]int{{0, 1, 2}, {3, 4, 5}})
+	m := NewConfusionMatrix(cl, labels, 3)
+	if m.Counts[0][0] != 2 || m.Counts[0][1] != 1 || m.Counts[0][2] != 0 {
+		t.Errorf("row 0 = %v", m.Counts[0])
+	}
+	if m.Counts[1][1] != 2 || m.Counts[1][2] != 1 {
+		t.Errorf("row 1 = %v", m.Counts[1])
+	}
+	if m.ClusterSize(0) != 3 || m.ClusterSize(1) != 3 {
+		t.Errorf("cluster sizes wrong")
+	}
+	if m.ClassTotal(1) != 3 {
+		t.Errorf("class total = %d", m.ClassTotal(1))
+	}
+}
+
+func TestClassRecall(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	cl := mkClustering(4, [][]int{{0, 1, 2}, {3}})
+	m := NewConfusionMatrix(cl, labels, 1)
+	if got := m.ClassRecall(0); got != 0.75 {
+		t.Errorf("ClassRecall = %v, want 0.75", got)
+	}
+	empty := NewConfusionMatrix(mkClustering(0, [][]int{{}}), nil, 2)
+	if got := empty.ClassRecall(1); got != 0 {
+		t.Errorf("empty class recall = %v", got)
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	labels := []int{0, 1}
+	cl := mkClustering(2, [][]int{{0}, {1}})
+	m := NewConfusionMatrix(cl, labels, 2)
+	m.ClassNames = []string{"multi", "single"}
+	out := m.String()
+	if !strings.Contains(out, "multi") || !strings.Contains(out, "single") {
+		t.Errorf("String missing class names:\n%s", out)
+	}
+	if !strings.Contains(out, "\n") {
+		t.Errorf("String not tabular")
+	}
+}

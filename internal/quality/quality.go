@@ -1,0 +1,131 @@
+// Package quality implements the evaluation measures of the paper:
+// entropy of a clustering against known class labels (Section 3.1.4) and
+// precision/recall for QA-Pagelet identification (Section 3.2).
+package quality
+
+import (
+	"math"
+
+	"thor/internal/cluster"
+)
+
+// Entropy measures the disorder of a clustering with respect to true class
+// labels, normalized to [0,1]: 0 when every cluster is pure, 1 when every
+// class is spread evenly over the clusters. labels[i] is the class of item
+// i; classes is the number c of distinct classes (label values must lie in
+// [0, classes)). Following Section 3.1.4:
+//
+//	Entropy(Cluster_i) = -1/log(c) · Σ_j p(j|i)·log p(j|i)
+//	Entropy(C)        = Σ_i n_i/n · Entropy(Cluster_i)
+//
+// With a single class (c == 1) any clustering is perfect and entropy is 0.
+func Entropy(cl cluster.Clustering, labels []int, classes int) float64 {
+	n := len(labels)
+	if n == 0 || classes <= 1 {
+		return 0
+	}
+	logC := math.Log(float64(classes))
+	var total float64
+	for _, members := range cl.Clusters {
+		ni := len(members)
+		if ni == 0 {
+			continue
+		}
+		counts := make([]int, classes)
+		for _, i := range members {
+			counts[labels[i]]++
+		}
+		var h float64
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(ni)
+			h -= p * math.Log(p)
+		}
+		h /= logC
+		total += float64(ni) / float64(n) * h
+	}
+	return total
+}
+
+// Purity returns the fraction of items whose cluster's majority class
+// matches their own — a companion measure to entropy used in the extended
+// evaluation harness.
+func Purity(cl cluster.Clustering, labels []int, classes int) float64 {
+	n := len(labels)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for _, members := range cl.Clusters {
+		if len(members) == 0 {
+			continue
+		}
+		counts := make([]int, classes)
+		for _, i := range members {
+			counts[labels[i]]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		correct += max
+	}
+	return float64(correct) / float64(n)
+}
+
+// PR holds precision and recall.
+type PR struct {
+	Precision float64
+	Recall    float64
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (pr PR) F1() float64 {
+	if pr.Precision+pr.Recall == 0 {
+		return 0
+	}
+	return 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+}
+
+// PrecisionRecall computes the paper's phase-two measures:
+//
+//	precision = correct identifications / subtrees identified as QA-Pagelets
+//	recall    = correct identifications / total QA-Pagelets in the page set
+//
+// A zero denominator yields the conventional value: precision 1 when
+// nothing was identified, recall 1 when there was nothing to find.
+func PrecisionRecall(correct, identified, total int) PR {
+	pr := PR{Precision: 1, Recall: 1}
+	if identified > 0 {
+		pr.Precision = float64(correct) / float64(identified)
+	}
+	if total > 0 {
+		pr.Recall = float64(correct) / float64(total)
+	}
+	return pr
+}
+
+// Counter accumulates correct/identified/total tallies across many pages or
+// sites and reports the pooled (micro-averaged) precision and recall.
+type Counter struct {
+	Correct    int
+	Identified int
+	Total      int
+}
+
+// Add merges another tally into c.
+func (c *Counter) Add(correct, identified, total int) {
+	c.Correct += correct
+	c.Identified += identified
+	c.Total += total
+}
+
+// Merge merges another counter into c.
+func (c *Counter) Merge(o Counter) { c.Add(o.Correct, o.Identified, o.Total) }
+
+// PR reports the pooled precision and recall.
+func (c Counter) PR() PR { return PrecisionRecall(c.Correct, c.Identified, c.Total) }

@@ -1,0 +1,136 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"thor/internal/cluster"
+)
+
+// mkClustering builds a Clustering from explicit member lists.
+func mkClustering(n int, clusters [][]int) cluster.Clustering {
+	assign := make([]int, n)
+	for c, members := range clusters {
+		for _, i := range members {
+			assign[i] = c
+		}
+	}
+	return cluster.Clustering{K: len(clusters), Assign: assign, Clusters: clusters}
+}
+
+func TestEntropyPureClusters(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	cl := mkClustering(4, [][]int{{0, 1}, {2, 3}})
+	if got := Entropy(cl, labels, 2); got != 0 {
+		t.Errorf("pure clustering entropy = %v, want 0", got)
+	}
+}
+
+func TestEntropyWorstCase(t *testing.T) {
+	// Two classes spread evenly over two clusters: entropy 1.
+	labels := []int{0, 1, 0, 1}
+	cl := mkClustering(4, [][]int{{0, 1}, {2, 3}})
+	if got := Entropy(cl, labels, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("worst-case entropy = %v, want 1", got)
+	}
+}
+
+func TestEntropyHandComputed(t *testing.T) {
+	// One cluster of 4 pages: 3 of class 0, 1 of class 1.
+	labels := []int{0, 0, 0, 1}
+	cl := mkClustering(4, [][]int{{0, 1, 2, 3}})
+	p0, p1 := 0.75, 0.25
+	want := -(p0*math.Log(p0) + p1*math.Log(p1)) / math.Log(2)
+	if got := Entropy(cl, labels, 2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+}
+
+func TestEntropyWeightsBySize(t *testing.T) {
+	// A pure cluster of 9 and a 50/50 cluster of 2: total = (2/11)·1.
+	labels := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	cl := mkClustering(11, [][]int{{0, 1, 2, 3, 4, 5, 6, 7, 8}, {9, 10}})
+	want := 2.0 / 11.0
+	if got := Entropy(cl, labels, 2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+}
+
+func TestEntropyDegenerateInputs(t *testing.T) {
+	if got := Entropy(cluster.Clustering{}, nil, 4); got != 0 {
+		t.Errorf("empty entropy = %v", got)
+	}
+	labels := []int{0, 0}
+	cl := mkClustering(2, [][]int{{0, 1}})
+	if got := Entropy(cl, labels, 1); got != 0 {
+		t.Errorf("single-class entropy = %v", got)
+	}
+}
+
+func TestEntropyEmptyClusterIgnored(t *testing.T) {
+	labels := []int{0, 1}
+	cl := mkClustering(2, [][]int{{0, 1}, {}})
+	if got := Entropy(cl, labels, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("entropy with empty cluster = %v, want 1", got)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 1}
+	cl := mkClustering(5, [][]int{{0, 1, 2}, {3, 4}})
+	// Cluster 0 majority class 0 (2 of 3), cluster 1 pure class 1 (2).
+	want := 4.0 / 5.0
+	if got := Purity(cl, labels, 2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("purity = %v, want %v", got, want)
+	}
+	if got := Purity(cluster.Clustering{}, nil, 2); got != 0 {
+		t.Errorf("empty purity = %v", got)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	pr := PrecisionRecall(8, 10, 16)
+	if math.Abs(pr.Precision-0.8) > 1e-9 || math.Abs(pr.Recall-0.5) > 1e-9 {
+		t.Errorf("PR = %+v", pr)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	// Nothing identified: precision conventionally 1.
+	pr := PrecisionRecall(0, 0, 5)
+	if pr.Precision != 1 || pr.Recall != 0 {
+		t.Errorf("no identifications: %+v", pr)
+	}
+	// Nothing to find: recall conventionally 1.
+	pr = PrecisionRecall(0, 3, 0)
+	if pr.Recall != 1 || pr.Precision != 0 {
+		t.Errorf("nothing to find: %+v", pr)
+	}
+}
+
+func TestF1(t *testing.T) {
+	pr := PR{Precision: 0.5, Recall: 1.0}
+	want := 2 * 0.5 * 1.0 / 1.5
+	if got := pr.F1(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("F1 = %v, want %v", got, want)
+	}
+	if (PR{}).F1() != 0 {
+		t.Errorf("zero PR F1 != 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3, 4, 5)
+	c.Add(1, 1, 2)
+	var d Counter
+	d.Add(0, 1, 1)
+	c.Merge(d)
+	if c.Correct != 4 || c.Identified != 6 || c.Total != 8 {
+		t.Errorf("counter = %+v", c)
+	}
+	pr := c.PR()
+	if math.Abs(pr.Precision-4.0/6.0) > 1e-9 || math.Abs(pr.Recall-0.5) > 1e-9 {
+		t.Errorf("pooled PR = %+v", pr)
+	}
+}

@@ -1,0 +1,140 @@
+package sourcecat
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/core"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// buildProfiles extracts profiles for n simulated sites. Sites with ids
+// i and i+5 share a schema family, so categorization has real structure
+// to find.
+func buildProfiles(t *testing.T, n int) []*Profile {
+	t.Helper()
+	prober := &probe.Prober{Plan: probe.NewPlan(60, 6, 8), Labeler: deepweb.Labeler()}
+	var profiles []*Profile
+	for id := 0; id < n; id++ {
+		site := deepweb.NewSite(deepweb.SiteConfig{ID: id, Seed: 42})
+		col := prober.ProbeSite(site)
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(id)
+		res := core.NewExtractor(cfg).Extract(col.Pages)
+		profiles = append(profiles, ProfileFromPagelets(site.ID(), site.Name(), res.Pagelets))
+	}
+	return profiles
+}
+
+func TestProfileFromPagelets(t *testing.T) {
+	profiles := buildProfiles(t, 1)
+	p := profiles[0]
+	if p.Pagelets == 0 {
+		t.Fatal("profile saw no pagelets")
+	}
+	if len(p.Terms) < 20 {
+		t.Errorf("profile vocabulary = %d terms", len(p.Terms))
+	}
+	top := p.TopTerms(5)
+	if len(top) != 5 {
+		t.Errorf("TopTerms = %v", top)
+	}
+}
+
+// TestCategorizeGroupsSchemaFamilies: 10 sites over 5 schema families
+// (books/music/products/articles/jobs, ids i and i+5 sharing a family)
+// must categorize so same-family sources co-occur.
+func TestCategorizeGroupsSchemaFamilies(t *testing.T) {
+	profiles := buildProfiles(t, 10)
+	cats := Categorize(profiles, Config{K: 5, Seed: 3})
+	if len(cats) == 0 {
+		t.Fatal("no categories")
+	}
+	family := func(siteID int) int { return siteID % 5 }
+	together := 0
+	for _, cat := range cats {
+		fams := make(map[int]int)
+		for _, m := range cat.Members {
+			fams[family(m.SiteID)]++
+		}
+		for _, c := range fams {
+			if c >= 2 {
+				together++
+			}
+		}
+	}
+	// At least three of the five family pairs must land together; the
+	// schema vocabulary (field labels, value shapes) is the signal.
+	if together < 3 {
+		t.Errorf("only %d family pairs categorized together", together)
+		for _, cat := range cats {
+			var ids []int
+			for _, m := range cat.Members {
+				ids = append(ids, m.SiteID)
+			}
+			t.Logf("category %v label=%v", ids, cat.Label)
+		}
+	}
+}
+
+func TestCategorizeLabels(t *testing.T) {
+	profiles := buildProfiles(t, 5)
+	cats := Categorize(profiles, Config{K: 5, Seed: 3, LabelTerms: 4})
+	for _, cat := range cats {
+		if len(cat.Label) == 0 {
+			t.Errorf("category without label terms")
+		}
+		for _, term := range cat.Label {
+			if term != strings.ToLower(term) || len(term) < 2 {
+				t.Errorf("suspicious label term %q", term)
+			}
+		}
+	}
+}
+
+func TestCategorizeEmpty(t *testing.T) {
+	if got := Categorize(nil, Config{K: 3}); got != nil {
+		t.Errorf("Categorize(nil) = %v", got)
+	}
+}
+
+func TestProfileFromPages(t *testing.T) {
+	prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 8), Labeler: deepweb.Labeler()}
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 0, Seed: 42})
+	col := prober.ProbeSite(site)
+	p := ProfileFromPages(site.ID(), site.Name(), col.Pages)
+	if p.Pagelets == 0 || len(p.Terms) == 0 {
+		t.Fatalf("page-level profile empty: %d pagelets, %d terms", p.Pagelets, len(p.Terms))
+	}
+	// Only pagelet-bearing pages contribute.
+	if p.Pagelets != len(col.PageletBearing()) {
+		t.Errorf("profile counted %d pages, want %d answer pages",
+			p.Pagelets, len(col.PageletBearing()))
+	}
+}
+
+func TestSchemaTermHint(t *testing.T) {
+	// Schema terms (field labels like "author:") only appear on sites
+	// whose layout renders labels; scan a few site profiles for one.
+	prober := &probe.Prober{Plan: probe.NewPlan(60, 6, 8), Labeler: deepweb.Labeler()}
+	for id := 0; id < 8; id++ {
+		site := deepweb.NewSite(deepweb.SiteConfig{ID: id, Seed: 42})
+		if !site.Layout().BoldLabels {
+			continue
+		}
+		col := prober.ProbeSite(site)
+		res := core.NewExtractor(core.DefaultConfig()).Extract(col.Pages)
+		hints := SchemaTermHint(res.Pagelets, 0.3)
+		if len(hints) == 0 {
+			t.Fatalf("site %d renders labels but yielded no schema terms at 30%% share", id)
+		}
+		for _, h := range hints {
+			if len(h) < 2 {
+				t.Errorf("degenerate hint %q", h)
+			}
+		}
+		return
+	}
+	t.Skip("no label-rendering site among the first 8 profiles")
+}

@@ -1,0 +1,260 @@
+// Package stem implements Porter's suffix-stripping algorithm (M.F. Porter,
+// "An algorithm for suffix stripping", Program 14(3), 1980). THOR applies it
+// to content terms before building content signatures (Section 3.1.2) and
+// subtree term vectors (Section 3.2.1).
+package stem
+
+import "strings"
+
+// Stem returns the Porter stem of word. Input is lowercased first; words
+// shorter than three letters are returned unchanged (after lowercasing), as
+// in Porter's reference implementation.
+func Stem(word string) string {
+	w := strings.ToLower(word)
+	if len(w) <= 2 {
+		return w
+	}
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c < 'a' || c > 'z' {
+			return w // non-alphabetic tokens (numbers, mixed) pass through
+		}
+	}
+	b := []byte(w)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than a,e,i,o,u; 'y' is a consonant when it follows a vowel
+// position (i.e. when preceded by a consonant it acts as a vowel).
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of vowel-consonant sequences in b[:end].
+func measure(b []byte, end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && isConsonant(b, i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !isConsonant(b, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		// Consonant run.
+		for i < end && isConsonant(b, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// containsVowel reports whether b[:end] contains a vowel.
+func containsVowel(b []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b ends with a double consonant.
+func doubleConsonant(b []byte) bool {
+	n := len(b)
+	if n < 2 || b[n-1] != b[n-2] {
+		return false
+	}
+	return isConsonant(b, n-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func cvc(b []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isConsonant(b, end-3) || isConsonant(b, end-2) || !isConsonant(b, end-1) {
+		return false
+	}
+	switch b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	return len(b) >= len(s) && string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r when the stem before s has
+// measure > m. It returns the (possibly new) word and whether a replacement
+// occurred. Matching alone (without the measure condition holding) still
+// counts as "this rule fired" for rule-ordering purposes, so callers that
+// need that distinction test hasSuffix first.
+func replaceSuffix(b []byte, s, r string, m int) ([]byte, bool) {
+	if !hasSuffix(b, s) {
+		return b, false
+	}
+	stemEnd := len(b) - len(s)
+	if measure(b, stemEnd) > m {
+		return append(b[:stemEnd], r...), true
+	}
+	return b, true // matched but condition failed: stop trying later rules
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b, len(b)-3) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	stripped := false
+	if hasSuffix(b, "ed") && containsVowel(b, len(b)-2) {
+		b = b[:len(b)-2]
+		stripped = true
+	} else if hasSuffix(b, "ing") && containsVowel(b, len(b)-3) {
+		b = b[:len(b)-3]
+		stripped = true
+	}
+	if !stripped {
+		return b
+	}
+	switch {
+	case hasSuffix(b, "at"), hasSuffix(b, "bl"), hasSuffix(b, "iz"):
+		return append(b, 'e')
+	case doubleConsonant(b) && !hasSuffix(b, "l") && !hasSuffix(b, "s") && !hasSuffix(b, "z"):
+		return b[:len(b)-1]
+	case measure(b, len(b)) == 1 && cvc(b, len(b)):
+		return append(b, 'e')
+	}
+	return b
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && containsVowel(b, len(b)-1) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+	{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+	{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+	{"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if hasSuffix(b, r.suffix) {
+			b, _ = replaceSuffix(b, r.suffix, r.repl, 0)
+			return b
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if hasSuffix(b, r.suffix) {
+			b, _ = replaceSuffix(b, r.suffix, r.repl, 0)
+			return b
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stemEnd := len(b) - len(s)
+		if s == "ion" {
+			// (m>1 and (*S or *T)) ION ->
+			if stemEnd > 0 && (b[stemEnd-1] == 's' || b[stemEnd-1] == 't') && measure(b, stemEnd) > 1 {
+				return b[:stemEnd]
+			}
+			return b
+		}
+		if measure(b, stemEnd) > 1 {
+			return b[:stemEnd]
+		}
+		return b
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stemEnd := len(b) - 1
+	m := measure(b, stemEnd)
+	if m > 1 || (m == 1 && !cvc(b, stemEnd)) {
+		return b[:stemEnd]
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if hasSuffix(b, "ll") && measure(b, len(b)) > 1 {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package stem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestStemKnownVectors checks the canonical examples from Porter's 1980
+// paper, step by step.
+func TestStemKnownVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Step 1a
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		// Step 1b
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		// Step 1c
+		{"happy", "happi"},
+		{"sky", "sky"},
+		// Step 2
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"hesitanci", "hesit"},
+		{"digitizer", "digit"},
+		{"conformabli", "conform"},
+		{"radicalli", "radic"},
+		{"differentli", "differ"},
+		{"vileli", "vile"},
+		{"analogousli", "analog"},
+		{"vietnamization", "vietnam"},
+		{"predication", "predic"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		// Step 3
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		// Step 4
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"gyroscopic", "gyroscop"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		// Step 5a
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		// Step 5b
+		{"controll", "control"},
+		{"roll", "roll"},
+	}
+	for _, c := range cases {
+		if got := Stem(c.in); got != c.want {
+			t.Errorf("Stem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemWholeWords(t *testing.T) {
+	// End-to-end words from running text, as stemmed by reference
+	// implementations.
+	cases := []struct{ in, want string }{
+		{"connected", "connect"},
+		{"connecting", "connect"},
+		{"connection", "connect"},
+		{"connections", "connect"},
+		{"running", "run"},
+		{"flying", "fly"},
+		{"dies", "di"},
+		{"agreement", "agreement"}, // m condition fails for -ment here
+		{"argument", "argument"},
+	}
+	for _, c := range cases {
+		if got := Stem(c.in); got != c.want {
+			t.Errorf("Stem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"a", "is", "be", "at", "xy"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemLowercases(t *testing.T) {
+	if got := Stem("Running"); got != "run" {
+		t.Errorf("Stem(Running) = %q, want run", got)
+	}
+	if got := Stem("CATS"); got != "cat" {
+		t.Errorf("Stem(CATS) = %q", got)
+	}
+}
+
+func TestStemNonAlphabeticPassThrough(t *testing.T) {
+	for _, w := range []string{"1999", "3rd", "foo-bar", "a1b2"} {
+		if got := Stem(w); got != strings.ToLower(w) {
+			t.Errorf("Stem(%q) = %q, want lowercased input", w, got)
+		}
+	}
+}
+
+// TestStemProperties: stems are non-empty, lowercase, and never longer
+// than the (lowercased) input plus one character (step 1b can append 'e').
+func TestStemProperties(t *testing.T) {
+	property := func(w string) bool {
+		got := Stem(w)
+		if got == "" && w != "" {
+			return false
+		}
+		if got != strings.ToLower(got) {
+			return false
+		}
+		return len(got) <= len(w)+1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStemMergesInflections: the purpose of stemming in THOR is that
+// morphological variants of a content word land on one term.
+func TestStemMergesInflections(t *testing.T) {
+	groups := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"adjust", "adjustment", "adjustable"},
+		{"relate", "relational"},
+	}
+	for _, g := range groups {
+		stem0 := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != stem0 {
+				t.Errorf("Stem(%q) = %q, want %q (same as %q)", w, got, stem0, g[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package strdist
+
+import (
+	"strings"
+	"sync"
+)
+
+// Simplifier maps tag names to unique fixed-length identifiers of q letters
+// each, as prescribed for path comparison in Section 3.2.1 of the paper:
+// "we first simplify each tag name to a unique identifier of fixed length of
+// q letters. This ensures that comparing longer tags with shorter tags will
+// not perversely affect the distance metric."
+//
+// With q=1 the paper's example maps html→h, head→e, and so on; identifiers
+// are assigned on first sight, preferring a letter of the tag itself when
+// available so simplified paths stay readable. A Simplifier is safe for
+// concurrent use.
+type Simplifier struct {
+	q  int
+	mu sync.Mutex
+	// assigned maps tag name -> identifier.
+	assigned map[string]string
+	// used tracks identifiers already handed out.
+	used map[string]bool
+	// next is the counter used to mint fresh identifiers when all
+	// preferred letters are taken.
+	next int
+}
+
+// NewSimplifier returns a Simplifier producing identifiers of q letters.
+// q must be at least 1.
+func NewSimplifier(q int) *Simplifier {
+	if q < 1 {
+		q = 1
+	}
+	return &Simplifier{
+		q:        q,
+		assigned: make(map[string]string),
+		used:     make(map[string]bool),
+	}
+}
+
+// ID returns the identifier for tag, assigning a new one on first use.
+func (s *Simplifier) ID(tag string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.assigned[tag]; ok {
+		return id
+	}
+	id := s.mint(tag)
+	s.assigned[tag] = id
+	s.used[id] = true
+	return id
+}
+
+// mint produces a fresh identifier, preferring prefixes/letters of the tag.
+func (s *Simplifier) mint(tag string) string {
+	// Try each letter of the tag padded/truncated to length q.
+	for i := 0; i < len(tag); i++ {
+		cand := pad(tag[i:], s.q)
+		if !s.used[cand] {
+			return cand
+		}
+	}
+	// Fall back to a counter rendered in base 26.
+	for {
+		cand := counterID(s.next, s.q)
+		s.next++
+		if !s.used[cand] {
+			return cand
+		}
+	}
+}
+
+func pad(src string, q int) string {
+	if len(src) >= q {
+		return src[:q]
+	}
+	return src + strings.Repeat("z", q-len(src))
+}
+
+func counterID(n, q int) string {
+	// Base-26 rendering with minimum width q. Once the 26^q fixed-width
+	// identifiers are exhausted the width grows, trading the fixed-length
+	// guarantee for uniqueness — HTML's real tag inventory fits well
+	// within 26^q identifiers for any q, so growth only matters for
+	// adversarial input.
+	var digits []byte
+	for n > 0 {
+		digits = append(digits, byte('a'+n%26))
+		n /= 26
+	}
+	for len(digits) < q {
+		digits = append(digits, 'a')
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return string(digits)
+}
+
+// SimplifyPath rewrites a '/'-separated tag path into its simplified form
+// with no separators, e.g. with q=1: "html/head/title" → "het". Positional
+// indexes like "[3]" (the paper's html/body/table[3] notation) are kept as
+// digits appended to the step's identifier, so two same-named siblings at
+// different positions — say a navigation div and a results div — remain
+// distinguishable to the edit distance while costing only one edit.
+func (s *Simplifier) SimplifyPath(path string) string {
+	var b strings.Builder
+	for _, stepStr := range strings.Split(path, "/") {
+		if stepStr == "" {
+			continue
+		}
+		idx := ""
+		if i := strings.IndexByte(stepStr, '['); i >= 0 {
+			idx = strings.TrimSuffix(stepStr[i+1:], "]")
+			stepStr = stepStr[:i]
+		}
+		b.WriteString(s.ID(stepStr))
+		b.WriteString(idx)
+	}
+	return b.String()
+}
+
+// PathDistance returns the normalized edit distance between two simplified
+// tag paths: EditDist(P_i, P_j) / max(len(P_i), len(P_j)), the first term of
+// THOR's subtree distance function.
+func (s *Simplifier) PathDistance(pathA, pathB string) float64 {
+	return Normalized(s.SimplifyPath(pathA), s.SimplifyPath(pathB))
+}

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+// buildLabeledPages fabricates a small labeled page set with distinctive
+// per-class structure.
+func buildLabeledPages() []*corpus.Page {
+	mk := func(html string, class corpus.Class, n int) []*corpus.Page {
+		var out []*corpus.Page
+		for i := 0; i < n; i++ {
+			out = append(out, &corpus.Page{HTML: html, Class: class})
+		}
+		return out
+	}
+	var pages []*corpus.Page
+	pages = append(pages, mk(`<html><body><table><tr><td>result one</td></tr><tr><td>result two</td></tr></table></body></html>`, corpus.MultiMatch, 6)...)
+	pages = append(pages, mk(`<html><body><dl><dt>name</dt><dd>detail value</dd></dl></body></html>`, corpus.SingleMatch, 2)...)
+	pages = append(pages, mk(`<html><body><p>no matches found</p></body></html>`, corpus.NoMatch, 8)...)
+	return pages
+}
+
+func TestBuildModel(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	if m.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", m.NumClasses())
+	}
+	var totalWeight float64
+	for _, cm := range m.Classes {
+		totalWeight += cm.Weight
+		if len(cm.TagSignatures) == 0 || len(cm.ContentSignatures) == 0 || len(cm.Sizes) == 0 {
+			t.Errorf("class %v has empty observations", cm.Class)
+		}
+	}
+	if math.Abs(totalWeight-1) > 1e-9 {
+		t.Errorf("class weights sum to %v, want 1", totalWeight)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	pages := m.Sample(4000, 1)
+	if len(pages) != 4000 {
+		t.Fatalf("sampled %d pages", len(pages))
+	}
+	counts := make(map[corpus.Class]int)
+	for _, p := range pages {
+		counts[p.Class]++
+	}
+	// Source distribution: 6/16, 2/16, 8/16. Allow generous slack.
+	checks := []struct {
+		class corpus.Class
+		want  float64
+	}{
+		{corpus.MultiMatch, 6.0 / 16}, {corpus.SingleMatch, 2.0 / 16}, {corpus.NoMatch, 8.0 / 16},
+	}
+	for _, c := range checks {
+		got := float64(counts[c.class]) / 4000
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("class %v share = %v, want ≈ %v", c.class, got, c.want)
+		}
+	}
+}
+
+func TestSampleSignaturesResembleClass(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	pages := m.Sample(200, 2)
+	for _, p := range pages {
+		switch p.Class {
+		case corpus.MultiMatch:
+			// Count-1 tags survive jitter (only count>1 terms may drop).
+			if p.Tags["table"] == 0 {
+				t.Fatalf("multi-match synthetic page missing table tag: %v", p.Tags)
+			}
+		case corpus.SingleMatch:
+			if p.Tags["dl"] == 0 {
+				t.Fatalf("single-match synthetic page missing dl: %v", p.Tags)
+			}
+		case corpus.NoMatch:
+			if p.Tags["table"] != 0 {
+				t.Fatalf("no-match synthetic page grew a table: %v", p.Tags)
+			}
+		}
+		if p.Size <= 0 {
+			t.Fatalf("non-positive synthetic size")
+		}
+		for term, c := range p.Content {
+			if c < 1 {
+				t.Fatalf("term %q count %d < 1", term, c)
+			}
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	a := m.Sample(50, 7)
+	b := m.Sample(50, 7)
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Size != b[i].Size {
+			t.Fatalf("sampling not deterministic at %d", i)
+		}
+		if len(a[i].Tags) != len(b[i].Tags) {
+			t.Fatalf("tag signatures differ at %d", i)
+		}
+	}
+}
+
+func TestSampleJitters(t *testing.T) {
+	// With jitter, not every synthetic page of a class can be identical.
+	m := BuildModel(buildLabeledPages())
+	pages := m.Sample(300, 3)
+	sizes := make(map[int]bool)
+	for _, p := range pages {
+		if p.Class == corpus.MultiMatch {
+			sizes[p.Size] = true
+		}
+	}
+	if len(sizes) < 3 {
+		t.Errorf("multi-match sizes take only %d values; jitter inactive", len(sizes))
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	pages := m.Sample(10, 4)
+	if got := len(Labels(pages)); got != 10 {
+		t.Errorf("Labels len = %d", got)
+	}
+	if got := len(TagSignatures(pages)); got != 10 {
+		t.Errorf("TagSignatures len = %d", got)
+	}
+	if got := len(ContentSignatures(pages)); got != 10 {
+		t.Errorf("ContentSignatures len = %d", got)
+	}
+	sizes := Sizes(pages)
+	if len(sizes) != 10 || sizes[0] <= 0 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+}
+
+// TestSyntheticClusterable: the whole point of the synthetic sets is that
+// the clustering phase behaves as on real pages — classes must remain
+// separable after jitter.
+func TestSyntheticClusterable(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	pages := m.Sample(120, 9)
+	// Tag signatures of different classes must not collide.
+	for _, p := range pages {
+		if p.Class == corpus.NoMatch && p.Tags["dl"] != 0 {
+			t.Fatalf("class structure bled across synthetic classes")
+		}
+	}
+}

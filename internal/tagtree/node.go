@@ -1,0 +1,284 @@
+// Package tagtree models web pages as tag trees, a variation of the
+// Document Object Model used throughout THOR (Caverlee, Liu, Buttler,
+// ICDE 2004, Section 2).
+//
+// A tag tree consists of tag nodes and content nodes. A tag node covers all
+// the characters from a start tag to its matching end tag and is labeled by
+// the tag name. A content node covers the characters between two tags and is
+// labeled by its content; content nodes are always leaves.
+package tagtree
+
+import (
+	"strings"
+)
+
+// NodeType distinguishes tag nodes from content nodes.
+type NodeType int
+
+const (
+	// TagNode is an element node labeled by its (lowercase) tag name.
+	TagNode NodeType = iota
+	// ContentNode is a leaf holding character data.
+	ContentNode
+)
+
+// String returns a human-readable name for the node type.
+func (t NodeType) String() string {
+	switch t {
+	case TagNode:
+		return "tag"
+	case ContentNode:
+		return "content"
+	default:
+		return "unknown"
+	}
+}
+
+// Attribute is a single key="value" pair on a tag node. THOR's algorithms
+// never consult attributes — they are retained only so pages can be
+// round-tripped and so ground-truth markers can be carried by test corpora.
+type Attribute struct {
+	Key string
+	Val string
+}
+
+// Node is a single node of a tag tree.
+//
+// The zero value is not useful; construct nodes with NewTag and NewContent
+// and link them with AppendChild so parent pointers stay consistent.
+type Node struct {
+	Type     NodeType
+	Tag      string      // tag name, lowercase; empty for content nodes
+	Content  string      // character data; empty for tag nodes
+	Attrs    []Attribute // attributes in document order; nil for content nodes
+	Parent   *Node
+	Children []*Node
+}
+
+// NewTag returns a new unattached tag node with the given (already
+// lowercase) tag name.
+func NewTag(tag string) *Node {
+	return &Node{Type: TagNode, Tag: tag}
+}
+
+// NewContent returns a new unattached content node holding text.
+func NewContent(text string) *Node {
+	return &Node{Type: ContentNode, Content: text}
+}
+
+// AppendChild attaches child as the last child of n and sets its parent
+// pointer. It panics if called on a content node, which by definition is a
+// leaf.
+func (n *Node) AppendChild(child *Node) {
+	if n.Type == ContentNode {
+		panic("tagtree: AppendChild on content node")
+	}
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets (or replaces) the named attribute.
+func (n *Node) SetAttr(key, val string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Key == key {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attribute{Key: key, Val: val})
+}
+
+// IsTag reports whether n is a tag node.
+func (n *Node) IsTag() bool { return n.Type == TagNode }
+
+// IsContent reports whether n is a content node.
+func (n *Node) IsContent() bool { return n.Type == ContentNode }
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Fanout returns the number of children of n. Content nodes have fanout 0.
+func (n *Node) Fanout() int { return len(n.Children) }
+
+// Depth returns the number of edges on the path from the tree root to n;
+// the root has depth 0.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// NodeCount returns the total number of nodes in the subtree rooted at n,
+// counting both tag and content nodes (including n itself).
+func (n *Node) NodeCount() int {
+	count := 1
+	for _, c := range n.Children {
+		count += c.NodeCount()
+	}
+	return count
+}
+
+// Height returns the number of edges on the longest downward path from n.
+// A leaf has height 0.
+func (n *Node) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// MaxFanout returns the largest fanout of any node in the subtree rooted at
+// n. It is the per-page statistic used by THOR's cluster ranking criterion
+// "average fanout" (Section 3.1.3).
+func (n *Node) MaxFanout() int {
+	max := len(n.Children)
+	for _, c := range n.Children {
+		if f := c.MaxFanout(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Walk visits every node of the subtree rooted at n in document (preorder)
+// order. If fn returns false the node's children are skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Text returns the concatenation of all content nodes in the subtree rooted
+// at n, in document order, with single spaces between adjacent fragments.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Type == ContentNode {
+		if n.Content != "" {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(n.Content)
+		}
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// HasText reports whether the subtree rooted at n contains at least one
+// content node with non-whitespace characters. It is cheaper than Text when
+// only emptiness matters (single-page analysis prunes content-empty
+// subtrees).
+func (n *Node) HasText() bool {
+	if n.Type == ContentNode {
+		return strings.TrimSpace(n.Content) != ""
+	}
+	for _, c := range n.Children {
+		if c.HasText() {
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the first node in document order for which pred returns
+// true, or nil if there is none.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if found != nil {
+			return false
+		}
+		if pred(m) {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns every node in document order for which pred returns true.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if pred(m) {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// FindTag returns the first descendant tag node (including n itself) with
+// the given tag name, or nil.
+func (n *Node) FindTag(tag string) *Node {
+	return n.Find(func(m *Node) bool { return m.Type == TagNode && m.Tag == tag })
+}
+
+// Descendants returns all nodes strictly below n in document order.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		c.Walk(func(m *Node) bool {
+			out = append(out, m)
+			return true
+		})
+	}
+	return out
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The clone's parent
+// pointer is nil.
+func (n *Node) Clone() *Node {
+	cp := &Node{Type: n.Type, Tag: n.Tag, Content: n.Content}
+	if n.Attrs != nil {
+		cp.Attrs = make([]Attribute, len(n.Attrs))
+		copy(cp.Attrs, n.Attrs)
+	}
+	for _, c := range n.Children {
+		cc := c.Clone()
+		cc.Parent = cp
+		cp.Children = append(cp.Children, cc)
+	}
+	return cp
+}

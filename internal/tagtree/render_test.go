@@ -1,0 +1,87 @@
+package tagtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	div := NewTag("div")
+	div.SetAttr("class", "x")
+	span := NewTag("span")
+	span.AppendChild(NewContent("hi"))
+	div.AppendChild(span)
+	want := `<div class="x"><span>hi</span></div>`
+	if got := div.Render(); got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderVoidElements(t *testing.T) {
+	div := NewTag("div")
+	div.AppendChild(NewTag("br"))
+	img := NewTag("img")
+	img.SetAttr("src", "/x.gif")
+	div.AppendChild(img)
+	want := `<div><br><img src="/x.gif"></div>`
+	if got := div.Render(); got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderEscapesText(t *testing.T) {
+	p := NewTag("p")
+	p.AppendChild(NewContent(`a < b & c > d`))
+	want := "<p>a &lt; b &amp; c &gt; d</p>"
+	if got := p.Render(); got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderEscapesAttrs(t *testing.T) {
+	a := NewTag("a")
+	a.SetAttr("title", `say "hi" & <go>`)
+	want := `<a title="say &quot;hi&quot; &amp; <go>"></a>`
+	// '<' in attribute values is escaped too per escapeAttr.
+	want = `<a title="say &quot;hi&quot; &amp; &lt;go>"></a>`
+	if got := a.Render(); got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestIsVoidTag(t *testing.T) {
+	for _, tag := range []string{"br", "img", "hr", "input", "meta"} {
+		if !IsVoidTag(tag) {
+			t.Errorf("IsVoidTag(%s) = false", tag)
+		}
+	}
+	for _, tag := range []string{"div", "p", "table", "span"} {
+		if IsVoidTag(tag) {
+			t.Errorf("IsVoidTag(%s) = true", tag)
+		}
+	}
+}
+
+func TestSizeMatchesRenderLength(t *testing.T) {
+	root := buildSample()
+	if got, want := root.Size(), len(root.Render()); got != want {
+		t.Errorf("Size = %d, want %d", got, want)
+	}
+}
+
+func TestOutline(t *testing.T) {
+	root := buildSample()
+	out := root.Outline()
+	if !strings.Contains(out, "html\n") || !strings.Contains(out, "  head\n") {
+		t.Errorf("Outline missing structure:\n%s", out)
+	}
+	if !strings.Contains(out, "#text IBM") {
+		t.Errorf("Outline missing content:\n%s", out)
+	}
+	// Long content is elided.
+	p := NewTag("p")
+	p.AppendChild(NewContent(strings.Repeat("long words ", 20)))
+	if !strings.Contains(p.Outline(), "…") {
+		t.Errorf("Outline did not elide long content")
+	}
+}

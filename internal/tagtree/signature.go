@@ -1,0 +1,100 @@
+package tagtree
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TagCounts returns the frequency of each tag name in the subtree rooted at
+// n. This is the raw material of THOR's tag-tree signature: a page is
+// described as a vector of (tag, weight) pairs (Section 3.1.2).
+func (n *Node) TagCounts() map[string]int {
+	counts := make(map[string]int)
+	n.Walk(func(m *Node) bool {
+		if m.Type == TagNode {
+			counts[m.Tag]++
+		}
+		return true
+	})
+	return counts
+}
+
+// DistinctTags returns the number of distinct tag names in the subtree.
+func (n *Node) DistinctTags() int { return len(n.TagCounts()) }
+
+// ContentTokens returns the lowercase word tokens of all content nodes in
+// the subtree rooted at n, in document order. A token is a maximal run of
+// letters or digits; everything else separates tokens. Stemming is applied
+// by higher layers (see internal/stem) so the tree model stays independent
+// of any particular language processing.
+func (n *Node) ContentTokens() []string {
+	var tokens []string
+	n.Walk(func(m *Node) bool {
+		if m.Type == ContentNode {
+			tokens = append(tokens, Tokenize(m.Content)...)
+		}
+		return true
+	})
+	return tokens
+}
+
+// TermCounts returns the frequency of each content token in the subtree,
+// after applying the supplied normalization (typically stemming). A nil
+// normalize is treated as the identity.
+func (n *Node) TermCounts(normalize func(string) string) map[string]int {
+	counts := make(map[string]int)
+	n.Walk(func(m *Node) bool {
+		if m.Type == ContentNode {
+			for _, tok := range Tokenize(m.Content) {
+				if normalize != nil {
+					tok = normalize(tok)
+				}
+				if tok != "" {
+					counts[tok]++
+				}
+			}
+		}
+		return true
+	})
+	return counts
+}
+
+// DistinctTerms returns the number of distinct raw content tokens in the
+// subtree rooted at n. It implements the per-page statistic behind the
+// "average distinct terms" cluster ranking criterion (Section 3.1.3).
+func (n *Node) DistinctTerms() int {
+	seen := make(map[string]struct{})
+	n.Walk(func(m *Node) bool {
+		if m.Type == ContentNode {
+			for _, tok := range Tokenize(m.Content) {
+				seen[tok] = struct{}{}
+			}
+		}
+		return true
+	})
+	return len(seen)
+}
+
+// Tokenize splits text into lowercase word tokens. A token is a maximal run
+// of Unicode letters or digits.
+func Tokenize(text string) []string {
+	var tokens []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			tokens = append(tokens, strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return tokens
+}

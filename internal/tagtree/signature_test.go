@@ -1,0 +1,89 @@
+package tagtree
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTagCounts(t *testing.T) {
+	root := buildSample()
+	got := root.TagCounts()
+	want := map[string]int{
+		"html": 1, "head": 1, "title": 1, "body": 1,
+		"table": 1, "tr": 2, "td": 2, "p": 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TagCounts = %v, want %v", got, want)
+	}
+	if root.DistinctTags() != len(want) {
+		t.Errorf("DistinctTags = %d, want %d", root.DistinctTags(), len(want))
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"", nil},
+		{"   ", nil},
+		{"price: $12.99", []string{"price", "12", "99"}},
+		{"foo-bar_baz", []string{"foo", "bar", "baz"}},
+		{"Ünïcøde Wörds", []string{"ünïcøde", "wörds"}},
+		{"a", []string{"a"}},
+		{"2024 items", []string{"2024", "items"}},
+		{"trailing!", []string{"trailing"}},
+		{"!leading", []string{"leading"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContentTokensDocumentOrder(t *testing.T) {
+	root := buildSample()
+	got := root.ContentTokens()
+	want := []string{"ibm", "a", "b", "text"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("ContentTokens = %v, want %v", got, want)
+	}
+}
+
+func TestTermCountsWithNormalizer(t *testing.T) {
+	div := NewTag("div")
+	div.AppendChild(NewContent("Cats cats CATS dog"))
+	got := div.TermCounts(nil)
+	if got["cats"] != 3 || got["dog"] != 1 {
+		t.Errorf("TermCounts identity = %v", got)
+	}
+	upper := div.TermCounts(strings.ToUpper)
+	if upper["CATS"] != 3 {
+		t.Errorf("TermCounts normalized = %v", upper)
+	}
+	// A normalizer returning "" drops the token.
+	dropped := div.TermCounts(func(s string) string {
+		if s == "dog" {
+			return ""
+		}
+		return s
+	})
+	if _, ok := dropped["dog"]; ok {
+		t.Errorf("empty-normalized token not dropped: %v", dropped)
+	}
+}
+
+func TestDistinctTerms(t *testing.T) {
+	div := NewTag("div")
+	div.AppendChild(NewContent("one two two three"))
+	sub := NewTag("span")
+	sub.AppendChild(NewContent("three four"))
+	div.AppendChild(sub)
+	if got := div.DistinctTerms(); got != 4 {
+		t.Errorf("DistinctTerms = %d, want 4", got)
+	}
+}

@@ -1,0 +1,154 @@
+package treedist
+
+import (
+	"math/rand"
+	"testing"
+
+	"thor/internal/tagtree"
+)
+
+// t1 builds a tree from a compact spec: tag(children...).
+func leaf(tag string) *tagtree.Node { return tagtree.NewTag(tag) }
+
+func node(tag string, kids ...*tagtree.Node) *tagtree.Node {
+	n := tagtree.NewTag(tag)
+	for _, k := range kids {
+		n.AppendChild(k)
+	}
+	return n
+}
+
+func TestDistanceIdentical(t *testing.T) {
+	a := node("html", node("body", leaf("p"), leaf("p")))
+	b := node("html", node("body", leaf("p"), leaf("p")))
+	if got := Distance(a, b); got != 0 {
+		t.Errorf("identical distance = %d, want 0", got)
+	}
+}
+
+func TestDistanceSingleRelabel(t *testing.T) {
+	a := node("div", leaf("p"))
+	b := node("div", leaf("span"))
+	if got := Distance(a, b); got != 1 {
+		t.Errorf("relabel distance = %d, want 1", got)
+	}
+}
+
+func TestDistanceInsertDelete(t *testing.T) {
+	a := node("div", leaf("p"))
+	b := node("div", leaf("p"), leaf("p"))
+	if got := Distance(a, b); got != 1 {
+		t.Errorf("insert distance = %d, want 1", got)
+	}
+	if got := Distance(b, a); got != 1 {
+		t.Errorf("delete distance = %d, want 1", got)
+	}
+}
+
+// TestDistanceClassicExample is the canonical Zhang–Shasha example: the
+// trees f(d(a c(b)) e) and f(c(d(a b)) e) have edit distance 2.
+func TestDistanceClassicExample(t *testing.T) {
+	a := node("f", node("d", leaf("a"), node("c", leaf("b"))), leaf("e"))
+	b := node("f", node("c", node("d", leaf("a"), leaf("b"))), leaf("e"))
+	if got := Distance(a, b); got != 2 {
+		t.Errorf("classic example distance = %d, want 2", got)
+	}
+}
+
+func TestDistanceToSingleNode(t *testing.T) {
+	a := node("div", leaf("p"), leaf("p"), leaf("p"))
+	b := leaf("div")
+	// Delete three leaves.
+	if got := Distance(a, b); got != 3 {
+		t.Errorf("distance = %d, want 3", got)
+	}
+	// Completely different single nodes: one relabel.
+	if got := Distance(leaf("a"), leaf("b")); got != 1 {
+		t.Errorf("distance = %d, want 1", got)
+	}
+}
+
+func TestDistanceContentNodes(t *testing.T) {
+	a := node("p")
+	a.AppendChild(tagtree.NewContent("hello"))
+	b := node("p")
+	b.AppendChild(tagtree.NewContent("world"))
+	if got := Distance(a, b); got != 1 {
+		t.Errorf("content relabel = %d, want 1", got)
+	}
+	// A content node "b" must not equal a tag node <b>.
+	c := node("p", leaf("b"))
+	d := node("p")
+	d.AppendChild(tagtree.NewContent("b"))
+	if got := Distance(c, d); got != 1 {
+		t.Errorf("tag-vs-content = %d, want 1 (labels must differ)", got)
+	}
+}
+
+// randomTree builds a random ordered tree with n nodes.
+func randomTree(rng *rand.Rand, n int) *tagtree.Node {
+	tags := []string{"a", "b", "c", "d"}
+	root := leaf(tags[rng.Intn(len(tags))])
+	nodes := []*tagtree.Node{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := leaf(tags[rng.Intn(len(tags))])
+		parent.AppendChild(child)
+		nodes = append(nodes, child)
+	}
+	return root
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		a := randomTree(rng, 1+rng.Intn(12))
+		b := randomTree(rng, 1+rng.Intn(12))
+		c := randomTree(rng, 1+rng.Intn(12))
+		ab, ba := Distance(a, b), Distance(b, a)
+		if ab != ba {
+			t.Fatalf("asymmetric: d(a,b)=%d d(b,a)=%d\n%s\n%s", ab, ba, a.Outline(), b.Outline())
+		}
+		if Distance(a, a) != 0 {
+			t.Fatalf("d(a,a) != 0")
+		}
+		ac, cb := Distance(a, c), Distance(c, b)
+		if ab > ac+cb {
+			t.Fatalf("triangle violated: %d > %d + %d", ab, ac, cb)
+		}
+		// Distance bounded by total size (delete all + insert all).
+		if ab > a.NodeCount()+b.NodeCount() {
+			t.Fatalf("distance %d exceeds size bound", ab)
+		}
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a := node("div", leaf("p"))
+	b := node("div", leaf("span"))
+	got := Normalized(a, b)
+	if got != 0.5 {
+		t.Errorf("Normalized = %v, want 0.5", got)
+	}
+	if Normalized(a, a) != 0 {
+		t.Errorf("Normalized identical != 0")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		x := randomTree(rng, 1+rng.Intn(10))
+		y := randomTree(rng, 1+rng.Intn(10))
+		if n := Normalized(x, y); n < 0 || n > 2 {
+			t.Fatalf("Normalized out of range: %v", n)
+		}
+	}
+}
+
+// TestDistanceOrderSensitive: tree edit distance on ordered trees must
+// distinguish sibling order.
+func TestDistanceOrderSensitive(t *testing.T) {
+	a := node("div", leaf("p"), leaf("span"))
+	b := node("div", leaf("span"), leaf("p"))
+	if got := Distance(a, b); got == 0 {
+		t.Errorf("order-swapped trees at distance 0")
+	}
+}

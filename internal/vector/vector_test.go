@@ -1,0 +1,229 @@
+package vector
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFromCountsSorted(t *testing.T) {
+	v := FromCounts(map[string]int{"z": 3, "a": 1, "m": 2})
+	if !sort.StringsAreSorted(v.Terms) {
+		t.Errorf("terms not sorted: %v", v.Terms)
+	}
+	if v.Len() != 3 {
+		t.Errorf("Len = %d", v.Len())
+	}
+	if v.Weight("z") != 3 || v.Weight("a") != 1 || v.Weight("missing") != 0 {
+		t.Errorf("weights wrong: %v / %v", v.Terms, v.Weights)
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	v := FromMap(map[string]float64{"b": 0.5, "a": 1.5})
+	if v.Terms[0] != "a" || !almost(v.Weights[0], 1.5) {
+		t.Errorf("FromMap = %v %v", v.Terms, v.Weights)
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := FromMap(map[string]float64{"x": 3, "y": 4})
+	if !almost(v.Norm(), 5) {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	n := v.Normalize()
+	if !almost(n.Norm(), 1) {
+		t.Errorf("normalized Norm = %v", n.Norm())
+	}
+	// Original untouched.
+	if !almost(v.Weights[0], 3) {
+		t.Errorf("Normalize mutated input")
+	}
+	zero := Sparse{}
+	if z := zero.Normalize(); z.Len() != 0 {
+		t.Errorf("zero Normalize = %v", z)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 2, "y": 3})
+	b := FromMap(map[string]float64{"y": 4, "z": 5})
+	if !almost(Dot(a, b), 12) {
+		t.Errorf("Dot = %v, want 12", Dot(a, b))
+	}
+	if !almost(Dot(a, Sparse{}), 0) {
+		t.Errorf("Dot with empty = %v", Dot(a, Sparse{}))
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 1})
+	b := FromMap(map[string]float64{"y": 1})
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal Cosine = %v, want 0", got)
+	}
+	if got := Cosine(a, a); !almost(got, 1) {
+		t.Errorf("identical Cosine = %v, want 1", got)
+	}
+	scaled := a.Scale(7)
+	if got := Cosine(a, scaled); !almost(got, 1) {
+		t.Errorf("scaled Cosine = %v, want 1 (scale invariance)", got)
+	}
+	if got := Cosine(a, Sparse{}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	property := func(am, bm map[string]uint8) bool {
+		ai := make(map[string]int, len(am))
+		bi := make(map[string]int, len(bm))
+		for k, v := range am {
+			ai[k] = int(v)
+		}
+		for k, v := range bm {
+			bi[k] = int(v)
+		}
+		c := Cosine(FromCounts(ai), FromCounts(bi))
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 1, "y": 2})
+	b := FromMap(map[string]float64{"y": 3, "z": 4})
+	sum := Add(a, b)
+	if sum.Weight("x") != 1 || sum.Weight("y") != 5 || sum.Weight("z") != 4 {
+		t.Errorf("Add = %v %v", sum.Terms, sum.Weights)
+	}
+	if got := Add(Sparse{}, a); !Equal(got, a) {
+		t.Errorf("Add with empty lost data")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 1})
+	b := FromMap(map[string]float64{"x": 3, "y": 2})
+	c := Centroid([]Sparse{a, b})
+	if !almost(c.Weight("x"), 2) || !almost(c.Weight("y"), 1) {
+		t.Errorf("Centroid = %v %v", c.Terms, c.Weights)
+	}
+	if got := Centroid(nil); got.Len() != 0 {
+		t.Errorf("empty Centroid = %v", got)
+	}
+	one := Centroid([]Sparse{a})
+	if !Equal(one, a) {
+		t.Errorf("singleton Centroid changed vector")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 1})
+	b := FromMap(map[string]float64{"x": 1})
+	c := FromMap(map[string]float64{"x": 2})
+	d := FromMap(map[string]float64{"y": 1})
+	if !Equal(a, b) || Equal(a, c) || Equal(a, d) {
+		t.Errorf("Equal misbehaves")
+	}
+}
+
+func TestTFIDFFormula(t *testing.T) {
+	// Two documents; term "shared" in both, term "rare" only in doc 0.
+	docs := []map[string]int{
+		{"shared": 4, "rare": 1},
+		{"shared": 2},
+	}
+	vecs := TFIDF(docs)
+	// Pre-normalization weights per the paper's formula
+	//   w = log(tf+1) · log((n+1)/df)
+	wShared0 := math.Log(5) * math.Log(3.0/2.0)
+	wRare0 := math.Log(2) * math.Log(3.0/1.0)
+	norm := math.Sqrt(wShared0*wShared0 + wRare0*wRare0)
+	if !almost(vecs[0].Weight("shared"), wShared0/norm) {
+		t.Errorf("shared weight = %v, want %v", vecs[0].Weight("shared"), wShared0/norm)
+	}
+	if !almost(vecs[0].Weight("rare"), wRare0/norm) {
+		t.Errorf("rare weight = %v, want %v", vecs[0].Weight("rare"), wRare0/norm)
+	}
+	// Normalized.
+	if !almost(vecs[0].Norm(), 1) || !almost(vecs[1].Norm(), 1) {
+		t.Errorf("TFIDF vectors not normalized")
+	}
+}
+
+// TestTFIDFUbiquitousTermKeepsWeight verifies the property the paper calls
+// out: because of the +1 in the idf numerator, a term occurring in every
+// document (like <table> in every page) still has non-zero weight, so
+// varying frequencies still separate pages.
+func TestTFIDFUbiquitousTermKeepsWeight(t *testing.T) {
+	docs := []map[string]int{
+		{"table": 20},
+		{"table": 2},
+		{"table": 2},
+	}
+	vecs := TFIDF(docs)
+	for i, v := range vecs {
+		if v.Weight("table") <= 0 {
+			t.Errorf("doc %d: ubiquitous term weight = %v, want > 0", i, v.Weight("table"))
+		}
+	}
+}
+
+func TestRawFrequency(t *testing.T) {
+	vecs := RawFrequency([]map[string]int{{"a": 3, "b": 4}})
+	if !almost(vecs[0].Norm(), 1) {
+		t.Errorf("RawFrequency not normalized")
+	}
+	if !almost(vecs[0].Weight("a"), 0.6) || !almost(vecs[0].Weight("b"), 0.8) {
+		t.Errorf("RawFrequency weights = %v", vecs[0].Weights)
+	}
+}
+
+func TestDocumentFrequencies(t *testing.T) {
+	df := DocumentFrequencies([]map[string]int{
+		{"a": 1, "b": 5},
+		{"b": 1},
+		{"b": 2, "c": 1},
+	})
+	if df["a"] != 1 || df["b"] != 3 || df["c"] != 1 {
+		t.Errorf("DocumentFrequencies = %v", df)
+	}
+}
+
+func TestTFIDFWeightEdgeCases(t *testing.T) {
+	if TFIDFWeight(0, 10, 5) != 0 {
+		t.Errorf("zero tf should give zero weight")
+	}
+	if TFIDFWeight(3, 10, 0) != 0 {
+		t.Errorf("zero df should give zero weight")
+	}
+	want := math.Log(4) * math.Log(11.0/5.0)
+	if !almost(TFIDFWeight(3, 10, 5), want) {
+		t.Errorf("TFIDFWeight = %v, want %v", TFIDFWeight(3, 10, 5), want)
+	}
+}
+
+// TestTFIDFSeparatesClasses reproduces in miniature the <b>-tag example of
+// Section 3.1.2: two classes of pages share the same tag profile except
+// one low-frequency discriminating tag; after TFIDF, cross-class cosine
+// must be lower than within-class cosine.
+func TestTFIDFSeparatesClasses(t *testing.T) {
+	docs := []map[string]int{
+		{"html": 1, "body": 1, "table": 5, "b": 1}, // single-result pages
+		{"html": 1, "body": 1, "table": 5, "b": 1},
+		{"html": 1, "body": 1, "table": 5}, // no-result pages
+		{"html": 1, "body": 1, "table": 5},
+	}
+	vecs := TFIDF(docs)
+	within := Cosine(vecs[0], vecs[1])
+	cross := Cosine(vecs[0], vecs[2])
+	if within <= cross {
+		t.Errorf("TFIDF failed to separate classes: within=%v cross=%v", within, cross)
+	}
+}
