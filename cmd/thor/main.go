@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"thor/internal/core"
 	"thor/internal/corpus"
@@ -54,9 +59,10 @@ func main() {
 	}
 
 	if *serve != "" {
-		farm := deepweb.NewFarm(max(*nsites, 1), *seed)
-		log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), *serve)
-		log.Fatal(http.ListenAndServe(*serve, farm.Handler()))
+		if err := serveFarm(*serve, max(*nsites, 1), *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	plan := probe.NewPlan(*dict, *nons, *seed+1)
@@ -119,6 +125,36 @@ func main() {
 		pr := counter.PR()
 		fmt.Printf("\noverall: precision %.3f, recall %.3f over %d sites\n",
 			pr.Precision, pr.Recall, len(sites))
+	}
+}
+
+// serveFarm serves the simulated deep web until the listener fails or
+// the process receives SIGINT/SIGTERM, at which point in-flight
+// requests are drained and the server shuts down gracefully.
+func serveFarm(addr string, nsites int, seed int64) error {
+	farm := deepweb.NewFarm(nsites, seed)
+	srv := &http.Server{Addr: addr, Handler: farm.Handler()}
+	log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), addr)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	select {
+	case err := <-serveErr:
+		return err // the listener failed before any shutdown request
+	case sig := <-sigs:
+		log.Printf("received %s; shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-serveErr // ListenAndServe has returned ErrServerClosed
+		return nil
 	}
 }
 

@@ -134,9 +134,9 @@ func writeCSV(dir, name string, result fmt.Stringer) error {
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return f.Close()
+	return werr
 }

@@ -1,0 +1,83 @@
+// Command thorlint runs THOR's static-analysis pass: a stdlib-only
+// analyzer enforcing the determinism and numeric invariants the
+// reproduction depends on (seeded randomness, no exact float
+// comparison, no discarded errors, no panics or stray output in
+// library code).
+//
+// Usage:
+//
+//	thorlint ./...              # lint the whole module
+//	thorlint ./internal/...     # lint a subtree
+//	thorlint ./internal/core    # lint one package
+//	thorlint -rules             # print the rule catalog
+//
+// Findings are printed one per line as "file:line: rule-id: message"
+// (paths relative to the module root) and the exit status is non-zero
+// if there are any. Suppress an individual finding with a line
+// directive, reason mandatory:
+//
+//	//thorlint:allow <rule-id> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thor/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	flag.Parse()
+
+	rules := lint.AllRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-20s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Module(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := lint.Run(pkgs, rules)
+	for _, f := range findings {
+		fmt.Println(relativize(root, f).String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "thorlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites the finding's filename relative to the module
+// root for stable, clickable output.
+func relativize(root string, f lint.Finding) lint.Finding {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thorlint:", err)
+	os.Exit(2)
+}

@@ -153,10 +153,10 @@ func kmeansOnce(vecs []vector.Sparse, k, maxIter int, rng *rand.Rand) (assign []
 // the internal guidance metric that picks the best of the M K-Means
 // restarts.
 func InternalSimilarity(vecs []vector.Sparse, cl Clustering, centroids []vector.Sparse) float64 {
-	n := float64(len(vecs))
-	if n == 0 {
+	if len(vecs) == 0 {
 		return 0
 	}
+	n := float64(len(vecs))
 	var total float64
 	for c, members := range cl.Clusters {
 		for _, i := range members {

@@ -68,6 +68,7 @@ func PageVectors(pages []*corpus.Page, a Approach) []vector.Sparse {
 	case RawContent:
 		return vector.RawFrequency(ContentSignatures(pages))
 	default:
+		//thorlint:allow no-panic-in-lib programmer-error guard; documented to panic for non-vector approaches
 		panic("core: PageVectors called for non-vector approach " + a.String())
 	}
 }
@@ -98,6 +99,7 @@ func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64
 	case RandomAssign:
 		return cluster.Random(len(pages), cfg.K, cfg.Seed), 0
 	default:
+		//thorlint:allow no-panic-in-lib programmer-error guard; Approach is a closed enum
 		panic("core: unknown approach")
 	}
 }

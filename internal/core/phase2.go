@@ -157,16 +157,16 @@ func isMinimal(n *tagtree.Node) bool {
 // Each term ranges over [0,1]; with weights summing to 1 so does d.
 func ShapeDistance(a, b *Candidate, w ShapeWeights, simp *strdist.Simplifier) float64 {
 	var d float64
-	if w[0] != 0 {
+	if w[0] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w[0] * simp.PathDistance(a.Path, b.Path)
 	}
-	if w[1] != 0 {
+	if w[1] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w[1] * ratioDiff(a.Fanout, b.Fanout)
 	}
-	if w[2] != 0 {
+	if w[2] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w[2] * ratioDiff(a.Depth, b.Depth)
 	}
-	if w[3] != 0 {
+	if w[3] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w[3] * ratioDiff(a.Nodes, b.Nodes)
 	}
 	return d
@@ -238,6 +238,7 @@ func FindCommonSubtreeSets(perPage [][]*Candidate, cfg Config, rng *rand.Rand, s
 			}
 		}
 		sort.Slice(pairs, func(i, j int) bool {
+			//thorlint:allow no-float-eq deterministic sort tie-break on equal distances
 			if pairs[i].dist != pairs[j].dist {
 				return pairs[i].dist < pairs[j].dist
 			}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// TestConcurrentPipelineSharedCorpus runs the full Phase 1 + Phase 2
+// pipeline from many goroutines over one shared corpus, with the
+// per-page caches deliberately invalidated first so every lazy
+// tree/signature initialization races against the others. Under
+// `go test -race` this exercises the shared-state paths future
+// parallelism PRs will lean on; without -race it still asserts that
+// concurrent seeded runs stay bit-identical.
+func TestConcurrentPipelineSharedCorpus(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 3, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	if len(col.Pages) == 0 {
+		t.Fatal("probe produced no pages")
+	}
+	// Probing may have warmed the lazy caches; cold pages make the
+	// first concurrent access hit the parse-and-cache path.
+	for _, p := range col.Pages {
+		p.InvalidateTree()
+	}
+
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+
+	type outcome struct {
+		pagelets, passed          int
+		correct, incorrect, total int
+	}
+	const workers = 8
+	results := make([]outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := NewExtractor(cfg).Extract(col.Pages)
+			c, i, total := Score(res.Pagelets, col.Pages)
+			results[w] = outcome{
+				pagelets: len(res.Pagelets), passed: len(res.PassedClusters),
+				correct: c, incorrect: i, total: total,
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if results[0].pagelets == 0 {
+		t.Fatal("concurrent pipeline extracted nothing")
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Errorf("worker %d diverged: %+v vs %+v", w, results[w], results[0])
+		}
+	}
+}
+
+// TestConcurrentSignatureAccess hammers the three lazy per-page views
+// directly from many goroutines — the narrowest shared-state surface —
+// and checks every goroutine observes the same cached instances.
+func TestConcurrentSignatureAccess(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 1, Seed: 9})
+	prober := &probe.Prober{Plan: probe.NewPlan(20, 2, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	for _, p := range col.Pages {
+		p.InvalidateTree()
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	trees := make([][]map[string]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sigs := make([]map[string]int, len(col.Pages))
+			for i, p := range col.Pages {
+				_ = p.Tree()
+				_ = p.ContentSignature()
+				sigs[i] = p.TagSignature()
+			}
+			trees[w] = sigs
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range col.Pages {
+			if len(trees[w][i]) != len(trees[0][i]) {
+				t.Fatalf("worker %d saw a different signature for page %d", w, i)
+			}
+		}
+	}
+}

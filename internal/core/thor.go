@@ -30,13 +30,13 @@ func NewExtractor(cfg Config) *Extractor {
 	if cfg.ShapeWeights == (ShapeWeights{}) {
 		cfg.ShapeWeights = def.ShapeWeights
 	}
-	if cfg.SimThreshold == 0 {
+	if cfg.SimThreshold == 0 { //thorlint:allow no-float-eq the zero value is the documented "use default" sentinel
 		cfg.SimThreshold = def.SimThreshold
 	}
-	if cfg.MaxMatchDistance == 0 {
+	if cfg.MaxMatchDistance == 0 { //thorlint:allow no-float-eq the zero value is the documented "use default" sentinel
 		cfg.MaxMatchDistance = def.MaxMatchDistance
 	}
-	if cfg.MinSetFraction == 0 {
+	if cfg.MinSetFraction == 0 { //thorlint:allow no-float-eq the zero value is the documented "use default" sentinel
 		cfg.MinSetFraction = def.MinSetFraction
 	}
 	if cfg.PathSimplifyQ <= 0 {

@@ -96,27 +96,27 @@ func (w *Wrapper) Extract(tree *tagtree.Node) (*tagtree.Node, float64) {
 // paper's four-term shape distance with averaged reference values.
 func (w *Wrapper) distance(c *Candidate) float64 {
 	var d float64
-	if w.Weights[0] != 0 && len(w.Paths) > 0 {
+	if w.Weights[0] != 0 && len(w.Paths) > 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w.Weights[0] * w.simp.PathDistance(w.Paths[0], c.Path)
 	}
-	if w.Weights[1] != 0 {
+	if w.Weights[1] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w.Weights[1] * ratioDiffF(w.Fanout, float64(c.Fanout))
 	}
-	if w.Weights[2] != 0 {
+	if w.Weights[2] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w.Weights[2] * ratioDiffF(w.Depth, float64(c.Depth))
 	}
-	if w.Weights[3] != 0 {
+	if w.Weights[3] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w.Weights[3] * ratioDiffF(w.Nodes, float64(c.Nodes))
 	}
 	return d
 }
 
 func ratioDiffF(a, b float64) float64 {
-	if a == b {
+	if a == b { //thorlint:allow no-float-eq fast path; equal inputs give an exact zero ratio
 		return 0
 	}
 	m := math.Max(a, b)
-	if m == 0 {
+	if m == 0 { //thorlint:allow no-float-eq exact-zero guard against dividing by zero
 		return 0
 	}
 	return math.Abs(a-b) / m

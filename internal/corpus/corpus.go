@@ -7,6 +7,7 @@ package corpus
 
 import (
 	"fmt"
+	"sync"
 
 	"thor/internal/htmlx"
 	"thor/internal/stem"
@@ -61,7 +62,10 @@ const (
 	TruthObject  = "object"
 )
 
-// Page is one sampled answer page.
+// Page is one sampled answer page. The derived views (tree and
+// signatures) are computed lazily under an internal lock, so a shared
+// page may be read from concurrent pipeline runs; callers must treat
+// the returned tree and maps as immutable.
 type Page struct {
 	SiteID int
 	URL    string
@@ -69,6 +73,7 @@ type Page struct {
 	HTML   string
 	Class  Class
 
+	mu      sync.Mutex // guards the lazy caches below
 	tree    *tagtree.Node
 	tagSig  map[string]int
 	termSig map[string]int
@@ -77,6 +82,12 @@ type Page struct {
 // Tree returns the parsed tag tree of the page, parsing and caching it on
 // first use.
 func (p *Page) Tree() *tagtree.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.treeLocked()
+}
+
+func (p *Page) treeLocked() *tagtree.Node {
 	if p.tree == nil {
 		p.tree = htmlx.Parse(p.HTML)
 	}
@@ -85,12 +96,18 @@ func (p *Page) Tree() *tagtree.Node {
 
 // InvalidateTree discards the cached tree and signatures (used by tests
 // that mutate HTML).
-func (p *Page) InvalidateTree() { p.tree, p.tagSig, p.termSig = nil, nil, nil }
+func (p *Page) InvalidateTree() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tree, p.tagSig, p.termSig = nil, nil, nil
+}
 
 // TagSignature returns (caching) the page's tag-frequency signature.
 func (p *Page) TagSignature() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.tagSig == nil {
-		p.tagSig = p.Tree().TagCounts()
+		p.tagSig = p.treeLocked().TagCounts()
 	}
 	return p.tagSig
 }
@@ -98,8 +115,10 @@ func (p *Page) TagSignature() map[string]int {
 // ContentSignature returns (caching) the page's Porter-stemmed content
 // term frequency signature.
 func (p *Page) ContentSignature() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.termSig == nil {
-		p.termSig = p.Tree().TermCounts(stem.Stem)
+		p.termSig = p.treeLocked().TermCounts(stem.Stem)
 	}
 	return p.termSig
 }

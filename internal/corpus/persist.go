@@ -49,12 +49,13 @@ func (c *Corpus) Write(w io.Writer) error {
 		doc.Collections = append(doc.Collections, cj)
 	}
 	gz := gzip.NewWriter(w)
-	if err := json.NewEncoder(gz).Encode(&doc); err != nil {
-		gz.Close()
-		return fmt.Errorf("corpus: encode: %w", err)
+	encErr := json.NewEncoder(gz).Encode(&doc)
+	closeErr := gz.Close() // Close flushes; its error means truncated output
+	if encErr != nil {
+		return fmt.Errorf("corpus: encode: %w", encErr)
 	}
-	if err := gz.Close(); err != nil {
-		return fmt.Errorf("corpus: compress: %w", err)
+	if closeErr != nil {
+		return fmt.Errorf("corpus: compress: %w", closeErr)
 	}
 	return nil
 }
@@ -65,6 +66,7 @@ func Read(r io.Reader) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: decompress: %w", err)
 	}
+	//thorlint:allow no-unchecked-error read-side gzip close holds no state worth surfacing
 	defer gz.Close()
 	var doc corpusJSON
 	if err := json.NewDecoder(gz).Decode(&doc); err != nil {
@@ -96,11 +98,11 @@ func (c *Corpus) WriteFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	if err := c.Write(f); err != nil {
-		f.Close()
-		return err
+	werr := c.Write(f)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("corpus: %w", cerr)
 	}
-	return f.Close()
+	return werr
 }
 
 // ReadFile loads a corpus from path.
@@ -109,6 +111,7 @@ func ReadFile(path string) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
+	//thorlint:allow no-unchecked-error closing a read-only file cannot lose data
 	defer f.Close()
 	c, err := Read(f)
 	if err != nil {

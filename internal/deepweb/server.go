@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"thor/internal/corpus"
@@ -22,13 +23,16 @@ func (s *Site) Handler() http.Handler {
 		q := r.URL.Query().Get("q")
 		page := 1
 		if p := r.URL.Query().Get("page"); p != "" {
-			fmt.Sscanf(p, "%d", &page)
+			if n, err := strconv.Atoi(p); err == nil {
+				page = n
+			}
 		}
 		html, _ := s.QueryPage(q, page)
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		if s.ClassFor(q) == corpus.ErrorPage {
 			w.WriteHeader(http.StatusInternalServerError)
 		}
+		//thorlint:allow no-unchecked-error a failed response write means the client went away
 		fmt.Fprint(w, html)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -37,6 +41,7 @@ func (s *Site) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		//thorlint:allow no-unchecked-error a failed response write means the client went away
 		fmt.Fprint(w, s.frontPage())
 	})
 	return mux
@@ -81,6 +86,7 @@ func (f *Farm) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		//thorlint:allow no-unchecked-error a failed response write means the client went away
 		fmt.Fprint(w, f.directory())
 	})
 	return mux

@@ -151,6 +151,7 @@ func clusterSynth(pages []synth.Page, a core.Approach, o Options, salt int64) (f
 	case core.RandomAssign:
 		cl = cluster.Random(len(pages), o.K, seed)
 	default:
+		//thorlint:allow no-panic-in-lib programmer-error guard; callers pass approaches from the fixed sweep set
 		panic("experiments: approach not supported on synthetic pages: " + a.String())
 	}
 	secs := time.Since(start).Seconds()

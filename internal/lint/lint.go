@@ -1,0 +1,188 @@
+// Package lint implements thorlint, THOR's in-tree static analyzer.
+//
+// THOR's evaluation regenerates every figure of the paper from seeded
+// runs, so the codebase carries invariants that ordinary tests do not
+// exercise: randomness must flow through an explicit *rand.Rand,
+// floating-point values must never be compared with == or !=, error
+// results must not be silently discarded, and library packages must not
+// panic or write to the terminal. This package loads every package in
+// the module with go/parser and go/types (stdlib only — no x/tools) and
+// runs a pluggable rule set over the typed syntax trees.
+//
+// A finding can be suppressed — never silently — with a line directive
+// on the offending line or the line directly above it:
+//
+//	//thorlint:allow <rule-id> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: rule-id:
+// message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package of the module, the unit rules
+// operate on. Only non-test files are loaded: the determinism and
+// output rules deliberately do not apply to tests, which are free to
+// use package-level randomness and to panic.
+type Package struct {
+	// Path is the package import path (e.g. "thor/internal/core").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Module is the module path (e.g. "thor").
+	Module string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Internal reports whether the package is library code under
+// <module>/internal/.
+func (p *Package) Internal() bool {
+	return strings.HasPrefix(p.Path, p.Module+"/internal/")
+}
+
+// findingf builds a Finding for a position inside the package.
+func (p *Package) findingf(pos token.Pos, rule, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Rule is one check run over every loaded package.
+type Rule interface {
+	// ID is the stable rule identifier used in findings and in
+	// //thorlint:allow directives.
+	ID() string
+	// Doc is a one-line description for the rule catalog.
+	Doc() string
+	// Check reports this rule's findings for one package.
+	Check(pkg *Package) []Finding
+}
+
+// DirectiveRule is the pseudo rule id under which malformed
+// //thorlint:allow directives are reported. It cannot itself be
+// suppressed.
+const DirectiveRule = "directive"
+
+// Run executes every rule over every package, applies the
+// //thorlint:allow directives, and returns the surviving findings
+// sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	known := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		known[r.ID()] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		allows, bad := collectDirectives(pkg, known)
+		all = append(all, bad...)
+		for _, r := range rules {
+			for _, f := range r.Check(pkg) {
+				if !allows.allowed(r.ID(), f.Pos) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return all
+}
+
+// allowSet records, per file and line, which rule ids an allow
+// directive covers.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, rule string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+func (s allowSet) allowed(rule string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][rule]
+}
+
+const allowPrefix = "thorlint:allow"
+
+// collectDirectives scans a package's comments for //thorlint:allow
+// directives. A well-formed directive suppresses the named rule on its
+// own line and the line directly below (so it can sit at the end of the
+// offending line or on its own line above it). Malformed directives —
+// unknown rule id or missing reason — are returned as findings under
+// DirectiveRule.
+func collectDirectives(pkg *Package, known map[string]bool) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry line directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, pkg.findingf(c.Pos(), DirectiveRule,
+						"thorlint:allow is missing a rule id and reason"))
+				case !known[fields[0]]:
+					bad = append(bad, pkg.findingf(c.Pos(), DirectiveRule,
+						"thorlint:allow names unknown rule %q", fields[0]))
+				case len(fields) == 1:
+					bad = append(bad, pkg.findingf(c.Pos(), DirectiveRule,
+						"thorlint:allow %s is missing a reason", fields[0]))
+				default:
+					line := pkg.Fset.Position(c.Pos()).Line
+					file := pkg.Fset.Position(c.Pos()).Filename
+					allows.add(file, line, fields[0])
+					allows.add(file, line+1, fields[0])
+				}
+			}
+		}
+	}
+	return allows, bad
+}

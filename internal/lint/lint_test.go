@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader for the whole test run; NewLoader
+// shells out to go list, so tests share it.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadFixture type-checks one testdata package under its real
+// module-relative import path (which places it under thor/internal/,
+// so the library-only rules apply).
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Dir(dir, l.ModPath+"/internal/lint/testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// TestFixturesFire asserts that each violation fixture produces at
+// least the expected number of findings, every one of them from the
+// rule the fixture targets.
+func TestFixturesFire(t *testing.T) {
+	cases := []struct {
+		fixture string
+		rule    string
+		minHits int
+	}{
+		{"unseededrand", "no-unseeded-rand", 2},
+		{"floateq", "no-float-eq", 2},
+		{"uncheckederr", "no-unchecked-error", 4},
+		{"panicinlib", "no-panic-in-lib", 1},
+		{"strayoutput", "no-stray-output", 3},
+		{"baddirective", DirectiveRule, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			findings := Run([]*Package{pkg}, AllRules())
+			if len(findings) < tc.minHits {
+				t.Fatalf("got %d findings, want at least %d:\n%s",
+					len(findings), tc.minHits, render(findings))
+			}
+			for _, f := range findings {
+				if f.Rule != tc.rule {
+					t.Errorf("unexpected rule %s (want only %s): %s", f.Rule, tc.rule, f)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanFixtureSilent asserts the clean fixture — which exercises
+// seeded rand, epsilon comparison, in-memory writers, and annotated
+// panics/discards — produces no findings.
+func TestCleanFixtureSilent(t *testing.T) {
+	pkg := loadFixture(t, "clean")
+	if findings := Run([]*Package{pkg}, AllRules()); len(findings) != 0 {
+		t.Fatalf("clean fixture not clean:\n%s", render(findings))
+	}
+}
+
+// TestRepoClean asserts the real module is finding-free: the same
+// invariant CI enforces with `go run ./cmd/thorlint ./...`.
+func TestRepoClean(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Module()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module discovery looks broken", len(pkgs))
+	}
+	if findings := Run(pkgs, AllRules()); len(findings) != 0 {
+		t.Fatalf("repo has %d findings:\n%s", len(findings), render(findings))
+	}
+}
+
+// TestModuleSkipsTestdata asserts fixture packages never leak into a
+// module-wide run.
+func TestModuleSkipsTestdata(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "/testdata/") {
+			t.Errorf("module load included fixture package %s", p.Path)
+		}
+	}
+}
+
+// TestModulePatterns asserts the go-style pattern filters.
+func TestModulePatterns(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Module("./internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != l.ModPath+"/internal/lint" {
+		t.Fatalf("./internal/lint matched %v", paths(pkgs))
+	}
+	pkgs, err = l.Module("./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.Path, l.ModPath+"/cmd/") {
+			t.Errorf("./cmd/... matched %s", p.Path)
+		}
+	}
+	if len(pkgs) < 3 {
+		t.Errorf("./cmd/... matched only %v", paths(pkgs))
+	}
+	if _, err := l.Module("./no/such/dir"); err == nil {
+		t.Error("want error for pattern matching nothing")
+	}
+}
+
+// TestModuleExplicitFixtureDir asserts an explicit pattern can reach a
+// testdata package even though wildcards skip it — the CLI path for
+// demonstrating a rule against its fixture.
+func TestModuleExplicitFixtureDir(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Module("./internal/lint/testdata/floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("matched %v", paths(pkgs))
+	}
+	findings := Run(pkgs, AllRules())
+	if len(findings) == 0 {
+		t.Fatal("explicit fixture load produced no findings")
+	}
+	for _, f := range findings {
+		if f.Rule != "no-float-eq" {
+			t.Errorf("unexpected finding %s", f)
+		}
+	}
+}
+
+// TestRuleCatalog asserts ids are unique, documented, and stable.
+func TestRuleCatalog(t *testing.T) {
+	want := map[string]bool{
+		"no-unseeded-rand":   true,
+		"no-float-eq":        true,
+		"no-unchecked-error": true,
+		"no-panic-in-lib":    true,
+		"no-stray-output":    true,
+	}
+	seen := map[string]bool{}
+	for _, r := range AllRules() {
+		if seen[r.ID()] {
+			t.Errorf("duplicate rule id %s", r.ID())
+		}
+		seen[r.ID()] = true
+		if r.Doc() == "" {
+			t.Errorf("rule %s has no doc", r.ID())
+		}
+		if !want[r.ID()] {
+			t.Errorf("unexpected rule id %s", r.ID())
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("rule set %v, want ids %v", seen, want)
+	}
+}
+
+func render(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func paths(pkgs []*Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Path
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of a single module. Each
+// linted package is checked from source; its dependencies (standard
+// library and other module packages alike) are resolved from compiler
+// export data located with one `go list -deps -export` invocation, so
+// loading stays fast and needs nothing beyond the stdlib go/* packages
+// and the go command itself.
+type Loader struct {
+	// Root is the absolute module root (the directory with go.mod).
+	Root string
+	// ModPath is the module path from go.mod.
+	ModPath string
+
+	fset    *token.FileSet
+	imp     types.Importer
+	exports map[string]string // import path -> export data file
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader prepares a loader for the module rooted at root. It runs
+// the go command once to build the export-data index covering the
+// module's packages, their dependencies, and the standard library.
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := modulePath(gomod)
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+
+	cmd := exec.Command("go", "list", "-deps", "-export",
+		"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}", "./...", "std")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("lint: go list -export failed: %s", msg)
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		if i := strings.IndexByte(line, '='); i > 0 {
+			exports[line[:i]] = line[i+1:]
+		}
+	}
+
+	l := &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		exports: exports,
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Module loads every package in the module whose directory matches one
+// of the patterns. Patterns mirror the go command's: "./..." matches
+// everything, "./x/..." a subtree, "./x" a single package directory.
+// With no patterns the whole module is loaded. Directories named
+// testdata or vendor and hidden directories are skipped by wildcard
+// patterns, but a pattern naming such a directory explicitly loads it —
+// that is how the CLI lints a fixture package on demand.
+func (l *Loader) Module(patterns ...string) ([]*Package, error) {
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var keep []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			keep = append(keep, dir)
+		}
+	}
+	if len(patterns) == 0 {
+		keep = dirs
+	}
+	for _, pat := range patterns {
+		found := false
+		for _, dir := range dirs {
+			if matchPattern(l.relDir(dir), pat) {
+				add(dir)
+				found = true
+			}
+		}
+		if found || strings.HasSuffix(pat, "...") {
+			continue
+		}
+		// An explicit non-wildcard pattern may name a directory outside
+		// the walked build graph, such as a testdata fixture.
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			add(dir)
+			continue
+		}
+		return nil, fmt.Errorf("lint: no packages match %q", pat)
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	pkgs := make([]*Package, 0, len(keep))
+	for _, dir := range keep {
+		pkg, err := l.Dir(dir, l.importPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Dir parses and type-checks the single package in dir under the given
+// import path. Test files are skipped. The import path need not be part
+// of the module's build graph, which lets tests load fixture packages
+// from testdata directories.
+func (l *Loader) Dir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:   importPath,
+		Dir:    dir,
+		Module: l.ModPath,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}, nil
+}
+
+// packageDirs walks the module and returns every directory holding at
+// least one non-test Go file, in sorted order.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root &&
+				(name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// relDir returns dir relative to the module root in "./x/y" form.
+func (l *Loader) relDir(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return "."
+	}
+	return "./" + filepath.ToSlash(rel)
+}
+
+// importPath derives a module package's import path from its directory.
+func (l *Loader) importPath(dir string) string {
+	rel := l.relDir(dir)
+	if rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + strings.TrimPrefix(rel, "./")
+}
+
+// matchPattern reports whether the relative directory (in "./x/y"
+// form) matches one go-style pattern.
+func matchPattern(rel, pat string) bool {
+	pat = "./" + strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	if pat == "./..." {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noUncheckedError flags call sites that discard an error result: a
+// call used as a bare statement (including go/defer), and error results
+// assigned to the blank identifier. A silently swallowed error in the
+// extraction pipeline corrupts figures without failing a test, so every
+// deliberate discard must carry a //thorlint:allow justification.
+//
+// Calls that are documented never to return a non-nil error are exempt:
+// fmt.Print/Printf/Println, the Fprint family writing to os.Stdout,
+// os.Stderr, a *bytes.Buffer, or a *strings.Builder, and methods on
+// *bytes.Buffer and *strings.Builder themselves.
+type noUncheckedError struct{}
+
+func (noUncheckedError) ID() string { return "no-unchecked-error" }
+
+func (noUncheckedError) Doc() string {
+	return "forbid discarding error results of calls (bare statements, go/defer, and _ =)"
+}
+
+func (r noUncheckedError) Check(pkg *Package) []Finding {
+	var out []Finding
+	flagCall := func(call *ast.CallExpr) {
+		if !returnsError(pkg, call) || exemptCall(pkg, call) {
+			return
+		}
+		out = append(out, pkg.findingf(call.Pos(), r.ID(),
+			"error result of %s is discarded", calleeName(pkg, call)))
+	}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+				flagCall(call)
+			}
+		case *ast.GoStmt:
+			flagCall(stmt.Call)
+		case *ast.DeferStmt:
+			flagCall(stmt.Call)
+		case *ast.AssignStmt:
+			out = append(out, r.checkAssign(pkg, stmt)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign flags error results assigned to the blank identifier,
+// both in tuple form (v, _ := f()) and one-to-one form (_ = f()).
+func (r noUncheckedError) checkAssign(pkg *Package, stmt *ast.AssignStmt) []Finding {
+	var out []Finding
+	flag := func(call *ast.CallExpr) {
+		if !exemptCall(pkg, call) {
+			out = append(out, pkg.findingf(call.Pos(), r.ID(),
+				"error result of %s is assigned to _", calleeName(pkg, call)))
+		}
+	}
+	if len(stmt.Lhs) > 1 && len(stmt.Rhs) == 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range stmt.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				flag(call)
+				break
+			}
+		}
+		return out
+	}
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isErrorType(pkg.Info.TypeOf(call)) {
+			flag(call)
+		}
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	switch t := pkg.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exemptCall reports whether the call's error result is documented to
+// always be nil, so discarding it is safe.
+func exemptCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // best-effort terminal output
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && infallibleWriter(pkg, call.Args[0])
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch recv.Type().String() {
+		case "*bytes.Buffer", "*strings.Builder":
+			return true // Write methods always return a nil error
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether the writer expression is one whose
+// writes cannot meaningfully fail for our purposes: an in-memory buffer
+// or the process's own standard streams.
+func infallibleWriter(pkg *Package, w ast.Expr) bool {
+	switch pkg.Info.TypeOf(w).String() {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	sel, ok := ast.Unparen(w).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// calleeName renders the called function for a message, falling back
+// to "call" for dynamic calls.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "call"
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "(" + recv.Type().String() + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() != pkg.Path {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

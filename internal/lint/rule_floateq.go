@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noFloatEq forbids == and != where either operand is a floating-point
+// value. Exact float equality is the classic K-Means/TFIDF convergence
+// bug: two mathematically equal scores computed along different paths
+// compare unequal, and a loop that should terminate never does.
+// Deliberate exact comparisons (sort tie-breaks, sentinel zeros) must
+// be annotated with //thorlint:allow.
+type noFloatEq struct{}
+
+func (noFloatEq) ID() string { return "no-float-eq" }
+
+func (noFloatEq) Doc() string {
+	return "forbid ==/!= on float operands; compare with an epsilon or annotate"
+}
+
+func (r noFloatEq) Check(pkg *Package) []Finding {
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(pkg.Info.TypeOf(bin.X)) || isFloat(pkg.Info.TypeOf(bin.Y)) {
+			out = append(out, pkg.findingf(bin.OpPos, r.ID(),
+				"%s compares floating-point values exactly; use an epsilon or annotate the intent", bin.Op))
+		}
+		return true
+	})
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// noStrayOutput forbids terminal output from library packages
+// (<module>/internal/*): the fmt.Print family, fmt.Fprint* aimed at
+// os.Stdout or os.Stderr, and every log package-level printer
+// (log.Print*, log.Fatal*, log.Panic*). Library code that chats on
+// stdout corrupts piped CLI output and makes figure runs
+// non-comparable. The CLIs under cmd/ are out of scope by construction,
+// and internal/experiments is exempt: its long sweeps legitimately
+// report progress.
+type noStrayOutput struct{}
+
+func (noStrayOutput) ID() string { return "no-stray-output" }
+
+func (noStrayOutput) Doc() string {
+	return "forbid fmt/log terminal output in internal/* (experiments excepted)"
+}
+
+var logPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+func (r noStrayOutput) Check(pkg *Package) []Finding {
+	if !pkg.Internal() || pkg.Path == pkg.Module+"/internal/experiments" ||
+		strings.HasPrefix(pkg.Path, pkg.Module+"/internal/experiments/") {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return true // methods (e.g. a *log.Logger bound to a buffer) are not stray
+		}
+		switch fn.Pkg().Path() {
+		case "fmt":
+			stray := fn.Name() == "Print" || fn.Name() == "Printf" || fn.Name() == "Println"
+			if !stray && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+				stray = stdStream(pkg, call.Args[0])
+			}
+			if stray {
+				out = append(out, pkg.findingf(call.Pos(), r.ID(),
+					"fmt.%s writes to the terminal from library package %s", fn.Name(), pkg.Path))
+			}
+		case "log":
+			if logPrinters[fn.Name()] {
+				out = append(out, pkg.findingf(call.Pos(), r.ID(),
+					"log.%s writes to the terminal from library package %s", fn.Name(), pkg.Path))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stdStream reports whether the expression denotes os.Stdout or
+// os.Stderr.
+func stdStream(pkg *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noPanicInLib forbids panic in library packages (<module>/internal/*).
+// Library code reached from a long-running server must return errors;
+// the few legitimate invariant guards (programmer-error assertions that
+// no input can trigger) are annotated with //thorlint:allow so each one
+// is individually justified.
+type noPanicInLib struct{}
+
+func (noPanicInLib) ID() string { return "no-panic-in-lib" }
+
+func (noPanicInLib) Doc() string {
+	return "forbid panic in internal/* library code; return an error or annotate the invariant"
+}
+
+func (r noPanicInLib) Check(pkg *Package) []Finding {
+	if !pkg.Internal() {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			out = append(out, pkg.findingf(call.Pos(), r.ID(),
+				"panic in library package %s; return an error or annotate the invariant", pkg.Path))
+		}
+		return true
+	})
+	return out
+}

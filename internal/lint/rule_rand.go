@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noUnseededRand forbids calls to package-level math/rand functions,
+// which draw from the shared global source and make figure runs
+// irreproducible. Constructors that build the explicit seeded sources
+// THOR requires (rand.New, rand.NewSource, ...) are permitted, as is
+// every method on a *rand.Rand obtained from them.
+type noUnseededRand struct{}
+
+func (noUnseededRand) ID() string { return "no-unseeded-rand" }
+
+func (noUnseededRand) Doc() string {
+	return "forbid package-level math/rand calls; thread an explicit *rand.Rand"
+}
+
+// randConstructors are the math/rand and math/rand/v2 functions that
+// build explicit sources rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (r noUnseededRand) Check(pkg *Package) []Finding {
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if fn.Type().(*types.Signature).Recv() != nil || randConstructors[fn.Name()] {
+			return true // methods on an explicit *rand.Rand, or a constructor
+		}
+		out = append(out, pkg.findingf(call.Pos(), r.ID(),
+			"rand.%s draws from the unseeded global source; thread an explicit *rand.Rand", fn.Name()))
+		return true
+	})
+	return out
+}

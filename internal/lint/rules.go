@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllRules returns the full thorlint rule set in catalog order.
+func AllRules() []Rule {
+	return []Rule{
+		noUnseededRand{},
+		noFloatEq{},
+		noUncheckedError{},
+		noPanicInLib{},
+		noStrayOutput{},
+	}
+}
+
+// calleeFunc resolves the statically-known function or method a call
+// invokes, or nil for builtins, conversions, and calls through function
+// values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgLevelFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func pkgLevelFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// inspectFiles runs fn over every node of every file in the package.
+func inspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, fn)
+	}
+}

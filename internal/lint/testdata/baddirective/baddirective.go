@@ -1,0 +1,11 @@
+// Package baddirective carries malformed //thorlint:allow directives,
+// which are findings under the "directive" pseudo rule.
+package baddirective
+
+// Answer is annotated badly twice.
+func Answer() int {
+	//thorlint:allow no-such-rule because I said so
+	x := 41
+	//thorlint:allow no-float-eq
+	return x + 1
+}

@@ -1,0 +1,51 @@
+// Package clean violates nothing: every hazard the rules police is
+// either avoided or explicitly annotated, so thorlint must stay silent.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+)
+
+// Sample draws through an explicit seeded source.
+func Sample(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// TieBreak deliberately compares floats exactly to keep sort orders
+// deterministic; the directive justifies it.
+func TieBreak(a, b float64, i, j int) bool {
+	if a != b { //thorlint:allow no-float-eq deterministic sort tie-break on equal scores
+		return a > b
+	}
+	return i < j
+}
+
+// Describe builds a report in memory; Builder writes never fail.
+func Describe(steps int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d steps", steps)
+	return sb.String()
+}
+
+// Remove discards a best-effort cleanup error with a justification.
+func Remove(path string) {
+	//thorlint:allow no-unchecked-error best-effort temp-file cleanup, nothing to do on failure
+	os.Remove(path)
+}
+
+// mustIndex guards a programmer-error invariant; the directive
+// justifies the panic.
+func mustIndex(i, n int) int {
+	if i < 0 || i >= n {
+		//thorlint:allow no-panic-in-lib unreachable unless a caller breaks the documented contract
+		panic("clean: index out of range")
+	}
+	return i
+}
+
+// UseMustIndex keeps mustIndex referenced.
+func UseMustIndex() int { return mustIndex(0, 1) }

@@ -1,0 +1,18 @@
+// Package floateq deliberately violates no-float-eq: it compares
+// floating-point values with == and !=.
+package floateq
+
+// Converged compares scores exactly (finding).
+func Converged(prev, next float64) bool { return prev == next }
+
+// Changed compares a float32 exactly against a constant (finding).
+func Changed(x float32) bool { return x != 0.5 }
+
+// Near shows the permitted pattern (no finding).
+func Near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,11 @@
+// Package panicinlib deliberately violates no-panic-in-lib: it panics
+// from a library package under internal/.
+package panicinlib
+
+// MustPositive panics on bad input (finding).
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("panicinlib: n must be positive")
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package strayoutput deliberately violates no-stray-output: it writes
+// to the terminal from a library package under internal/.
+package strayoutput
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Report chats on the terminal three ways (three findings).
+func Report(step int) {
+	fmt.Println("step", step)
+	fmt.Fprintf(os.Stderr, "step %d\n", step)
+	log.Printf("step %d", step)
+}

@@ -1,0 +1,16 @@
+// Package uncheckederr deliberately violates no-unchecked-error: it
+// discards error results as bare statements, in defers, and via the
+// blank identifier.
+package uncheckederr
+
+import "os"
+
+// Cleanup discards errors four ways (four findings).
+func Cleanup(path string) {
+	os.Remove(path)            // bare statement
+	_ = os.Setenv("THOR", "1") // blank assign of a lone error
+	f, _ := os.Open(path)      // blank assign of the error in a tuple
+	if f != nil {
+		defer f.Close() // deferred call with a discarded error
+	}
+}

@@ -1,0 +1,20 @@
+// Package unseededrand deliberately violates no-unseeded-rand: it
+// draws from math/rand's shared global source instead of threading an
+// explicit *rand.Rand.
+package unseededrand
+
+import "math/rand"
+
+// Roll draws from the global source (finding).
+func Roll() int { return rand.Intn(6) }
+
+// Mix shuffles with the global source (finding).
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Seeded shows the permitted pattern: an explicit source (no finding).
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

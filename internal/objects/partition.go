@@ -45,7 +45,7 @@ func NewPartitioner(cfg Config) *Partitioner {
 	if cfg.MinGroup <= 0 {
 		cfg.MinGroup = def.MinGroup
 	}
-	if cfg.SizeTolerance == 0 {
+	if cfg.SizeTolerance == 0 { //thorlint:allow no-float-eq the zero value is the documented "use default" sentinel
 		cfg.SizeTolerance = def.SizeTolerance
 	}
 	if cfg.HeightSlack == 0 {

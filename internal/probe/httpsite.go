@@ -70,6 +70,7 @@ func (h *HTTPSite) QueryPage(keyword string, page int) (html, pageURL string) {
 	if err != nil {
 		return "", pageURL
 	}
+	//thorlint:allow no-unchecked-error response-body close after a full read has nothing to report
 	defer resp.Body.Close()
 	// Cap response size: answer pages are small; a runaway body should
 	// not exhaust memory.

@@ -112,7 +112,7 @@ func (ix *Index) search(query string, k, siteFilter int) []Hit {
 		return nil
 	}
 	avgLen := float64(ix.totalLen) / float64(n)
-	if avgLen == 0 {
+	if avgLen == 0 { //thorlint:allow no-float-eq exact-zero guard against dividing by zero
 		avgLen = 1
 	}
 	scores := make(map[int]float64)
@@ -138,6 +138,7 @@ func (ix *Index) search(query string, k, siteFilter int) []Hit {
 		hits = append(hits, Hit{Doc: ix.docs[id], Score: s})
 	}
 	sort.Slice(hits, func(i, j int) bool {
+		//thorlint:allow no-float-eq deterministic sort tie-break on equal scores
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
 		}
@@ -173,6 +174,7 @@ func (ix *Index) SitesSupporting(query string) []SiteHit {
 		out = append(out, *sh)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//thorlint:allow no-float-eq deterministic sort tie-break on equal scores
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}

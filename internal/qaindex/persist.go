@@ -37,12 +37,13 @@ func (ix *Index) Write(w io.Writer) error {
 		})
 	}
 	gz := gzip.NewWriter(w)
-	if err := gob.NewEncoder(gz).Encode(&snap); err != nil {
-		gz.Close()
-		return fmt.Errorf("qaindex: encode: %w", err)
+	encErr := gob.NewEncoder(gz).Encode(&snap)
+	closeErr := gz.Close() // Close flushes; its error means truncated output
+	if encErr != nil {
+		return fmt.Errorf("qaindex: encode: %w", encErr)
 	}
-	if err := gz.Close(); err != nil {
-		return fmt.Errorf("qaindex: compress: %w", err)
+	if closeErr != nil {
+		return fmt.Errorf("qaindex: compress: %w", closeErr)
 	}
 	return nil
 }
@@ -53,6 +54,7 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qaindex: decompress: %w", err)
 	}
+	//thorlint:allow no-unchecked-error read-side gzip close holds no state worth surfacing
 	defer gz.Close()
 	var snap indexSnapshot
 	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
@@ -74,11 +76,11 @@ func (ix *Index) WriteFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("qaindex: %w", err)
 	}
-	if err := ix.Write(f); err != nil {
-		f.Close()
-		return err
+	werr := ix.Write(f)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("qaindex: %w", cerr)
 	}
-	return f.Close()
+	return werr
 }
 
 // ReadFile loads an index from path.
@@ -87,6 +89,7 @@ func ReadFile(path string) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qaindex: %w", err)
 	}
+	//thorlint:allow no-unchecked-error closing a read-only file cannot lose data
 	defer f.Close()
 	return Read(f)
 }

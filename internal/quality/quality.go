@@ -85,7 +85,7 @@ type PR struct {
 
 // F1 returns the harmonic mean of precision and recall.
 func (pr PR) F1() float64 {
-	if pr.Precision+pr.Recall == 0 {
+	if pr.Precision+pr.Recall == 0 { //thorlint:allow no-float-eq exact-zero guard against dividing by zero
 		return 0
 	}
 	return 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)

@@ -160,6 +160,7 @@ func centroidLabel(centroid vector.Sparse, n int) []string {
 		all = append(all, tw{t, centroid.Weights[i]})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//thorlint:allow no-float-eq deterministic sort tie-break on equal weights
 		if all[i].weight != all[j].weight {
 			return all[i].weight > all[j].weight
 		}

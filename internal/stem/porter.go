@@ -191,9 +191,8 @@ var step2Rules = []struct{ suffix, repl string }{
 
 func step2(b []byte) []byte {
 	for _, r := range step2Rules {
-		if hasSuffix(b, r.suffix) {
-			b, _ = replaceSuffix(b, r.suffix, r.repl, 0)
-			return b
+		if nb, matched := replaceSuffix(b, r.suffix, r.repl, 0); matched {
+			return nb
 		}
 	}
 	return b
@@ -206,9 +205,8 @@ var step3Rules = []struct{ suffix, repl string }{
 
 func step3(b []byte) []byte {
 	for _, r := range step3Rules {
-		if hasSuffix(b, r.suffix) {
-			b, _ = replaceSuffix(b, r.suffix, r.repl, 0)
-			return b
+		if nb, matched := replaceSuffix(b, r.suffix, r.repl, 0); matched {
+			return nb
 		}
 	}
 	return b

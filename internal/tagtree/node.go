@@ -71,6 +71,7 @@ func NewContent(text string) *Node {
 // leaf.
 func (n *Node) AppendChild(child *Node) {
 	if n.Type == ContentNode {
+		//thorlint:allow no-panic-in-lib programmer-error guard; content nodes are leaves by definition
 		panic("tagtree: AppendChild on content node")
 	}
 	child.Parent = n

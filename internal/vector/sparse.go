@@ -70,7 +70,7 @@ func (v Sparse) Norm() float64 {
 // unchanged.
 func (v Sparse) Normalize() Sparse {
 	n := v.Norm()
-	if n == 0 {
+	if n == 0 { //thorlint:allow no-float-eq the zero vector has an exactly zero norm
 		return v
 	}
 	out := Sparse{Terms: v.Terms, Weights: make([]float64, len(v.Weights))}
@@ -108,7 +108,7 @@ func Dot(a, b Sparse) float64 {
 // If either vector is zero the similarity is 0.
 func Cosine(a, b Sparse) float64 {
 	na, nb := a.Norm(), b.Norm()
-	if na == 0 || nb == 0 {
+	if na == 0 || nb == 0 { //thorlint:allow no-float-eq the zero vector has an exactly zero norm
 		return 0
 	}
 	sim := Dot(a, b) / (na * nb)
@@ -178,6 +178,7 @@ func Equal(a, b Sparse) bool {
 		return false
 	}
 	for i := range a.Terms {
+		//thorlint:allow no-float-eq Equal is documented as exact identity, not numeric closeness
 		if a.Terms[i] != b.Terms[i] || a.Weights[i] != b.Weights[i] {
 			return false
 		}
