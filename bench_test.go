@@ -10,6 +10,7 @@ package thor
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"thor/internal/cluster"
@@ -27,10 +28,13 @@ import (
 )
 
 // benchOptions is the reduced corpus used by the figure benchmarks.
+// Workers is pinned to 1 so the per-figure numbers stay comparable with
+// historical serial runs; the worker-scaling benchmarks below vary it.
 func benchOptions() experiments.Options {
 	return experiments.Options{
 		Sites: 6, DictWords: 50, Nonsense: 5,
 		Reps: 1, Seed: 42, K: 4, KMRestarts: 5, SynthCap: 1100,
+		Workers: 1,
 	}
 }
 
@@ -108,6 +112,60 @@ func BenchmarkFig11Tradeoff(b *testing.B) {
 	}
 }
 
+// --- Worker-scaling benchmarks -------------------------------------------
+//
+// The same figure computed serially and on every core; the results are
+// bit-identical (see core's worker-independence tests), so the ratio of
+// the two timings is pure parallel speedup.
+
+// benchWorkerCounts returns the worker counts the scaling benchmarks
+// compare: serial plus all cores (collapsed on single-core machines,
+// where the two coincide).
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func benchmarkFigWorkers(b *testing.B, fig func(experiments.Options) *experiments.TableResult) {
+	b.Helper()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := benchOptions()
+			o.Workers = w
+			experiments.BuildCorpus(o)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fig(o)
+			}
+		})
+	}
+}
+
+func BenchmarkFig10Workers(b *testing.B) {
+	benchmarkFigWorkers(b, experiments.Fig10)
+}
+
+func BenchmarkFig11Workers(b *testing.B) {
+	benchmarkFigWorkers(b, experiments.Fig11)
+}
+
+func BenchmarkFullExtractionWorkers(b *testing.B) {
+	col := benchCollection(b, 0, 100)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewExtractor(cfg).Extract(col.Pages)
+			}
+		})
+	}
+}
+
 func BenchmarkTreeEditDistance(b *testing.B) {
 	// The cost the paper ruled out: one tree-edit distance between two
 	// full answer pages (compare with BenchmarkTagSignatureSimilarity).
@@ -170,6 +228,7 @@ func BenchmarkProbeSite(b *testing.B) {
 func BenchmarkPhase1Clustering(b *testing.B) {
 	col := benchCollection(b, 0, 100)
 	cfg := core.DefaultConfig()
+	cfg.Workers = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Phase1(col.Pages, cfg)
@@ -180,6 +239,7 @@ func BenchmarkPhase2Identification(b *testing.B) {
 	col := benchCollection(b, 0, 100)
 	multi := col.ByClass(corpus.MultiMatch)
 	cfg := core.DefaultConfig()
+	cfg.Workers = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewExtractor(cfg).ExtractCluster(multi)
@@ -189,6 +249,7 @@ func BenchmarkPhase2Identification(b *testing.B) {
 func BenchmarkFullExtraction(b *testing.B) {
 	col := benchCollection(b, 0, 100)
 	cfg := core.DefaultConfig()
+	cfg.Workers = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewExtractor(cfg).Extract(col.Pages)
@@ -206,7 +267,7 @@ func BenchmarkKMeans(b *testing.B) {
 			vecs := vector.TFIDF(synth.TagSignatures(pages))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cluster.KMeans(vecs, cluster.KMeansConfig{K: 4, Restarts: 1, Seed: int64(i)})
+				cluster.KMeans(vecs, cluster.KMeansConfig{K: 4, Restarts: 1, Seed: int64(i), Workers: 1})
 			}
 		})
 	}

@@ -7,6 +7,7 @@
 //	thor                   # probe one simulated site and extract
 //	thor -site 7           # a different site profile
 //	thor -sites 5          # several sites, summary per site
+//	thor -sites 5 -workers 1  # same output, one core (default 0 = all cores)
 //	thor -dict 100 -nonsense 10
 //	thor -serve :8080      # serve the simulated deep web over HTTP instead
 //	thor -v                # dump extracted pagelets and objects
@@ -33,6 +34,7 @@ import (
 	"thor/internal/corpus"
 	"thor/internal/deepweb"
 	"thor/internal/objects"
+	"thor/internal/parallel"
 	"thor/internal/probe"
 	"thor/internal/quality"
 )
@@ -47,6 +49,7 @@ func main() {
 		k       = flag.Int("k", 4, "page clusters")
 		top     = flag.Int("top", 2, "clusters passed to phase 2")
 		verbose = flag.Bool("v", false, "print extracted pagelets and objects")
+		workers = flag.Int("workers", 0, "concurrent workers (1 = serial, 0 = all cores); output is identical either way")
 		serve   = flag.String("serve", "", "serve the simulated deep web on this address instead of extracting")
 		liveURL = flag.String("url", "", "probe a live search endpoint at this URL instead of a simulated site")
 		param   = flag.String("param", "q", "query parameter name for -url")
@@ -54,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *liveURL != "" {
-		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *verbose)
+		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *workers, *verbose)
 		return
 	}
 
@@ -76,56 +79,85 @@ func main() {
 		sites = deepweb.NewSites(*nsites, *seed)
 	}
 
-	var counter quality.Counter
-	for _, s := range sites {
-		col := prober.ProbeSite(s)
-		dist := col.ClassDistribution()
-		fmt.Printf("\n%s — %d pages (%d multi, %d single, %d no-match, %d error)\n",
-			s.Name(), len(col.Pages), dist[corpus.MultiMatch], dist[corpus.SingleMatch],
-			dist[corpus.NoMatch], dist[corpus.ErrorPage])
-
+	// With several sites the fan-out happens across sites (each site's
+	// pipeline serial); with one site the pipeline itself fans out. Either
+	// way reports are rendered per site and printed in site order, so the
+	// output is identical for every -workers value.
+	outer, inner := *workers, 1
+	if len(sites) <= 1 {
+		outer, inner = 1, *workers
+	}
+	reports := parallel.Map(len(sites), outer, func(i int) siteReport {
+		s := sites[i]
 		cfg := core.DefaultConfig()
 		cfg.K = *k
 		cfg.TopClusters = *top
 		cfg.Seed = *seed + int64(s.ID())
-		ext := core.NewExtractor(cfg)
-		res := ext.Extract(col.Pages)
+		cfg.Workers = inner
+		return runSite(s, prober, cfg, *verbose)
+	})
 
-		for rank, pc := range res.Phase1.Ranked {
-			passed := " "
-			if rank < len(res.PassedClusters) {
-				passed = "*"
-			}
-			fmt.Printf("  %s cluster %d: %3d pages, score %.3f (terms %.0f, fanout %.1f, size %.0fB)\n",
-				passed, rank+1, len(pc.Pages), pc.Score,
-				pc.AvgDistinctTerms, pc.AvgMaxFanout, pc.AvgPageSize)
-		}
-		c, i, t := core.Score(res.Pagelets, col.Pages)
-		counter.Add(c, i, t)
-		pr := quality.PrecisionRecall(c, i, t)
-		fmt.Printf("  extracted %d QA-Pagelets: precision %.3f, recall %.3f\n",
-			len(res.Pagelets), pr.Precision, pr.Recall)
-
-		if *verbose {
-			part := objects.NewPartitioner(objects.Config{})
-			for _, pl := range res.Pagelets[:min(3, len(res.Pagelets))] {
-				objs := part.Partition(pl.Node, pl.Objects)
-				fmt.Printf("\n  page %q → pagelet %s (%d QA-Objects)\n", pl.Page.Query, pl.Path, len(objs))
-				for _, o := range objs[:min(3, len(objs))] {
-					text := o.Text()
-					if len(text) > 100 {
-						text = text[:100] + "…"
-					}
-					fmt.Printf("    object: %s\n", strings.TrimSpace(text))
-				}
-			}
-		}
+	var counter quality.Counter
+	for _, r := range reports {
+		fmt.Print(r.out)
+		counter.Add(r.c, r.i, r.t)
 	}
 	if len(sites) > 1 {
 		pr := counter.PR()
 		fmt.Printf("\noverall: precision %.3f, recall %.3f over %d sites\n",
 			pr.Precision, pr.Recall, len(sites))
 	}
+}
+
+// siteReport is one site's rendered output plus its scoring tally.
+type siteReport struct {
+	out     string
+	c, i, t int
+}
+
+// runSite probes one simulated site, extracts its QA-Pagelets, and
+// renders the per-site report into a string so concurrent site runs
+// never interleave their output.
+func runSite(s *deepweb.Site, prober *probe.Prober, cfg core.Config, verbose bool) siteReport {
+	var b strings.Builder
+	col := prober.ProbeSite(s)
+	dist := col.ClassDistribution()
+	fmt.Fprintf(&b, "\n%s — %d pages (%d multi, %d single, %d no-match, %d error)\n",
+		s.Name(), len(col.Pages), dist[corpus.MultiMatch], dist[corpus.SingleMatch],
+		dist[corpus.NoMatch], dist[corpus.ErrorPage])
+
+	ext := core.NewExtractor(cfg)
+	res := ext.Extract(col.Pages)
+
+	for rank, pc := range res.Phase1.Ranked {
+		passed := " "
+		if rank < len(res.PassedClusters) {
+			passed = "*"
+		}
+		fmt.Fprintf(&b, "  %s cluster %d: %3d pages, score %.3f (terms %.0f, fanout %.1f, size %.0fB)\n",
+			passed, rank+1, len(pc.Pages), pc.Score,
+			pc.AvgDistinctTerms, pc.AvgMaxFanout, pc.AvgPageSize)
+	}
+	c, i, t := core.Score(res.Pagelets, col.Pages)
+	pr := quality.PrecisionRecall(c, i, t)
+	fmt.Fprintf(&b, "  extracted %d QA-Pagelets: precision %.3f, recall %.3f\n",
+		len(res.Pagelets), pr.Precision, pr.Recall)
+
+	if verbose {
+		part := objects.NewPartitioner(objects.Config{})
+		for _, pl := range res.Pagelets[:min(3, len(res.Pagelets))] {
+			objs := part.Partition(pl.Node, pl.Objects)
+			fmt.Fprintf(&b, "\n  page %q → pagelet %s (%d QA-Objects)\n", pl.Page.Query, pl.Path, len(objs))
+			for _, o := range objs[:min(3, len(objs))] {
+				text := o.Text()
+				if len(text) > 100 {
+					text = text[:100] + "…"
+				}
+				fmt.Fprintf(&b, "    object: %s\n", strings.TrimSpace(text))
+			}
+		}
+	}
+	return siteReport{out: b.String(), c: c, i: i, t: t}
 }
 
 // serveFarm serves the simulated deep web until the listener fails or
@@ -160,7 +192,7 @@ func serveFarm(addr string, nsites int, seed int64) error {
 
 // runLive probes a real search endpoint and prints what THOR extracts;
 // with no ground truth the report is the ranked clusters and the regions.
-func runLive(searchURL, param string, dict, nons int, seed int64, k, top int, verbose bool) {
+func runLive(searchURL, param string, dict, nons int, seed int64, k, top, workers int, verbose bool) {
 	site := &probe.HTTPSite{SearchURL: searchURL, QueryParam: param}
 	prober := &probe.Prober{Plan: probe.NewPlan(dict, nons, seed+1)}
 	fmt.Printf("probing %s (%s)\n", site.Name(), prober.Plan)
@@ -170,6 +202,7 @@ func runLive(searchURL, param string, dict, nons int, seed int64, k, top int, ve
 	cfg.K = k
 	cfg.TopClusters = top
 	cfg.Seed = seed
+	cfg.Workers = workers
 	res := core.NewExtractor(cfg).Extract(col.Pages)
 	for rank, pc := range res.Phase1.Ranked {
 		passed := " "

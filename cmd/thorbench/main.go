@@ -8,6 +8,8 @@
 //	thorbench -fig 6 -full      # lift the scalability caps (Fig 6/7)
 //	thorbench -sites 10 -reps 3 # smaller corpus for quick runs
 //	thorbench -fig all -csv out # also write each figure as CSV under out/
+//	thorbench -fig 10 -workers 1 -json out   # serial run + BENCH_fig10.json
+//	thorbench -fig 10 -workers 0 -json out   # all cores, same figures
 //
 // Figures: 4, 5, 6, 7, 8, 9, 10, 11, plus "treedist" (tag-signature vs
 // tree-edit cost), "stats" (corpus statistics), and the ablations
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"thor/internal/experiments"
+	"thor/internal/parallel"
 )
 
 func main() {
@@ -37,13 +41,16 @@ func main() {
 		full   = flag.Bool("full", false, "lift scalability caps (Fig 6/7 to 110,000 pages/site)")
 		k      = flag.Int("k", 4, "number of page clusters")
 		m      = flag.Int("restarts", 10, "K-Means restarts")
-		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
+		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<figure>.json timing records into this directory")
+		workers = flag.Int("workers", 0, "concurrent workers per figure (1 = serial, 0 = all cores); figures are identical either way")
 	)
 	flag.Parse()
 
 	o := experiments.Options{
 		Sites: *sites, DictWords: *dict, Nonsense: *nons,
 		Reps: *reps, Seed: *seed, Full: *full, K: *k, KMRestarts: *m,
+		Workers: *workers,
 	}
 
 	emit := func(name string, result fmt.Stringer) {
@@ -54,6 +61,20 @@ func main() {
 		if err := writeCSV(*csvDir, name, result); err != nil {
 			fmt.Fprintf(os.Stderr, "thorbench: %v\n", err)
 		}
+	}
+
+	// run times one figure computation and, with -json, records the wall
+	// time as a BENCH_<name>.json artifact so speedups across -workers
+	// settings are machine-comparable.
+	run := func(name string, f func() fmt.Stringer) fmt.Stringer {
+		start := time.Now()
+		result := f()
+		if *jsonDir != "" {
+			if err := writeBench(*jsonDir, name, o, time.Since(start)); err != nil {
+				fmt.Fprintf(os.Stderr, "thorbench: %v\n", err)
+			}
+		}
+		return result
 	}
 
 	runners := map[string]func() fmt.Stringer{
@@ -79,29 +100,66 @@ func main() {
 
 	if *fig == "all" {
 		start := time.Now()
-		// The paired figures share their computation.
-		e4, t5 := experiments.Fig45(o)
+		// The paired figures share their computation, so they are timed
+		// (and BENCH-recorded) as one unit each.
+		var e4, t5, e6, t7 fmt.Stringer
+		run("fig4_5", func() fmt.Stringer { e4, t5 = experiments.Fig45(o); return e4 })
 		emit("fig4", e4)
 		emit("fig5", t5)
-		e6, t7 := experiments.Fig67(o)
+		run("fig6_7", func() fmt.Stringer { e6, t7 = experiments.Fig67(o); return e6 })
 		emit("fig6", e6)
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
 			"objects", "multiregion", "bisecting", "adaptive"} {
-			emit(csvName(name), runners[name]())
+			n := csvName(name)
+			emit(n, run(n, runners[name]))
 		}
 		fmt.Printf("total: %v\n", time.Since(start))
 		return
 	}
 	for _, name := range strings.Split(*fig, ",") {
-		run, ok := runners[name]
+		runner, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "thorbench: unknown figure %q\n", name)
 			os.Exit(2)
 		}
-		emit(csvName(name), run())
+		n := csvName(name)
+		emit(n, run(n, runner))
 	}
+}
+
+// BenchRecord is the machine-readable timing artifact written by -json:
+// one figure's wall time and throughput at a given worker count.
+type BenchRecord struct {
+	Figure         string  `json:"figure"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Pages          int     `json:"pages"`
+	PagesPerSecond float64 `json:"pages_per_second"`
+	Workers        int     `json:"workers"`
+}
+
+// writeBench persists a BENCH_<name>.json record. Pages counts the probed
+// corpus the figure was computed over (sites × probes per site); Workers
+// is the resolved worker count, so records taken at -workers 0 report the
+// actual core count used.
+func writeBench(dir, name string, o experiments.Options, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pages := o.Sites * o.ProbesPerSite()
+	rec := BenchRecord{
+		Figure:         name,
+		WallSeconds:    wall.Seconds(),
+		Pages:          pages,
+		PagesPerSecond: float64(pages) / wall.Seconds(),
+		Workers:        parallel.Workers(o.Workers),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

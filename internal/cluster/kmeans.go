@@ -8,6 +8,7 @@ package cluster
 import (
 	"math/rand"
 
+	"thor/internal/parallel"
 	"thor/internal/vector"
 )
 
@@ -44,6 +45,11 @@ type KMeansConfig struct {
 	Restarts int // M: independent runs with random initial centers; best by internal similarity wins
 	MaxIter  int // safety bound on assign/recenter cycles per run (default 100)
 	Seed     int64
+	// Workers bounds how many restarts run concurrently: 1 is the serial
+	// path, values below 1 select GOMAXPROCS. Each restart derives its own
+	// seed from Seed, so the chosen clustering is identical for every
+	// worker count.
+	Workers int
 }
 
 // KMeansResult carries the chosen clustering together with its centroids
@@ -62,8 +68,10 @@ type KMeansResult struct {
 // under cosine similarity. The algorithm starts from K random cluster
 // centers, assigns each page to the most similar center, recomputes each
 // center as its cluster's centroid, and repeats until assignments
-// stabilize. It runs cfg.Restarts times and keeps the clustering with the
-// highest internal similarity.
+// stabilize. It runs cfg.Restarts times — concurrently up to cfg.Workers,
+// each restart on an independently derived seed — and keeps the
+// clustering with the highest internal similarity (ties go to the lowest
+// restart index, so the winner does not depend on scheduling).
 func KMeans(vecs []vector.Sparse, cfg KMeansConfig) KMeansResult {
 	n := len(vecs)
 	k := cfg.K
@@ -81,17 +89,27 @@ func KMeans(vecs []vector.Sparse, cfg KMeansConfig) KMeansResult {
 	if maxIter <= 0 {
 		maxIter = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type restartResult struct {
+		cl        Clustering
+		centroids []vector.Sparse
+		sim       float64
+		iters     int
+	}
+	results := parallel.Map(restarts, cfg.Workers, func(r int) restartResult {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, int64(r))))
+		assign, centroids, iters := kmeansOnce(vecs, k, maxIter, rng)
+		cl := newClustering(k, assign)
+		return restartResult{cl: cl, centroids: centroids,
+			sim: InternalSimilarity(vecs, cl, centroids), iters: iters}
+	})
 
 	best := KMeansResult{Similarity: -1}
 	totalIter := 0
-	for r := 0; r < restarts; r++ {
-		assign, centroids, iters := kmeansOnce(vecs, k, maxIter, rng)
-		totalIter += iters
-		cl := newClustering(k, assign)
-		sim := InternalSimilarity(vecs, cl, centroids)
-		if sim > best.Similarity {
-			best = KMeansResult{Clustering: cl, Centroids: centroids, Similarity: sim}
+	for _, rr := range results {
+		totalIter += rr.iters
+		if rr.sim > best.Similarity {
+			best = KMeansResult{Clustering: rr.cl, Centroids: rr.centroids, Similarity: rr.sim}
 		}
 	}
 	best.Iterations = totalIter

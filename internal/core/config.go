@@ -119,8 +119,16 @@ type Config struct {
 	// selections are structurally disjoint from earlier ones.
 	NumPagelets int
 	// Seed drives every randomized choice (K-Means initialization,
-	// prototype page selection) so runs are reproducible.
+	// prototype page selection) so runs are reproducible. Every
+	// parallelized unit (restart, cluster) derives its own independent
+	// seed from it, so results do not depend on Workers.
 	Seed int64
+	// Workers bounds the pipeline's concurrency: K-Means restarts,
+	// per-cluster phase-two runs, per-page candidate generation, and the
+	// subtree-set similarity computation all fan out across this many
+	// goroutines. 1 is the fully serial path; values below 1 select
+	// GOMAXPROCS. The extraction output is identical for every setting.
+	Workers int
 }
 
 // DefaultConfig returns the configuration matching the paper's first THOR

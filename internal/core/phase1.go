@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"sort"
 
 	"thor/internal/cluster"
@@ -81,7 +80,7 @@ func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64
 	case TFIDFTags, RawTags, TFIDFContent, RawContent:
 		vecs := PageVectors(pages, cfg.Approach)
 		res := cluster.KMeans(vecs, cluster.KMeansConfig{
-			K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed,
+			K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
 		return res.Clustering, res.Similarity
 	case SizeBased:
@@ -166,6 +165,3 @@ func scoreClusters(clusters []*PageCluster) {
 		c.Score = s / 3
 	}
 }
-
-// rng returns the extractor-level random source for a config.
-func (cfg Config) rng() *rand.Rand { return rand.New(rand.NewSource(cfg.Seed)) }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"thor/internal/corpus"
+	"thor/internal/parallel"
 	"thor/internal/stem"
 	"thor/internal/strdist"
 	"thor/internal/tagtree"
@@ -268,14 +269,17 @@ func FindCommonSubtreeSets(perPage [][]*Candidate, cfg Config, rng *rand.Rand, s
 // RankSubtreeSets performs step two of cross-page analysis: each set's
 // members are represented as (optionally TFIDF-weighted) stemmed content
 // term vectors and the set's intra-similarity is the average pairwise
-// cosine. Sets are returned in ascending IntraSim order — the most likely
-// QA-Pagelet sets first — and Dynamic is set for sets at or below the
-// static/dynamic threshold.
+// cosine. The pairwise computation — the dominant phase-two cost — fans
+// out across cfg.Workers, one unit per set; no candidate belongs to two
+// sets, so the units share nothing. Sets are returned in ascending
+// IntraSim order — the most likely QA-Pagelet sets first — and Dynamic
+// is set for sets at or below the static/dynamic threshold.
 func RankSubtreeSets(sets []*SubtreeSet, cfg Config) {
-	for _, s := range sets {
+	parallel.ForEach(len(sets), cfg.Workers, func(i int) {
+		s := sets[i]
 		s.IntraSim = intraSetSimilarity(s, cfg)
 		s.Dynamic = s.IntraSim <= cfg.SimThreshold
-	}
+	})
 	sort.SliceStable(sets, func(i, j int) bool {
 		return sets[i].IntraSim < sets[j].IntraSim
 	})
@@ -421,11 +425,19 @@ func related(s *SubtreeSet, selected []*SubtreeSet) bool {
 // subtrees nested inside each selected pagelet (Section 3.2.2: each
 // QA-Pagelet is annotated with the dynamic content subtrees it contains to
 // guide QA-Object partitioning).
-func Phase2(pages []*corpus.Page, cfg Config, rng *rand.Rand, simp *strdist.Simplifier) *Phase2Result {
-	perPage := make([][]*Candidate, len(pages))
-	for i, p := range pages {
-		perPage[i] = SinglePageCandidates(p.Tree(), i)
-	}
+//
+// Randomness and the tag-name simplifier are both scoped to this one
+// cluster: the seed feeds a fresh *rand.Rand, and a fresh Simplifier
+// assigns tag identifiers from this cluster's pages only. Nothing leaks
+// in from other clusters, so concurrently processed clusters produce
+// the same result as serially processed ones. Single-page candidate
+// generation fans out across cfg.Workers, one unit per page.
+func Phase2(pages []*corpus.Page, cfg Config, seed int64) *Phase2Result {
+	perPage := parallel.Map(len(pages), cfg.Workers, func(i int) []*Candidate {
+		return SinglePageCandidates(pages[i].Tree(), i)
+	})
+	rng := rand.New(rand.NewSource(seed))
+	simp := strdist.NewSimplifier(cfg.PathSimplifyQ)
 	sets := FindCommonSubtreeSets(perPage, cfg, rng, simp)
 	// Drop sets without enough cross-page support.
 	minMembers := int(math.Ceil(cfg.MinSetFraction * float64(len(pages))))

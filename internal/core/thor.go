@@ -4,14 +4,14 @@ import (
 	"fmt"
 
 	"thor/internal/corpus"
-	"thor/internal/strdist"
+	"thor/internal/parallel"
+	"thor/internal/tagtree"
 )
 
 // Extractor runs THOR's two-phase QA-Pagelet extraction over the sampled
 // pages of one deep-web site.
 type Extractor struct {
-	cfg  Config
-	simp *strdist.Simplifier
+	cfg Config
 }
 
 // NewExtractor returns an extractor with the given configuration. Zero
@@ -45,7 +45,7 @@ func NewExtractor(cfg Config) *Extractor {
 	if cfg.NumPagelets <= 0 {
 		cfg.NumPagelets = def.NumPagelets
 	}
-	return &Extractor{cfg: cfg, simp: strdist.NewSimplifier(cfg.PathSimplifyQ)}
+	return &Extractor{cfg: cfg}
 }
 
 // Config returns the extractor's effective configuration.
@@ -64,18 +64,22 @@ type Result struct {
 }
 
 // Extract runs both phases on a site's sampled pages and returns the
-// extracted QA-Pagelets.
+// extracted QA-Pagelets. The passed clusters are processed concurrently
+// up to cfg.Workers; each cluster derives an independent seed from
+// cfg.Seed and its rank, so the result is identical for every worker
+// count (phase one partitions the pages, so the clusters share no
+// mutable state).
 func (e *Extractor) Extract(pages []*corpus.Page) *Result {
 	res := &Result{Phase1: Phase1(pages, e.cfg)}
 	m := e.cfg.TopClusters
 	if m > len(res.Phase1.Ranked) {
 		m = len(res.Phase1.Ranked)
 	}
-	rng := e.cfg.rng()
-	for _, pc := range res.Phase1.Ranked[:m] {
-		res.PassedClusters = append(res.PassedClusters, pc)
-		p2 := Phase2(pc.Pages, e.cfg, rng, e.simp)
-		res.PerCluster = append(res.PerCluster, p2)
+	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
+	res.PerCluster = parallel.Map(m, e.cfg.Workers, func(ci int) *Phase2Result {
+		return Phase2(res.Phase1.Ranked[ci].Pages, e.cfg, parallel.DeriveSeed(e.cfg.Seed, int64(ci)))
+	})
+	for _, p2 := range res.PerCluster {
 		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
 	}
 	return res
@@ -85,7 +89,7 @@ func (e *Extractor) Extract(pages []*corpus.Page) *Result {
 // cluster (used by the phase-two-in-isolation experiments, Figures 8
 // and 9).
 func (e *Extractor) ExtractCluster(pages []*corpus.Page) *Phase2Result {
-	return Phase2(pages, e.cfg, e.cfg.rng(), e.simp)
+	return Phase2(pages, e.cfg, e.cfg.Seed)
 }
 
 // Score compares extracted pagelets with a page set's ground truth and
@@ -93,16 +97,29 @@ func (e *Extractor) ExtractCluster(pages []*corpus.Page) *Phase2Result {
 // precision and recall definitions (Section 3.2). A pagelet is correct
 // when its root is exactly a ground-truth QA-Pagelet node of its page.
 func Score(pagelets []*Pagelet, allPages []*corpus.Page) (correct, identified, total int) {
+	// Build each page's truth set once: rescanning TruthPagelets per
+	// pagelet made scoring O(pagelets × truth nodes).
+	truthOf := make(map[*corpus.Page]map[*tagtree.Node]bool, len(allPages))
+	truthSet := func(p *corpus.Page) map[*tagtree.Node]bool {
+		set, ok := truthOf[p]
+		if !ok {
+			nodes := p.TruthPagelets()
+			set = make(map[*tagtree.Node]bool, len(nodes))
+			for _, n := range nodes {
+				set[n] = true
+			}
+			truthOf[p] = set
+		}
+		return set
+	}
 	for _, p := range allPages {
 		total += len(p.TruthPagelets())
+		truthSet(p)
 	}
 	for _, pl := range pagelets {
 		identified++
-		for _, truth := range pl.Page.TruthPagelets() {
-			if truth == pl.Node {
-				correct++
-				break
-			}
+		if truthSet(pl.Page)[pl.Node] {
+			correct++
 		}
 	}
 	return correct, identified, total

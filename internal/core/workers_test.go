@@ -1,0 +1,83 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// TestExtractWorkerCountIndependence enforces the determinism contract
+// of the parallel pipeline: a full extraction run must produce a
+// deep-equal Result for Workers=1 (the serial path), Workers=2, and
+// Workers=GOMAXPROCS. Run under -race in CI, this is also the pipeline's
+// data-race canary.
+func TestExtractWorkerCountIndependence(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 4, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(60, 6, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	results := make([]*Result, len(counts))
+	for i, w := range counts {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.Workers = w
+		results[i] = NewExtractor(cfg).Extract(col.Pages)
+	}
+
+	ref := results[0]
+	if len(ref.Pagelets) == 0 {
+		t.Fatal("reference run extracted nothing; the contract check would be vacuous")
+	}
+	for i, res := range results[1:] {
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("Workers=%d result differs from Workers=1:\n  serial:   %v\n  parallel: %v",
+				counts[i+1], ref, res)
+			comparePagelets(t, ref, res)
+		}
+	}
+}
+
+// comparePagelets narrows a DeepEqual failure down to the first
+// diverging pagelet so the report is actionable.
+func comparePagelets(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Pagelets) != len(b.Pagelets) {
+		t.Errorf("pagelet counts: %d vs %d", len(a.Pagelets), len(b.Pagelets))
+		return
+	}
+	for i := range a.Pagelets {
+		if a.Pagelets[i].Path != b.Pagelets[i].Path || a.Pagelets[i].Page != b.Pagelets[i].Page {
+			t.Errorf("pagelet %d: %q (page %q) vs %q (page %q)", i,
+				a.Pagelets[i].Path, a.Pagelets[i].Page.Query,
+				b.Pagelets[i].Path, b.Pagelets[i].Page.Query)
+			return
+		}
+	}
+}
+
+// TestExtractClusterWorkerCountIndependence covers the phase-two-only
+// entry point the experiments use.
+func TestExtractClusterWorkerCountIndependence(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 42})
+	prober := &probe.Prober{Plan: probe.NewPlan(50, 5, 3), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+
+	var ref *Phase2Result
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		cfg := DefaultConfig()
+		cfg.Seed = 11
+		cfg.Workers = w
+		p2 := NewExtractor(cfg).ExtractCluster(col.Pages)
+		if ref == nil {
+			ref = p2
+			continue
+		}
+		if !reflect.DeepEqual(ref, p2) {
+			t.Errorf("Workers=%d phase-2 result differs from Workers=1", w)
+		}
+	}
+}

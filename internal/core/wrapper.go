@@ -46,7 +46,7 @@ func (e *Extractor) BuildWrapper(res *Phase2Result) (*Wrapper, error) {
 	w := &Wrapper{
 		Weights:     e.cfg.ShapeWeights,
 		MaxDistance: 0.35,
-		simp:        e.simp,
+		simp:        strdist.NewSimplifier(e.cfg.PathSimplifyQ),
 		q:           e.cfg.PathSimplifyQ,
 	}
 	counts := make(map[string]int)

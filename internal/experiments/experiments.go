@@ -12,6 +12,7 @@ import (
 
 	"thor/internal/corpus"
 	"thor/internal/deepweb"
+	"thor/internal/parallel"
 	"thor/internal/probe"
 )
 
@@ -28,6 +29,12 @@ type Options struct {
 	SynthCap   int  // when > 0, drop synthetic sweep sizes above this (tests)
 	KMRestarts int  // K-Means restarts (paper: 10)
 	K          int  // clusters (paper varies 2–5; default 4 = #classes)
+	// Workers bounds how many sites an experiment processes concurrently
+	// (1 = serial, <1 = GOMAXPROCS). Per-site work runs with serial inner
+	// pipelines so parallelism never nests, and results are reduced in
+	// site order — figures are identical for every worker count. The
+	// timing experiments (Figures 5 and 7) always measure serial runs.
+	Workers int
 }
 
 // DefaultOptions returns the paper-scale defaults.
@@ -45,6 +52,23 @@ func DefaultOptions() Options {
 
 // ProbesPerSite returns the number of pages sampled per site.
 func (o Options) ProbesPerSite() int { return o.DictWords + o.Nonsense }
+
+// siteTally is the per-site contribution to a pooled figure measurement:
+// an entropy-style sum plus precision/recall tallies.
+type siteTally struct {
+	ent     float64
+	c, i, t int
+}
+
+// perSite fans f out over the corpus collections — o.Workers sites at a
+// time — and returns the per-site results in site order, so reductions
+// (including float sums) are independent of the worker count. Each
+// site's pipeline must run with Workers=1 so parallelism never nests.
+func perSite[T any](corp *corpus.Corpus, o Options, f func(col *corpus.Collection) T) []T {
+	return parallel.Map(len(corp.Collections), o.Workers, func(i int) T {
+		return f(corp.Collections[i])
+	})
+}
 
 // corpusCache memoizes probed corpora per (sites, probes, seed) so the
 // figures of one thorbench invocation share a single probing pass.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thor/internal/core"
+	"thor/internal/corpus"
 	"thor/internal/quality"
 )
 
@@ -22,17 +23,20 @@ func Fig10(o Options) *TableResult {
 		core.SizeBased, core.URLBased, core.RandomAssign,
 	}
 	for _, a := range order {
-		var counter quality.Counter
-		for _, col := range corp.Collections {
+		tallies := perSite(corp, o, func(col *corpus.Collection) siteTally {
 			cfg := core.DefaultConfig()
 			cfg.Approach = a
 			cfg.K = o.K
 			cfg.Restarts = o.KMRestarts
 			cfg.Seed = o.Seed + int64(col.SiteID)
-			ext := core.NewExtractor(cfg)
-			r := ext.Extract(col.Pages)
+			cfg.Workers = 1
+			r := core.NewExtractor(cfg).Extract(col.Pages)
 			c, i, t := core.Score(r.Pagelets, col.Pages)
-			counter.Add(c, i, t)
+			return siteTally{c: c, i: i, t: t}
+		})
+		var counter quality.Counter
+		for _, s := range tallies {
+			counter.Add(s.c, s.i, s.t)
 		}
 		pr := counter.PR()
 		res.Rows = append(res.Rows, Row{
@@ -58,17 +62,20 @@ func Fig11(o Options) *TableResult {
 		Header: []string{"precision", "recall", "f1"},
 	}
 	for pass := 1; pass <= 3; pass++ {
-		var counter quality.Counter
-		for _, col := range corp.Collections {
+		tallies := perSite(corp, o, func(col *corpus.Collection) siteTally {
 			cfg := core.DefaultConfig()
 			cfg.K = 3
 			cfg.TopClusters = pass
 			cfg.Restarts = o.KMRestarts
 			cfg.Seed = o.Seed + int64(col.SiteID)
-			ext := core.NewExtractor(cfg)
-			r := ext.Extract(col.Pages)
+			cfg.Workers = 1
+			r := core.NewExtractor(cfg).Extract(col.Pages)
 			c, i, t := core.Score(r.Pagelets, col.Pages)
-			counter.Add(c, i, t)
+			return siteTally{c: c, i: i, t: t}
+		})
+		var counter quality.Counter
+		for _, s := range tallies {
+			counter.Add(s.c, s.i, s.t)
 		}
 		pr := counter.PR()
 		res.Rows = append(res.Rows, Row{

@@ -82,11 +82,15 @@ func measureApproach(corp *corpus.Corpus, a core.Approach, n int, o Options) (av
 	for _, col := range corp.Collections {
 		for rep := 0; rep < o.Reps; rep++ {
 			pages := samplePages(col, n, rng)
+			// Workers is pinned to 1: this figure times a single serial
+			// clustering run, so the measurement must not depend on core
+			// count.
 			cfg := core.Config{
 				K:        o.K,
 				Restarts: o.KMRestarts,
 				Approach: a,
 				Seed:     rng.Int63(),
+				Workers:  1,
 			}
 			start := time.Now()
 			cl, _ := core.ClusterPages(pages, cfg)

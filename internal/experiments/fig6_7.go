@@ -165,6 +165,7 @@ func kmeansDocs(docs []map[string]int, tfidf bool, k, restarts int, seed int64) 
 	} else {
 		vecs = vector.RawFrequency(docs)
 	}
-	res := cluster.KMeans(vecs, cluster.KMeansConfig{K: k, Restarts: restarts, Seed: seed})
+	// Workers pinned to 1: Figure 7 times serial clustering runs.
+	res := cluster.KMeans(vecs, cluster.KMeansConfig{K: k, Restarts: restarts, Seed: seed, Workers: 1})
 	return res.Clustering
 }

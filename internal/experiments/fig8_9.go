@@ -48,11 +48,12 @@ func Fig8(o Options) *TableResult {
 // phase2OnLabeledClusters runs phase two on every hand-labeled
 // pagelet-bearing class cluster of every site and pools the tallies.
 func phase2OnLabeledClusters(corp *corpus.Corpus, w core.ShapeWeights, o Options) quality.Counter {
-	var counter quality.Counter
 	cfg := core.DefaultConfig()
 	cfg.ShapeWeights = w
 	cfg.Seed = o.Seed
-	for _, col := range corp.Collections {
+	cfg.Workers = 1
+	tallies := perSite(corp, o, func(col *corpus.Collection) siteTally {
+		var s siteTally
 		for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
 			pages := col.ByClass(class)
 			if len(pages) < 2 {
@@ -61,8 +62,15 @@ func phase2OnLabeledClusters(corp *corpus.Corpus, w core.ShapeWeights, o Options
 			ext := core.NewExtractor(cfg)
 			p2 := ext.ExtractCluster(pages)
 			c, i, t := core.Score(p2.Pagelets, pages)
-			counter.Add(c, i, t)
+			s.c += c
+			s.i += i
+			s.t += t
 		}
+		return s
+	})
+	var counter quality.Counter
+	for _, s := range tallies {
+		counter.Add(s.c, s.i, s.t)
 	}
 	return counter
 }
@@ -165,11 +173,15 @@ func Fig9(o Options) *Fig9Result {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		cfg.RawContentVectors = raw
+		cfg.Workers = 1
 		hist := res.WithTFIDF
 		if raw {
 			hist = res.WithoutTFIDF
 		}
-		for _, col := range corp.Collections {
+		// Collect each site's similarities as a slice and fold them into the
+		// histogram in site order, keeping bin counts worker-independent.
+		perSiteSims := perSite(corp, o, func(col *corpus.Collection) []float64 {
+			var sims []float64
 			for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
 				pages := col.ByClass(class)
 				if len(pages) < 2 {
@@ -178,8 +190,14 @@ func Fig9(o Options) *Fig9Result {
 				ext := core.NewExtractor(cfg)
 				p2 := ext.ExtractCluster(pages)
 				for _, set := range p2.Sets {
-					hist.Add(set.IntraSim)
+					sims = append(sims, set.IntraSim)
 				}
+			}
+			return sims
+		})
+		for _, sims := range perSiteSims {
+			for _, v := range sims {
+				hist.Add(v)
 			}
 		}
 	}

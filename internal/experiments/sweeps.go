@@ -20,18 +20,24 @@ func KSweep(o Options) *TableResult {
 		Header: []string{"entropy", "precision", "recall"},
 	}
 	for k := 2; k <= 5; k++ {
-		var counter quality.Counter
-		var entSum float64
-		for _, col := range corp.Collections {
+		tallies := perSite(corp, o, func(col *corpus.Collection) siteTally {
 			cfg := core.DefaultConfig()
 			cfg.K = k
 			cfg.Restarts = o.KMRestarts
 			cfg.Seed = o.Seed + int64(col.SiteID)
-			ext := core.NewExtractor(cfg)
-			r := ext.Extract(col.Pages)
-			entSum += quality.Entropy(r.Phase1.Clustering, col.Labels(), int(corpus.NumClasses))
+			cfg.Workers = 1
+			r := core.NewExtractor(cfg).Extract(col.Pages)
 			c, i, t := core.Score(r.Pagelets, col.Pages)
-			counter.Add(c, i, t)
+			return siteTally{
+				ent: quality.Entropy(r.Phase1.Clustering, col.Labels(), int(corpus.NumClasses)),
+				c:   c, i: i, t: t,
+			}
+		})
+		var counter quality.Counter
+		var entSum float64
+		for _, s := range tallies {
+			entSum += s.ent
+			counter.Add(s.c, s.i, s.t)
 		}
 		pr := counter.PR()
 		res.Rows = append(res.Rows, Row{
@@ -52,12 +58,15 @@ func RestartSweep(o Options) *TableResult {
 		Header: []string{"entropy"},
 	}
 	for _, m := range []int{1, 2, 5, 10, 20} {
-		var entSum float64
-		for _, col := range corp.Collections {
+		ents := perSite(corp, o, func(col *corpus.Collection) float64 {
 			cfg := core.Config{K: o.K, Restarts: m, Approach: core.TFIDFTags,
-				Seed: o.Seed + int64(col.SiteID)}
+				Seed: o.Seed + int64(col.SiteID), Workers: 1}
 			cl, _ := core.ClusterPages(col.Pages, cfg)
-			entSum += quality.Entropy(cl, col.Labels(), int(corpus.NumClasses))
+			return quality.Entropy(cl, col.Labels(), int(corpus.NumClasses))
+		})
+		var entSum float64
+		for _, e := range ents {
+			entSum += e
 		}
 		res.Rows = append(res.Rows, Row{
 			Label:  fmt.Sprintf("M=%d", m),
@@ -78,11 +87,12 @@ func ThresholdSweep(o Options) *TableResult {
 		Header: []string{"precision", "recall"},
 	}
 	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		var counter quality.Counter
-		cfg := core.DefaultConfig()
-		cfg.SimThreshold = th
-		cfg.Seed = o.Seed
-		for _, col := range corp.Collections {
+		tallies := perSite(corp, o, func(col *corpus.Collection) siteTally {
+			cfg := core.DefaultConfig()
+			cfg.SimThreshold = th
+			cfg.Seed = o.Seed
+			cfg.Workers = 1
+			var s siteTally
 			for _, class := range []corpus.Class{corpus.MultiMatch, corpus.SingleMatch} {
 				pages := col.ByClass(class)
 				if len(pages) < 2 {
@@ -91,8 +101,15 @@ func ThresholdSweep(o Options) *TableResult {
 				ext := core.NewExtractor(cfg)
 				p2 := ext.ExtractCluster(pages)
 				c, i, t := core.Score(p2.Pagelets, pages)
-				counter.Add(c, i, t)
+				s.c += c
+				s.i += i
+				s.t += t
 			}
+			return s
+		})
+		var counter quality.Counter
+		for _, s := range tallies {
+			counter.Add(s.c, s.i, s.t)
 		}
 		pr := counter.PR()
 		res.Rows = append(res.Rows, Row{
@@ -123,14 +140,18 @@ func RankingAblation(o Options) *TableResult {
 		{"combined", [3]float64{1, 1, 1}},
 	}
 	for _, v := range variants {
-		hits := 0
-		for _, col := range corp.Collections {
+		siteHits := perSite(corp, o, func(col *corpus.Collection) bool {
 			cfg := core.DefaultConfig()
 			cfg.Restarts = o.KMRestarts
 			cfg.Seed = o.Seed + int64(col.SiteID)
+			cfg.Workers = 1
 			r := core.Phase1(col.Pages, cfg)
 			top := bestByWeights(r.Ranked, v.weights)
-			if top != nil && majorityBearsPagelets(top.Pages) {
+			return top != nil && majorityBearsPagelets(top.Pages)
+		})
+		hits := 0
+		for _, hit := range siteHits {
+			if hit {
 				hits++
 			}
 		}

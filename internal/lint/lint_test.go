@@ -58,6 +58,7 @@ func TestFixturesFire(t *testing.T) {
 		minHits int
 	}{
 		{"unseededrand", "no-unseeded-rand", 2},
+		{"sharedrand", "no-shared-rand", 3},
 		{"floateq", "no-float-eq", 2},
 		{"uncheckederr", "no-unchecked-error", 4},
 		{"panicinlib", "no-panic-in-lib", 1},
@@ -176,6 +177,7 @@ func TestModuleExplicitFixtureDir(t *testing.T) {
 func TestRuleCatalog(t *testing.T) {
 	want := map[string]bool{
 		"no-unseeded-rand":   true,
+		"no-shared-rand":     true,
 		"no-float-eq":        true,
 		"no-unchecked-error": true,
 		"no-panic-in-lib":    true,

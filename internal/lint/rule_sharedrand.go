@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noSharedRand forbids moving a *rand.Rand across a goroutine boundary.
+// rand.Rand is not safe for concurrent use, and even when externally
+// locked a shared source makes worker output depend on scheduling order,
+// which breaks the worker-count-independence contract of the parallel
+// pipeline. Each unit of concurrent work must build its own source from
+// a derived seed (parallel.DeriveSeed) instead. The rule flags a
+// *rand.Rand captured by a `go` statement's function literal, passed as
+// an argument in a `go` statement, or visible to a worker of the
+// goroutine-spawning helpers parallel.Map and parallel.ForEach.
+type noSharedRand struct{}
+
+func (noSharedRand) ID() string { return "no-shared-rand" }
+
+func (noSharedRand) Doc() string {
+	return "forbid sharing a *rand.Rand across goroutines; derive a per-worker seed instead"
+}
+
+// isRandPtr reports whether t is *math/rand.Rand or *math/rand/v2.Rand.
+func isRandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rand" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func (r noSharedRand) Check(pkg *Package) []Finding {
+	spawnPkg := pkg.Module + "/internal/parallel"
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !seen[pos] {
+			seen[pos] = true
+			out = append(out, pkg.findingf(pos, r.ID(), format, args...))
+		}
+	}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkSpawn(pkg, n.Call, report)
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == spawnPkg &&
+				(fn.Name() == "Map" || fn.Name() == "ForEach") {
+				checkSpawn(pkg, n, report)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkSpawn flags every *rand.Rand the spawned work can see: arguments
+// of that type, and captures from outside a function-literal callee or
+// argument.
+func checkSpawn(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	exprs := append([]ast.Expr{call.Fun}, call.Args...)
+	for _, e := range exprs {
+		e = ast.Unparen(e)
+		if lit, ok := e.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil || obj.Type() == nil || !isRandPtr(obj.Type()) {
+					return true
+				}
+				if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+					report(id.Pos(),
+						"%s shares a *rand.Rand with a goroutine; build a per-worker source from a derived seed instead", id.Name)
+				}
+				return true
+			})
+			continue
+		}
+		if e == call.Fun {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil && isRandPtr(tv.Type) {
+			report(e.Pos(),
+				"a *rand.Rand is passed to a goroutine; build a per-worker source from a derived seed instead")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 func AllRules() []Rule {
 	return []Rule{
 		noUnseededRand{},
+		noSharedRand{},
 		noFloatEq{},
 		noUncheckedError{},
 		noPanicInLib{},

@@ -1,0 +1,43 @@
+// Package sharedrand deliberately violates no-shared-rand: it shares
+// one *rand.Rand across goroutine boundaries instead of deriving an
+// independent seed for each worker.
+package sharedrand
+
+import (
+	"math/rand"
+
+	"thor/internal/parallel"
+)
+
+// CaptureInGo leaks rng into a go func literal (finding).
+func CaptureInGo(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	ch := make(chan int)
+	go func() { ch <- rng.Intn(100) }()
+	return <-ch
+}
+
+// PassToGo hands rng to a spawned function (finding).
+func PassToGo(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	ch := make(chan int)
+	go draw(rng, ch)
+	return <-ch
+}
+
+func draw(r *rand.Rand, ch chan int) { ch <- r.Intn(100) }
+
+// CaptureInParallel leaks rng into a parallel.Map worker (finding).
+func CaptureInParallel(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return parallel.Map(n, 0, func(i int) int { return rng.Intn(i + 1) })
+}
+
+// PerWorker shows the permitted pattern: every worker builds its own
+// source from a derived seed (no finding).
+func PerWorker(seed int64, n int) []int {
+	return parallel.Map(n, 0, func(i int) int {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(i))))
+		return rng.Intn(i + 1)
+	})
+}

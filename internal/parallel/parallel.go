@@ -1,0 +1,104 @@
+// Package parallel provides the bounded worker pool and the seed
+// derivation scheme behind THOR's deterministic parallel execution.
+//
+// Every parallelized stage of the pipeline follows the same recipe: the
+// work is split into independent units (K-Means restarts, page clusters,
+// pages, subtree sets, sites), each unit derives its own random seed
+// from the run seed and its unit index with DeriveSeed, and Map/ForEach
+// execute the units concurrently while returning results in input
+// order. Because no unit observes another unit's randomness or
+// completion order, the output is bit-identical for every worker count
+// — Workers=1 reproduces the serial path exactly.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count: values below 1 select
+// GOMAXPROCS, the default degree of parallelism.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map applies f to every index in [0, n) using at most workers
+// concurrent goroutines (Workers-clamped) and returns the results in
+// input order: out[i] = f(i) regardless of which worker ran it or when
+// it finished. workers == 1 runs inline with no goroutines — the serial
+// path. A panic in any f is re-raised on the caller's goroutine after
+// the remaining workers drain.
+func Map[T any](n, workers int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// ForEach calls f for every index in [0, n) using at most workers
+// concurrent goroutines (Workers-clamped). workers == 1 runs inline
+// with no goroutines. Panics in f propagate to the caller once all
+// workers have stopped.
+func ForEach(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var (
+		next    atomic.Int64
+		abort   atomic.Bool
+		panicMu sync.Mutex
+		pval    any
+		pstack  []byte
+		wg      sync.WaitGroup
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				abort.Store(true)
+				panicMu.Lock()
+				if pval == nil {
+					pval, pstack = r, debug.Stack()
+				}
+				panicMu.Unlock()
+			}
+		}()
+		f(i)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		//thorlint:allow no-panic-in-lib a worker panic must surface on the caller's goroutine, not vanish
+		panic(fmt.Sprintf("parallel: worker panicked on one item: %v\n%s", pval, pstack))
+	}
+}

@@ -1,0 +1,19 @@
+package parallel
+
+// DeriveSeed deterministically derives an independent child seed from a
+// base seed and a unit index (a K-Means restart number, a cluster rank,
+// a site id, ...). It is the SplitMix64 finalizer over the base seed
+// advanced by the unit's multiple of the golden-ratio increment, the
+// standard construction for splitting one seed into decorrelated
+// streams. Distinct (base, unit) pairs yield distinct, well-mixed
+// seeds, so units seeded this way can run in any order — or
+// concurrently — without observing each other's randomness.
+func DeriveSeed(base, unit int64) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*(uint64(unit)+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
