@@ -9,7 +9,10 @@
 //	thor -sites 5          # several sites, summary per site
 //	thor -sites 5 -workers 1  # same output, one core (default 0 = all cores)
 //	thor -dict 100 -nonsense 10
+//	thor -clusterer bisecting          # pick the phase-one algorithm by name
+//	thor -save-model site0.model.gz    # train once, persist the model
 //	thor -serve :8080      # serve the simulated deep web over HTTP instead
+//	thor -serve :8080 -model site0.model.gz  # …plus POST /extract serving
 //	thor -v                # dump extracted pagelets and objects
 //
 // Live sites: point THOR at any search endpoint reachable over HTTP; the
@@ -30,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"thor/internal/cluster"
 	"thor/internal/core"
 	"thor/internal/corpus"
 	"thor/internal/deepweb"
@@ -53,16 +57,33 @@ func main() {
 		serve   = flag.String("serve", "", "serve the simulated deep web on this address instead of extracting")
 		liveURL = flag.String("url", "", "probe a live search endpoint at this URL instead of a simulated site")
 		param   = flag.String("param", "q", "query parameter name for -url")
+		clust   = flag.String("clusterer", "", "phase-one clusterer by registry name (default: the approach's own algorithm)")
+		model   = flag.String("model", "", "with -serve: load a trained model from this file and mount POST /extract")
+		saveTo  = flag.String("save-model", "", "train on the probed site and save the model to this file")
 	)
 	flag.Parse()
 
+	if *clust != "" {
+		if _, err := cluster.MustLookup(*clust); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *liveURL != "" {
-		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *workers, *verbose)
+		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *workers, *clust, *verbose)
 		return
 	}
 
 	if *serve != "" {
-		if err := serveFarm(*serve, max(*nsites, 1), *seed); err != nil {
+		var m *core.Model
+		if *model != "" {
+			var err error
+			if m, err = core.LoadModelFile(*model); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded %s; POST /extract serves single-page extraction", m)
+		}
+		if err := serveFarm(*serve, max(*nsites, 1), *seed, m); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -77,6 +98,30 @@ func main() {
 		sites = []*deepweb.Site{deepweb.NewSite(deepweb.SiteConfig{ID: *site, Seed: *seed})}
 	} else {
 		sites = deepweb.NewSites(*nsites, *seed)
+	}
+
+	if *saveTo != "" {
+		if len(sites) > 1 {
+			log.Fatal("-save-model trains on one site; drop -sites or set it to 1")
+		}
+		s := sites[0]
+		cfg := core.DefaultConfig()
+		cfg.K = *k
+		cfg.TopClusters = *top
+		cfg.Seed = *seed + int64(s.ID())
+		cfg.Workers = *workers
+		cfg.Clusterer = *clust
+		col := prober.ProbeSite(s)
+		m, err := core.NewExtractor(cfg).BuildModel(col.Pages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SaveFile(*saveTo); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: extracted %d QA-Pagelets; saved %s to %s\n",
+			s.Name(), len(m.Training().Pagelets), m, *saveTo)
+		return
 	}
 
 	// With several sites the fan-out happens across sites (each site's
@@ -94,6 +139,7 @@ func main() {
 		cfg.TopClusters = *top
 		cfg.Seed = *seed + int64(s.ID())
 		cfg.Workers = inner
+		cfg.Clusterer = *clust
 		return runSite(s, prober, cfg, *verbose)
 	})
 
@@ -160,12 +206,13 @@ func runSite(s *deepweb.Site, prober *probe.Prober, cfg core.Config, verbose boo
 	return siteReport{out: b.String(), c: c, i: i, t: t}
 }
 
-// serveFarm serves the simulated deep web until the listener fails or
-// the process receives SIGINT/SIGTERM, at which point in-flight
-// requests are drained and the server shuts down gracefully.
-func serveFarm(addr string, nsites int, seed int64) error {
+// serveFarm serves the simulated deep web — plus POST /extract when a
+// trained model was loaded — until the listener fails or the process
+// receives SIGINT/SIGTERM, at which point in-flight requests are drained
+// and the server shuts down gracefully.
+func serveFarm(addr string, nsites int, seed int64, m *core.Model) error {
 	farm := deepweb.NewFarm(nsites, seed)
-	srv := &http.Server{Addr: addr, Handler: farm.Handler()}
+	srv := &http.Server{Addr: addr, Handler: serveHandler(farm, m)}
 	log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), addr)
 
 	serveErr := make(chan error, 1)
@@ -192,7 +239,7 @@ func serveFarm(addr string, nsites int, seed int64) error {
 
 // runLive probes a real search endpoint and prints what THOR extracts;
 // with no ground truth the report is the ranked clusters and the regions.
-func runLive(searchURL, param string, dict, nons int, seed int64, k, top, workers int, verbose bool) {
+func runLive(searchURL, param string, dict, nons int, seed int64, k, top, workers int, clusterer string, verbose bool) {
 	site := &probe.HTTPSite{SearchURL: searchURL, QueryParam: param}
 	prober := &probe.Prober{Plan: probe.NewPlan(dict, nons, seed+1)}
 	fmt.Printf("probing %s (%s)\n", site.Name(), prober.Plan)
@@ -203,6 +250,7 @@ func runLive(searchURL, param string, dict, nons int, seed int64, k, top, worker
 	cfg.TopClusters = top
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Clusterer = clusterer
 	res := core.NewExtractor(cfg).Extract(col.Pages)
 	for rank, pc := range res.Phase1.Ranked {
 		passed := " "

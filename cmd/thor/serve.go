@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+)
+
+// maxExtractBody bounds how much HTML one /extract request may post.
+const maxExtractBody = 4 << 20
+
+// extractResponse is the JSON body of a successful POST /extract.
+type extractResponse struct {
+	// Pagelets lists the extracted QA-Pagelets; empty when the model's
+	// verdict is that the page holds none (no-match and error pages).
+	Pagelets []extractedPagelet `json:"pagelets"`
+}
+
+// extractedPagelet names one extracted QA-Pagelet by its tag-tree path.
+type extractedPagelet struct {
+	Path string `json:"path"`
+}
+
+// extractHandler serves single-page extraction from a trained model: POST
+// a page's raw HTML, receive the extracted QA-Pagelet paths as JSON. Each
+// request touches only the posted page — no corpus, no re-clustering.
+func extractHandler(m *core.Model) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a page's HTML to /extract", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxExtractBody+1))
+		if err != nil {
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxExtractBody {
+			http.Error(w, fmt.Sprintf("page exceeds %d bytes", maxExtractBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		if len(body) == 0 {
+			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
+			return
+		}
+		pagelets, err := m.Apply(&corpus.Page{HTML: string(body)})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := extractResponse{Pagelets: make([]extractedPagelet, 0, len(pagelets))}
+		for _, pl := range pagelets {
+			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: pl.Path})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			log.Printf("encoding /extract response: %v", err)
+		}
+	})
+}
+
+// serveHandler assembles the -serve HTTP surface: the simulated deep-web
+// farm, plus POST /extract when a trained model was loaded with -model.
+func serveHandler(farm *deepweb.Farm, m *core.Model) http.Handler {
+	if m == nil {
+		return farm.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", farm.Handler())
+	mux.Handle("/extract", extractHandler(m))
+	return mux
+}

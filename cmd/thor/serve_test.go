@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// pageFromHTML wraps raw HTML the way the /extract endpoint does.
+func pageFromHTML(html string) *corpus.Page { return &corpus.Page{HTML: html} }
+
+// trainModel builds a small model the way -save-model would.
+func trainModel(t *testing.T) *core.Model {
+	t.Helper()
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 31})
+	prober := &probe.Prober{Plan: probe.NewPlan(80, 8, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	m, err := core.NewExtractor(core.DefaultConfig()).BuildModel(col.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	m := trainModel(t)
+
+	// Round the model through disk first: the endpoint's contract is
+	// serving from a *saved* model, with no training state available.
+	path := filepath.Join(t.TempDir(), "m.gz")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), loaded))
+	defer srv.Close()
+
+	// Fresh pages from queries the training run never issued.
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 31})
+	prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 909), Labeler: deepweb.Labeler()}
+	fresh := prober.ProbeSite(site)
+
+	served := 0
+	for _, page := range fresh.Pages {
+		res, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader(page.HTML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("POST /extract: %s", res.Status)
+		}
+		if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		var body extractResponse
+		err = json.NewDecoder(res.Body).Decode(&body)
+		if cerr := res.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The endpoint must agree with a direct Apply on the same HTML.
+		want, err := loaded.Apply(pageFromHTML(page.HTML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Pagelets) != len(want) {
+			t.Fatalf("served %d pagelets, Apply returns %d", len(body.Pagelets), len(want))
+		}
+		for i, pl := range body.Pagelets {
+			if pl.Path != want[i].Path {
+				t.Fatalf("served path %q, Apply returns %q", pl.Path, want[i].Path)
+			}
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no pagelet served from any fresh page; the test is vacuous")
+	}
+}
+
+func TestExtractEndpointRejections(t *testing.T) {
+	srv := httptest.NewServer(extractHandler(trainModel(t)))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /extract: %s, want 405", res.Status)
+	}
+	if allow := res.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+
+	res, err = http.Post(srv.URL, "text/html", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty POST: %s, want 400", res.Status)
+	}
+
+	res, err = http.Post(srv.URL, "text/html", strings.NewReader(strings.Repeat("x", maxExtractBody+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized POST: %s, want 413", res.Status)
+	}
+}
+
+// TestServeHandlerKeepsFarmRoutes pins that mounting /extract does not
+// shadow the simulated deep-web farm.
+func TestServeHandlerKeepsFarmRoutes(t *testing.T) {
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(2, 7), trainModel(t)))
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/site/0/"} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("farm route %s: %s, want 200", path, res.Status)
+		}
+	}
+}
+
+func TestServeHandlerWithoutModelHasNoExtract(t *testing.T) {
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), nil))
+	defer srv.Close()
+
+	res, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader("<html></html>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode == http.StatusOK {
+		t.Error("POST /extract succeeded with no model loaded")
+	}
+}

@@ -12,9 +12,10 @@
 //	thorbench -fig 10 -workers 0 -json out   # all cores, same figures
 //
 // Figures: 4, 5, 6, 7, 8, 9, 10, 11, plus "treedist" (tag-signature vs
-// tree-edit cost), "stats" (corpus statistics), and the ablations
-// "ksweep", "restarts", "threshold", "ranking", "objects", "multiregion",
-// "bisecting", and "adaptive" (see DESIGN.md).
+// tree-edit cost), "stats" (corpus statistics), "serve" (model-build time
+// vs per-page Apply latency), and the ablations "ksweep", "restarts",
+// "threshold", "ranking", "objects", "multiregion", "bisecting", and
+// "adaptive" (see DESIGN.md).
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites  = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict   = flag.Int("dict", 100, "dictionary probe words per site")
 		nons   = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -96,6 +97,7 @@ func main() {
 		"multiregion": func() fmt.Stringer { return experiments.MultiRegionAblation(o) },
 		"bisecting":   func() fmt.Stringer { return experiments.BisectingAblation(o) },
 		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
+		"serve":       func() fmt.Stringer { return experiments.ServeBenchmark(o) },
 	}
 
 	if *fig == "all" {
@@ -111,7 +113,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}

@@ -1,0 +1,116 @@
+package cluster
+
+import "thor/internal/vector"
+
+// This file adapts the package's clustering algorithms to the Clusterer
+// interface and registers them. Each adapter maps the generic Config onto
+// the algorithm's own knobs exactly as the pre-registry call sites did, so
+// selecting an algorithm by name produces bit-identical clusterings.
+
+func init() {
+	Register(kmeansClusterer{})
+	Register(bisectingClusterer{})
+	Register(kmedoidsClusterer{})
+	Register(randomClusterer{})
+	Register(bySizeClusterer{})
+	Register(byURLClusterer{})
+	Register(byTreeEditClusterer{})
+}
+
+// kmeansClusterer is THOR's choice: Simple K-Means over sparse cosine
+// space with restarts guided by internal similarity.
+type kmeansClusterer struct{}
+
+func (kmeansClusterer) Name() string { return "kmeans" }
+
+func (c kmeansClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Vecs == nil {
+		return Result{}, needErr(c.Name(), "vector")
+	}
+	res := KMeans(in.Vecs(), KMeansConfig{
+		K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	return Result{Clustering: res.Clustering, Centroids: res.Centroids, Similarity: res.Similarity}, nil
+}
+
+// bisectingClusterer is the Steinbach et al. [29] bisecting K-Means.
+type bisectingClusterer struct{}
+
+func (bisectingClusterer) Name() string { return "bisecting" }
+
+func (c bisectingClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Vecs == nil {
+		return Result{}, needErr(c.Name(), "vector")
+	}
+	vecs := in.Vecs()
+	cl := BisectingKMeans(vecs, BisectingConfig{K: cfg.K, Seed: cfg.Seed})
+	centroids := ClusterCentroids(vecs, cl)
+	return Result{Clustering: cl, Centroids: centroids,
+		Similarity: InternalSimilarity(vecs, cl, centroids)}, nil
+}
+
+// kmedoidsClusterer runs K-Medoids over cosine distance between the item
+// vectors — the medoid stand-in for metrics that admit no centroid,
+// exposed directly so sweeps can compare it against centroid K-Means.
+type kmedoidsClusterer struct{}
+
+func (kmedoidsClusterer) Name() string { return "kmedoids" }
+
+func (c kmedoidsClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Vecs == nil {
+		return Result{}, needErr(c.Name(), "vector")
+	}
+	vecs := in.Vecs()
+	cl := KMedoids(len(vecs), func(i, j int) float64 {
+		return 1 - vector.Cosine(vecs[i], vecs[j])
+	}, KMedoidsConfig{K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed})
+	centroids := ClusterCentroids(vecs, cl)
+	return Result{Clustering: cl, Centroids: centroids,
+		Similarity: InternalSimilarity(vecs, cl, centroids)}, nil
+}
+
+// randomClusterer is the uniform-assignment baseline of Figure 4.
+type randomClusterer struct{}
+
+func (randomClusterer) Name() string { return "random" }
+
+func (randomClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	return Result{Clustering: Random(in.N, cfg.K, cfg.Seed)}, nil
+}
+
+// bySizeClusterer is the page-size baseline (1-D K-Means over bytes).
+type bySizeClusterer struct{}
+
+func (bySizeClusterer) Name() string { return "bysize" }
+
+func (c bySizeClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Sizes == nil {
+		return Result{}, needErr(c.Name(), "size")
+	}
+	return Result{Clustering: BySize(in.Sizes(), cfg.K, cfg.Seed)}, nil
+}
+
+// byURLClusterer is the URL-edit-distance baseline (K-Medoids).
+type byURLClusterer struct{}
+
+func (byURLClusterer) Name() string { return "byurl" }
+
+func (c byURLClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.URLs == nil {
+		return Result{}, needErr(c.Name(), "URL")
+	}
+	return Result{Clustering: ByURL(in.URLs(), cfg.K, cfg.Seed)}, nil
+}
+
+// byTreeEditClusterer clusters by normalized tag-tree edit distance — the
+// powerful but orders-of-magnitude slower alternative of Section 3.1.2.
+type byTreeEditClusterer struct{}
+
+func (byTreeEditClusterer) Name() string { return "bytreeedit" }
+
+func (c byTreeEditClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Trees == nil {
+		return Result{}, needErr(c.Name(), "tag-tree")
+	}
+	return Result{Clustering: ByTreeEdit(in.Trees(), cfg.K, cfg.Seed)}, nil
+}

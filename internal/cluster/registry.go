@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The clusterer registry maps stable lower-case names to implementations,
+// so configuration files, CLI flags, persisted models, and the experiment
+// sweeps can all select an algorithm by name instead of switching over a
+// closed enum. The seven built-in clusterers register themselves at
+// package init; external packages may register additional ones.
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Clusterer
+}{m: make(map[string]Clusterer)}
+
+// Register adds c under c.Name(). Registering two clusterers under one
+// name is a programmer error and panics, mirroring net/http and
+// database/sql registration semantics.
+func Register(c Clusterer) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	name := c.Name()
+	if name == "" {
+		//thorlint:allow no-panic-in-lib programmer-error guard at registration time, like database/sql.Register
+		panic("cluster: Register with empty name")
+	}
+	if _, dup := registry.m[name]; dup {
+		//thorlint:allow no-panic-in-lib programmer-error guard at registration time, like database/sql.Register
+		panic("cluster: Register called twice for " + name)
+	}
+	registry.m[name] = c
+}
+
+// Lookup returns the clusterer registered under name.
+func Lookup(name string) (Clusterer, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	c, ok := registry.m[name]
+	return c, ok
+}
+
+// MustLookup returns the clusterer registered under name or an error
+// naming the known clusterers, for surfacing bad -clusterer flags and
+// corrupted model files.
+func MustLookup(name string) (Clusterer, error) {
+	if c, ok := Lookup(name); ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown clusterer %q (have %v)", name, Names())
+}
+
+// Names returns the registered clusterer names in sorted order, the
+// iteration order used by the ablation sweeps.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

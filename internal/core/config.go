@@ -33,6 +33,44 @@ const (
 	NumApproaches
 )
 
+// IsVector reports whether the approach clusters items in a sparse vector
+// space (tag or content signatures), as opposed to the size, URL, and
+// random baselines.
+func (a Approach) IsVector() bool {
+	return a == TFIDFTags || a == RawTags || a == TFIDFContent || a == RawContent
+}
+
+// ContentBased reports whether the approach builds its signatures from
+// stemmed page content rather than tag counts.
+func (a Approach) ContentBased() bool {
+	return a == TFIDFContent || a == RawContent
+}
+
+// RawWeighted reports whether the approach uses raw term frequencies
+// instead of TFIDF weights.
+func (a Approach) RawWeighted() bool {
+	return a == RawTags || a == RawContent
+}
+
+// DefaultClusterer returns the name, in the cluster package's registry, of
+// the algorithm this approach historically dispatched to. Config.Clusterer
+// overrides it.
+func (a Approach) DefaultClusterer() string {
+	switch a {
+	case TFIDFTags, RawTags, TFIDFContent, RawContent:
+		return "kmeans"
+	case SizeBased:
+		return "bysize"
+	case URLBased:
+		return "byurl"
+	case RandomAssign:
+		return "random"
+	default:
+		//thorlint:allow no-panic-in-lib programmer-error guard; Approach is a closed enum
+		panic("core: unknown approach")
+	}
+}
+
 // String returns the approach abbreviation used in the paper's figures.
 func (a Approach) String() string {
 	switch a {
@@ -90,6 +128,12 @@ type Config struct {
 	TopClusters int
 	// Approach is the page representation clustered in phase one.
 	Approach Approach
+	// Clusterer selects the phase-one clustering algorithm by its name in
+	// the cluster package's registry (kmeans, bisecting, kmedoids, random,
+	// bysize, byurl, bytreeedit). Empty selects the approach's historical
+	// algorithm (Approach.DefaultClusterer), so existing configurations
+	// behave exactly as before.
+	Clusterer string
 	// ShapeWeights are the subtree distance weights (defaults to equal).
 	ShapeWeights ShapeWeights
 	// SimThreshold separates static from dynamic common subtree sets:

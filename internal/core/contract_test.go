@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/parallel"
+)
+
+// legacyExtract is the fused pre-staging Extract body, inlined verbatim:
+// phase one, top-m cut, concurrent per-cluster phase two on derived
+// seeds, pagelet concatenation. The staged BuildModel/Apply engine must
+// reproduce it bit for bit.
+func legacyExtract(cfg Config, pages []*corpus.Page) *Result {
+	res := &Result{Phase1: Phase1(pages, cfg)}
+	m := cfg.TopClusters
+	if m > len(res.Phase1.Ranked) {
+		m = len(res.Phase1.Ranked)
+	}
+	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
+	res.PerCluster = parallel.Map(m, cfg.Workers, func(ci int) *Phase2Result {
+		return Phase2(res.Phase1.Ranked[ci].Pages, cfg, parallel.DeriveSeed(cfg.Seed, int64(ci)))
+	})
+	for _, p2 := range res.PerCluster {
+		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
+	}
+	return res
+}
+
+// TestStagedExtractWorkerCountIndependence is the refactor's contract:
+// the staged Extract (BuildModel + training view) is deep-equal to the
+// legacy fused pipeline at every worker count, and identical across
+// worker counts. The name keeps it inside CI's determinism matrix, which
+// re-runs it under GOMAXPROCS=1 and all cores.
+func TestStagedExtractWorkerCountIndependence(t *testing.T) {
+	col := probeSite(t, 2, 3)
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+
+	var first *Result
+	for _, w := range workerCounts {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.Workers = w
+
+		staged := NewExtractor(cfg).Extract(col.Pages)
+		legacy := legacyExtract(NewExtractor(cfg).Config(), col.Pages)
+
+		if len(staged.Pagelets) == 0 {
+			t.Fatalf("workers=%d: staged Extract found no pagelets; the contract check is vacuous", w)
+		}
+		if !reflect.DeepEqual(pageletKeys(staged), pageletKeys(legacy)) {
+			t.Errorf("workers=%d: staged pagelets differ from the legacy fused pipeline", w)
+		}
+		if !reflect.DeepEqual(staged.Phase1, legacy.Phase1) {
+			t.Errorf("workers=%d: staged Phase1 differs from the legacy fused pipeline", w)
+		}
+		if !reflect.DeepEqual(staged.PerCluster, legacy.PerCluster) {
+			t.Errorf("workers=%d: staged PerCluster differs from the legacy fused pipeline", w)
+		}
+
+		if first == nil {
+			first = staged
+		} else if !reflect.DeepEqual(pageletKeys(staged), pageletKeys(first)) {
+			t.Errorf("workers=%d: output differs from workers=%d", w, workerCounts[0])
+		}
+	}
+}
+
+// pageletKey identifies one extraction for deep comparison: which page,
+// which subtree, and which QA-Object subtrees were recommended inside it.
+type pageletKey struct {
+	URL     string
+	Query   string
+	Path    string
+	Objects string
+}
+
+func pageletKeys(r *Result) []pageletKey {
+	keys := make([]pageletKey, len(r.Pagelets))
+	for i, pl := range r.Pagelets {
+		k := pageletKey{URL: pl.Page.URL, Query: pl.Page.Query, Path: pl.Path}
+		for _, o := range pl.Objects {
+			k.Objects += o.Path() + ";"
+		}
+		keys[i] = k
+	}
+	return keys
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"thor/internal/cluster"
+	"thor/internal/corpus"
+	"thor/internal/parallel"
+	"thor/internal/vector"
+)
+
+// Model is the learned, servable artifact of a two-phase THOR analysis:
+// everything needed to extract the QA-Pagelet from a *fresh* page of the
+// analyzed site in one pass, with no re-clustering. It holds the phase-one
+// assignment geometry (one centroid per cluster plus the training document
+// frequencies that reproduce the TFIDF weighting for unseen pages) and one
+// compiled Wrapper per cluster that passed phase two. Build once with
+// Extractor.BuildModel, apply per page with Apply, persist with Save/Load
+// — the train-once/serve-many split a deep-web search engine runs on.
+//
+// A Model is immutable after BuildModel/Load and safe for concurrent
+// Apply calls.
+type Model struct {
+	// Cfg is the configuration the model was trained under.
+	Cfg Config
+	// NDocs is the number of training pages — the n of the TFIDF formula.
+	NDocs int
+	// DF maps each signature term to the number of training pages
+	// containing it, so a fresh page is weighted in the training space.
+	DF map[string]int
+	// Centroids holds one assignment-space centroid per phase-one cluster,
+	// indexed by cluster id. Fresh pages are assigned to the most similar
+	// centroid by cosine similarity.
+	Centroids []vector.Sparse
+	// Wrappers[c] is the wrapper compiled from cluster c's phase-two
+	// result, or nil when the cluster did not pass phase one or phase two
+	// selected no QA-Pagelet region — pages assigned there yield nothing,
+	// which is the correct answer for no-match and error pages.
+	Wrappers []*Wrapper
+
+	// training is the full training-run result, retained so Extract stays
+	// a thin composition over BuildModel. It is not persisted.
+	training *Result
+}
+
+// BuildModel runs both THOR phases over a site's sampled pages and
+// compiles the result into a servable Model. Each page's signature and
+// vector is computed exactly once and shared by the clustering call, the
+// centroid computation, and the document-frequency table. The error cases
+// are configuration-level: an unknown Config.Clusterer name or a clusterer
+// that cannot run on page input.
+func (e *Extractor) BuildModel(pages []*corpus.Page) (*Model, error) {
+	cfg := e.cfg
+	in, sigs, vecs := pageInput(pages, cfg)
+	cres, err := clusterPages(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Training-set extraction, identical to the historical fused Extract:
+	// rank the clusters, run phase two over the top m concurrently, each
+	// cluster on its own derived seed.
+	res := &Result{Phase1: rankClusters(pages, cres.Clustering, cres.Similarity)}
+	m := cfg.TopClusters
+	if m > len(res.Phase1.Ranked) {
+		m = len(res.Phase1.Ranked)
+	}
+	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
+	res.PerCluster = parallel.Map(m, cfg.Workers, func(ci int) *Phase2Result {
+		return Phase2(res.Phase1.Ranked[ci].Pages, cfg, parallel.DeriveSeed(cfg.Seed, int64(ci)))
+	})
+	for _, p2 := range res.PerCluster {
+		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
+	}
+
+	model := &Model{
+		Cfg:       cfg,
+		NDocs:     len(pages),
+		DF:        vector.DocumentFrequencies(sigs()),
+		Centroids: cres.Centroids,
+		Wrappers:  make([]*Wrapper, cres.Clustering.K),
+		training:  res,
+	}
+	if model.Centroids == nil {
+		// Non-centroid clusterers (size, URL, random, tree-edit): derive
+		// assignment centroids from the clustering in the shared vector
+		// space.
+		model.Centroids = cluster.ClusterCentroids(vecs(), cres.Clustering)
+	}
+	for ci, pc := range res.PassedClusters {
+		w, err := e.BuildWrapper(res.PerCluster[ci])
+		if err != nil {
+			continue // no region selected; the cluster serves no pagelets
+		}
+		model.Wrappers[pc.ClusterID] = w
+	}
+	return model, nil
+}
+
+// Training returns the full two-phase result over the pages the model was
+// built from (nil for a model loaded from disk, which deliberately carries
+// no training pages).
+func (m *Model) Training() *Result { return m.training }
+
+// Apply extracts QA-Pagelets from one fresh page: the page is vectorized
+// in the model's assignment space, assigned to the nearest centroid by
+// cosine similarity (lowest cluster id on ties), and only that cluster's
+// wrapper runs — no clustering, no cross-page analysis. A page assigned to
+// a wrapperless cluster, or rejected by the wrapper's distance bound,
+// yields an empty extraction with no error: that is the model's verdict
+// that the page holds no QA-Pagelet.
+func (m *Model) Apply(page *corpus.Page) ([]*Pagelet, error) {
+	if page == nil {
+		return nil, fmt.Errorf("core: Apply on nil page")
+	}
+	if len(m.Centroids) == 0 {
+		return nil, fmt.Errorf("core: model has no clusters to assign to")
+	}
+	v := m.Vectorize(page)
+	best, bestSim := 0, -1.0
+	for c, ctr := range m.Centroids {
+		if sim := vector.Cosine(v, ctr); sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	w := m.Wrappers[best]
+	if w == nil {
+		return nil, nil
+	}
+	node, _ := w.Extract(page.Tree())
+	if node == nil {
+		return nil, nil
+	}
+	return []*Pagelet{{Page: page, Node: node, Path: node.Path()}}, nil
+}
+
+// Vectorize maps a page into the model's assignment space: the approach's
+// signature weighted with the *training* document frequencies, so a fresh
+// page lands where it would have landed had it been part of the training
+// run. Terms never seen in training carry no weight.
+func (m *Model) Vectorize(page *corpus.Page) vector.Sparse {
+	a := m.Cfg.Approach
+	var counts map[string]int
+	if a.IsVector() && a.ContentBased() {
+		counts = page.ContentSignature()
+	} else {
+		counts = page.TagSignature()
+	}
+	if a.RawWeighted() {
+		return vector.FromCounts(counts).Normalize()
+	}
+	weighted := make(map[string]float64, len(counts))
+	for term, tf := range counts {
+		df := m.DF[term]
+		if df == 0 {
+			continue
+		}
+		weighted[term] = vector.TFIDFWeight(tf, m.NDocs, df)
+	}
+	return vector.FromMap(weighted).Normalize()
+}
+
+// String summarizes the model.
+func (m *Model) String() string {
+	wrapped := 0
+	for _, w := range m.Wrappers {
+		if w != nil {
+			wrapped++
+		}
+	}
+	return fmt.Sprintf("model{%s over %d pages: %d clusters, %d wrapped}",
+		m.Cfg.Approach, m.NDocs, len(m.Centroids), wrapped)
+}

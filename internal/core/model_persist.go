@@ -1,0 +1,145 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"thor/internal/strdist"
+	"thor/internal/vector"
+)
+
+// The on-disk model format: a gzipped gob snapshot of the assignment
+// geometry and the per-cluster wrapper profiles. The training result is
+// deliberately not persisted — a served model needs no training pages —
+// and each wrapper's tag-name simplifier is rebuilt on load from its q,
+// since identifier assignments are derivable. The version field guards
+// against loading a snapshot written by an incompatible layout.
+
+type wrapperSnapshot struct {
+	// ClusterID is the wrapper's index in the model's tables. Only wrapped
+	// clusters are snapshotted (gob cannot hold the nil slots, and a dense
+	// entry list is the smaller encoding anyway).
+	ClusterID   int
+	Paths       []string
+	Fanout      float64
+	Depth       float64
+	Nodes       float64
+	Weights     ShapeWeights
+	MaxDistance float64
+	Q           int
+}
+
+type modelSnapshot struct {
+	Version   int
+	Cfg       Config
+	NDocs     int
+	DF        map[string]int
+	Centroids []vector.Sparse
+	Wrappers  []wrapperSnapshot
+}
+
+// ModelVersion is the current on-disk model format version.
+const ModelVersion = 1
+
+// Save serializes the model to w as versioned gzipped gob.
+func (m *Model) Save(w io.Writer) error {
+	snap := modelSnapshot{
+		Version:   ModelVersion,
+		Cfg:       m.Cfg,
+		NDocs:     m.NDocs,
+		DF:        m.DF,
+		Centroids: m.Centroids,
+	}
+	for i, wr := range m.Wrappers {
+		if wr == nil {
+			continue
+		}
+		snap.Wrappers = append(snap.Wrappers, wrapperSnapshot{
+			ClusterID: i,
+			Paths:     wr.Paths, Fanout: wr.Fanout, Depth: wr.Depth, Nodes: wr.Nodes,
+			Weights: wr.Weights, MaxDistance: wr.MaxDistance, Q: wr.q,
+		})
+	}
+	gz := gzip.NewWriter(w)
+	encErr := gob.NewEncoder(gz).Encode(&snap)
+	closeErr := gz.Close() // Close flushes; its error means truncated output
+	if encErr != nil {
+		return fmt.Errorf("core: encode model: %w", encErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("core: compress model: %w", closeErr)
+	}
+	return nil
+}
+
+// LoadModel deserializes a model written by Save, rebuilding each
+// wrapper's simplifier. It rejects snapshots of any other format version.
+func LoadModel(r io.Reader) (*Model, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: decompress model: %w", err)
+	}
+	//thorlint:allow no-unchecked-error read-side gzip close holds no state worth surfacing
+	defer gz.Close()
+	var snap modelSnapshot
+	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if snap.Version != ModelVersion {
+		return nil, fmt.Errorf("core: unsupported model format version %d (want %d)", snap.Version, ModelVersion)
+	}
+	m := &Model{
+		Cfg:       snap.Cfg,
+		NDocs:     snap.NDocs,
+		DF:        snap.DF,
+		Centroids: snap.Centroids,
+		Wrappers:  make([]*Wrapper, len(snap.Centroids)),
+	}
+	for _, ws := range snap.Wrappers {
+		if ws.ClusterID < 0 || ws.ClusterID >= len(m.Wrappers) {
+			return nil, fmt.Errorf("core: corrupt model: wrapper for cluster %d of %d",
+				ws.ClusterID, len(m.Wrappers))
+		}
+		q := ws.Q
+		if q < 1 {
+			q = 1
+		}
+		m.Wrappers[ws.ClusterID] = &Wrapper{
+			Paths: ws.Paths, Fanout: ws.Fanout, Depth: ws.Depth, Nodes: ws.Nodes,
+			Weights: ws.Weights, MaxDistance: ws.MaxDistance,
+			simp: strdist.NewSimplifier(q), q: q,
+		}
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path (conventionally *.thor.model.gz).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	werr := m.Save(f)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("core: %w", cerr)
+	}
+	return werr
+}
+
+// LoadModelFile loads a model from path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	//thorlint:allow no-unchecked-error closing a read-only file cannot lose data
+	defer f.Close()
+	m, err := LoadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundtrip(t *testing.T) {
+	train := probeSite(t, 2, 1)
+	m, err := NewExtractor(DefaultConfig()).BuildModel(train.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The persisted state must roundtrip deep-equal. (Byte-for-byte
+	// comparison of two encodings would be wrong: gob walks the DF map in
+	// randomized order.)
+	if loaded.Cfg != m.Cfg {
+		t.Errorf("Cfg changed across roundtrip: %+v != %+v", loaded.Cfg, m.Cfg)
+	}
+	if loaded.NDocs != m.NDocs {
+		t.Errorf("NDocs = %d, want %d", loaded.NDocs, m.NDocs)
+	}
+	if !reflect.DeepEqual(loaded.DF, m.DF) {
+		t.Error("document-frequency table changed across roundtrip")
+	}
+	if !reflect.DeepEqual(loaded.Centroids, m.Centroids) {
+		t.Error("centroids changed across roundtrip")
+	}
+	if len(loaded.Wrappers) != len(m.Wrappers) {
+		t.Fatalf("%d wrapper slots, want %d", len(loaded.Wrappers), len(m.Wrappers))
+	}
+	for i, want := range m.Wrappers {
+		got := loaded.Wrappers[i]
+		if (want == nil) != (got == nil) {
+			t.Fatalf("cluster %d: wrapper presence changed across roundtrip", i)
+		}
+		if want == nil {
+			continue
+		}
+		same := reflect.DeepEqual(got.Paths, want.Paths) &&
+			got.Fanout == want.Fanout && got.Depth == want.Depth && //thorlint:allow no-float-eq roundtrip must be exact, not approximate
+			got.Nodes == want.Nodes && got.Weights == want.Weights && //thorlint:allow no-float-eq roundtrip must be exact, not approximate
+			got.MaxDistance == want.MaxDistance && got.q == want.q //thorlint:allow no-float-eq roundtrip must be exact, not approximate
+		if !same {
+			t.Errorf("cluster %d: wrapper changed across roundtrip", i)
+		}
+	}
+	if loaded.Training() != nil {
+		t.Error("a loaded model must not claim training pages")
+	}
+
+	// And the loaded model must serve identically to the in-memory one.
+	fresh := probeSite(t, 2, 777)
+	for _, page := range fresh.Pages {
+		want, err := m.Apply(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Apply(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("loaded model extracts differently on %q", page.Query)
+		}
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	train := probeSite(t, 1, 1)
+	m, err := NewExtractor(DefaultConfig()).BuildModel(train.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "site1.thor.model.gz")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NDocs != m.NDocs || len(loaded.Centroids) != len(m.Centroids) {
+		t.Errorf("loaded %s, want %s", loaded, m)
+	}
+}
+
+func TestLoadModelRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(gz).Encode(&modelSnapshot{Version: ModelVersion + 41}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("LoadModel accepted a snapshot from the future")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("error %q does not mention the version", err)
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not a gzip stream")); err == nil {
+		t.Error("LoadModel accepted non-gzip input")
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte("gzipped but not gob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("LoadModel accepted non-gob payload")
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.gz")); err == nil {
+		t.Error("LoadModelFile succeeded on a missing file")
+	}
+}
+
+func TestLoadModelRejectsInconsistentTables(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	snap := modelSnapshot{Version: ModelVersion, Wrappers: []wrapperSnapshot{{ClusterID: 3, Q: 2}}}
+	if err := gob.NewEncoder(gz).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("LoadModel accepted a wrapper for cluster 3 of a 0-cluster model")
+	}
+}

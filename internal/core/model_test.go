@@ -1,0 +1,193 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"thor/internal/corpus"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// probeSite samples one simulated site for the model tests.
+func probeSite(t *testing.T, id int, planSeed int64) *corpus.Collection {
+	t.Helper()
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: id, Seed: 31})
+	prober := &probe.Prober{Plan: probe.NewPlan(80, 8, planSeed), Labeler: deepweb.Labeler()}
+	return prober.ProbeSite(site)
+}
+
+func TestBuildModelShapesAndTraining(t *testing.T) {
+	col := probeSite(t, 2, 1)
+	ext := NewExtractor(DefaultConfig())
+	m, err := ext.BuildModel(col.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NDocs != len(col.Pages) {
+		t.Errorf("NDocs = %d, want %d", m.NDocs, len(col.Pages))
+	}
+	if len(m.DF) == 0 {
+		t.Error("empty document-frequency table")
+	}
+	if len(m.Centroids) != m.Training().Phase1.Clustering.K {
+		t.Errorf("%d centroids for %d clusters", len(m.Centroids), m.Training().Phase1.Clustering.K)
+	}
+	if len(m.Wrappers) != len(m.Centroids) {
+		t.Errorf("%d wrapper slots for %d clusters", len(m.Wrappers), len(m.Centroids))
+	}
+	wrapped := 0
+	for _, w := range m.Wrappers {
+		if w != nil {
+			wrapped++
+		}
+	}
+	if wrapped == 0 {
+		t.Error("no cluster compiled a wrapper; the model cannot serve anything")
+	}
+	if wrapped > len(m.Training().PassedClusters) {
+		t.Errorf("%d wrappers but only %d clusters passed phase 1",
+			wrapped, len(m.Training().PassedClusters))
+	}
+	if len(m.Training().Pagelets) == 0 {
+		t.Fatal("training run extracted nothing; remaining checks would be vacuous")
+	}
+}
+
+// TestExtractIsBuildModelComposition pins Extract to its staged
+// decomposition: the result it returns is the model's training result.
+func TestExtractIsBuildModelComposition(t *testing.T) {
+	col := probeSite(t, 2, 1)
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	res := NewExtractor(cfg).Extract(col.Pages)
+	m, err := NewExtractor(cfg).BuildModel(col.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, m.Training()) {
+		t.Error("Extract result differs from BuildModel training result")
+	}
+}
+
+// TestApplyServesFreshPages is the acceptance scenario: a model built from
+// one probe run extracts pagelets from pages of queries it never saw,
+// without re-running phase one, and mostly agrees with the ground truth.
+func TestApplyServesFreshPages(t *testing.T) {
+	train := probeSite(t, 2, 1)
+	ext := NewExtractor(DefaultConfig())
+	m, err := ext.BuildModel(train.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := probeSite(t, 2, 555) // different plan seed: unseen queries
+	correct, extracted, bearing := 0, 0, 0
+	for _, page := range fresh.Pages {
+		pls, err := m.Apply(page)
+		if err != nil {
+			t.Fatalf("Apply(%q): %v", page.Query, err)
+		}
+		if page.Class.HasPagelets() {
+			bearing++
+		}
+		for _, pl := range pls {
+			extracted++
+			if pl.Path == "" || pl.Node == nil || pl.Page != page {
+				t.Fatalf("malformed pagelet %+v", pl)
+			}
+			for _, truth := range page.TruthPagelets() {
+				if truth == pl.Node {
+					correct++
+				}
+			}
+		}
+	}
+	if bearing == 0 || extracted == 0 {
+		t.Fatalf("vacuous stream: %d bearing pages, %d extractions", bearing, extracted)
+	}
+	if 2*correct < bearing {
+		t.Errorf("model served %d/%d bearing pages correctly (extracted %d); want a majority",
+			correct, bearing, extracted)
+	}
+}
+
+func TestApplyIsDeterministicAndConcurrencySafe(t *testing.T) {
+	train := probeSite(t, 4, 1)
+	m, err := NewExtractor(DefaultConfig()).BuildModel(train.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := probeSite(t, 4, 99)
+
+	serial := make([][]*Pagelet, len(fresh.Pages))
+	for i, p := range fresh.Pages {
+		serial[i], _ = m.Apply(p)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(fresh.Pages))
+	concurrent := make([][]*Pagelet, len(fresh.Pages))
+	for i, p := range fresh.Pages {
+		wg.Add(1)
+		go func(i int, p *corpus.Page) {
+			defer wg.Done()
+			concurrent[i], errs[i] = m.Apply(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range fresh.Pages {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(serial[i], concurrent[i]) {
+			t.Fatalf("page %d: concurrent Apply differs from serial", i)
+		}
+	}
+}
+
+func TestBuildModelRejectsUnknownClusterer(t *testing.T) {
+	col := probeSite(t, 1, 1)
+	cfg := DefaultConfig()
+	cfg.Clusterer = "definitely-not-registered"
+	if _, err := NewExtractor(cfg).BuildModel(col.Pages); err == nil {
+		t.Fatal("BuildModel accepted an unknown clusterer name")
+	}
+}
+
+// TestNamedClustererSelection exercises the by-name path end to end: the
+// same extraction through an explicitly named clusterer, including one
+// (bisecting) that no Approach dispatches to by default.
+func TestNamedClustererSelection(t *testing.T) {
+	col := probeSite(t, 3, 1)
+	for _, name := range []string{"kmeans", "bisecting", "kmedoids", "random", "bysize", "byurl"} {
+		cfg := DefaultConfig()
+		cfg.Clusterer = name
+		m, err := NewExtractor(cfg).BuildModel(col.Pages)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := m.Training().Phase1.Clustering.K; got < 1 {
+			t.Errorf("%s: clustering has K=%d", name, got)
+		}
+	}
+
+	// The named default must match the enum dispatch bit for bit.
+	cfg := DefaultConfig()
+	base := NewExtractor(cfg).Extract(col.Pages)
+	cfg.Clusterer = "kmeans"
+	named := NewExtractor(cfg).Extract(col.Pages)
+	if !reflect.DeepEqual(base.Pagelets, named.Pagelets) {
+		t.Error("Clusterer=kmeans differs from the Approach default dispatch")
+	}
+}
+
+func TestApplyOnEmptyModelErrors(t *testing.T) {
+	m := &Model{}
+	if _, err := m.Apply(&corpus.Page{HTML: "<html><body>x</body></html>"}); err == nil {
+		t.Error("Apply on a clusterless model did not error")
+	}
+	if _, err := (&Model{Centroids: nil}).Apply(nil); err == nil {
+		t.Error("Apply on nil page did not error")
+	}
+}

@@ -5,12 +5,16 @@ import (
 
 	"thor/internal/cluster"
 	"thor/internal/corpus"
+	"thor/internal/tagtree"
 	"thor/internal/vector"
 )
 
 // PageCluster is one cluster of structurally similar pages together with
 // the statistics used to rank it.
 type PageCluster struct {
+	// ClusterID is the cluster's index in the phase-one Clustering (and in
+	// a Model's centroid and wrapper tables), stable under ranking.
+	ClusterID int
 	// Indexes are the positions of the member pages in the input slice.
 	Indexes []int
 	// Pages are the member pages.
@@ -54,53 +58,117 @@ func ContentSignatures(pages []*corpus.Page) []map[string]int {
 	return out
 }
 
+// SignatureVectors weights per-document signature counts the way approach
+// a prescribes: raw frequencies for the Raw* baselines, the paper's TFIDF
+// variant otherwise.
+func SignatureVectors(docs []map[string]int, a Approach) []vector.Sparse {
+	if a.RawWeighted() {
+		return vector.RawFrequency(docs)
+	}
+	return vector.TFIDF(docs)
+}
+
 // PageVectors builds the page vectors for a vector-space approach. It
 // panics for the non-vector approaches (SizeBased, URLBased, RandomAssign).
 func PageVectors(pages []*corpus.Page, a Approach) []vector.Sparse {
 	switch a {
-	case TFIDFTags:
-		return vector.TFIDF(TagSignatures(pages))
-	case RawTags:
-		return vector.RawFrequency(TagSignatures(pages))
-	case TFIDFContent:
-		return vector.TFIDF(ContentSignatures(pages))
-	case RawContent:
-		return vector.RawFrequency(ContentSignatures(pages))
+	case TFIDFTags, RawTags:
+		return SignatureVectors(TagSignatures(pages), a)
+	case TFIDFContent, RawContent:
+		return SignatureVectors(ContentSignatures(pages), a)
 	default:
 		//thorlint:allow no-panic-in-lib programmer-error guard; documented to panic for non-vector approaches
 		panic("core: PageVectors called for non-vector approach " + a.String())
 	}
 }
 
-// ClusterPages partitions pages into cfg.K clusters using the configured
-// approach and returns the clustering plus its internal similarity (for
-// centroid-based approaches).
-func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64) {
-	switch cfg.Approach {
-	case TFIDFTags, RawTags, TFIDFContent, RawContent:
-		vecs := PageVectors(pages, cfg.Approach)
-		res := cluster.KMeans(vecs, cluster.KMeansConfig{
-			K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers,
-		})
-		return res.Clustering, res.Similarity
-	case SizeBased:
-		sizes := make([]int, len(pages))
-		for i, p := range pages {
-			sizes[i] = p.Size()
+// pageInput assembles the lazy multi-representation clusterer input for a
+// page set, together with the memoized signature and vector accessors the
+// model builder shares with the clustering call — each page's signature
+// and vector is computed at most once per extraction, no matter how many
+// stages consume it.
+//
+// For the non-vector approaches the vector view is the TFIDF tag space:
+// their clusterers never request it, but it remains available both for
+// centroid-based assignment in a Model and for selecting a vector-space
+// clusterer by name on top of any approach.
+func pageInput(pages []*corpus.Page, cfg Config) (in cluster.Input, sigs func() []map[string]int, vecs func() []vector.Sparse) {
+	a := cfg.Approach
+	sigs = cluster.Memo(func() []map[string]int {
+		if a.IsVector() && a.ContentBased() {
+			return ContentSignatures(pages)
 		}
-		return cluster.BySize(sizes, cfg.K, cfg.Seed), 0
-	case URLBased:
-		urls := make([]string, len(pages))
-		for i, p := range pages {
-			urls[i] = p.URL
+		return TagSignatures(pages)
+	})
+	vecs = cluster.Memo(func() []vector.Sparse {
+		if a.IsVector() {
+			return SignatureVectors(sigs(), a)
 		}
-		return cluster.ByURL(urls, cfg.K, cfg.Seed), 0
-	case RandomAssign:
-		return cluster.Random(len(pages), cfg.K, cfg.Seed), 0
-	default:
-		//thorlint:allow no-panic-in-lib programmer-error guard; Approach is a closed enum
-		panic("core: unknown approach")
+		return vector.TFIDF(sigs())
+	})
+	in = cluster.Input{
+		N:    len(pages),
+		Vecs: vecs,
+		Sizes: cluster.Memo(func() []int {
+			sizes := make([]int, len(pages))
+			for i, p := range pages {
+				sizes[i] = p.Size()
+			}
+			return sizes
+		}),
+		URLs: cluster.Memo(func() []string {
+			urls := make([]string, len(pages))
+			for i, p := range pages {
+				urls[i] = p.URL
+			}
+			return urls
+		}),
+		Trees: cluster.Memo(func() []*tagtree.Node {
+			trees := make([]*tagtree.Node, len(pages))
+			for i, p := range pages {
+				trees[i] = p.Tree()
+			}
+			return trees
+		}),
 	}
+	return in, sigs, vecs
+}
+
+// clustererFor resolves the clusterer a configuration selects: the named
+// one when Config.Clusterer is set, the approach's historical algorithm
+// otherwise.
+func clustererFor(cfg Config) (cluster.Clusterer, error) {
+	name := cfg.Clusterer
+	if name == "" {
+		name = cfg.Approach.DefaultClusterer()
+	}
+	return cluster.MustLookup(name)
+}
+
+// clusterPages runs the configured clusterer over the page input and
+// returns its full result (clustering, centroids where the algorithm
+// produces them, internal similarity).
+func clusterPages(in cluster.Input, cfg Config) (cluster.Result, error) {
+	c, err := clustererFor(cfg)
+	if err != nil {
+		return cluster.Result{}, err
+	}
+	return c.Cluster(in, cluster.Config{
+		K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+}
+
+// ClusterPages partitions pages into cfg.K clusters using the configured
+// approach (and clusterer, when one is named) and returns the clustering
+// plus its internal similarity (for centroid-based approaches).
+func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64) {
+	in, _, _ := pageInput(pages, cfg)
+	res, err := clusterPages(in, cfg)
+	if err != nil {
+		//thorlint:allow no-panic-in-lib programmer-error guard; preserved behavior of the pre-registry closed-enum dispatch
+		panic("core: " + err.Error())
+	}
+	return res.Clustering, res.Similarity
 }
 
 // Phase1 runs the page clustering phase: cluster the sampled pages, then
@@ -109,12 +177,18 @@ func ClusterPages(pages []*corpus.Page, cfg Config) (cluster.Clustering, float64
 // average page size (Section 3.1.3).
 func Phase1(pages []*corpus.Page, cfg Config) Phase1Result {
 	cl, sim := ClusterPages(pages, cfg)
+	return rankClusters(pages, cl, sim)
+}
+
+// rankClusters builds and ranks the per-cluster statistics of Section
+// 3.1.3 over an existing clustering.
+func rankClusters(pages []*corpus.Page, cl cluster.Clustering, sim float64) Phase1Result {
 	res := Phase1Result{Clustering: cl, InternalSimilarity: sim}
-	for _, members := range cl.Clusters {
+	for id, members := range cl.Clusters {
 		if len(members) == 0 {
 			continue
 		}
-		pc := &PageCluster{Indexes: members}
+		pc := &PageCluster{ClusterID: id, Indexes: members}
 		for _, i := range members {
 			p := pages[i]
 			pc.Pages = append(pc.Pages, p)

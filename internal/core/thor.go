@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"thor/internal/corpus"
-	"thor/internal/parallel"
 	"thor/internal/tagtree"
 )
 
@@ -64,25 +63,23 @@ type Result struct {
 }
 
 // Extract runs both phases on a site's sampled pages and returns the
-// extracted QA-Pagelets. The passed clusters are processed concurrently
-// up to cfg.Workers; each cluster derives an independent seed from
-// cfg.Seed and its rank, so the result is identical for every worker
-// count (phase one partitions the pages, so the clusters share no
-// mutable state).
+// extracted QA-Pagelets. It is a thin composition over the staged engine:
+// BuildModel performs the clustering, the concurrent per-cluster phase-two
+// runs (each cluster derives an independent seed from cfg.Seed and its
+// rank, so the result is identical for every worker count), and the
+// wrapper compilation; Extract returns the training-set result. Callers
+// that go on to serve fresh pages should call BuildModel directly and keep
+// the Model.
 func (e *Extractor) Extract(pages []*corpus.Page) *Result {
-	res := &Result{Phase1: Phase1(pages, e.cfg)}
-	m := e.cfg.TopClusters
-	if m > len(res.Phase1.Ranked) {
-		m = len(res.Phase1.Ranked)
+	m, err := e.BuildModel(pages)
+	if err != nil {
+		// Only configuration errors (an unknown Config.Clusterer name)
+		// reach here; the historical Extract treated misconfiguration as a
+		// programmer error and so does its compatibility shim.
+		//thorlint:allow no-panic-in-lib programmer-error guard; preserved behavior of the pre-staging closed-enum dispatch
+		panic("core: " + err.Error())
 	}
-	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
-	res.PerCluster = parallel.Map(m, e.cfg.Workers, func(ci int) *Phase2Result {
-		return Phase2(res.Phase1.Ranked[ci].Pages, e.cfg, parallel.DeriveSeed(e.cfg.Seed, int64(ci)))
-	})
-	for _, p2 := range res.PerCluster {
-		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
-	}
-	return res
+	return m.Training()
 }
 
 // ExtractCluster runs only phase two on an externally supplied page

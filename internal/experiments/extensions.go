@@ -59,30 +59,34 @@ func BisectingAblation(o Options) *TableResult {
 		Title:  "clusterer ablation: plain vs bisecting K-Means (TFIDF tag signatures)",
 		Header: []string{"entropy", "purity"},
 	}
-	type variant struct {
-		label string
-		run   func(vecs []vector.Sparse, seed int64) cluster.Clustering
-	}
-	variants := []variant{
-		{"kmeans", func(vecs []vector.Sparse, seed int64) cluster.Clustering {
-			r := cluster.KMeans(vecs, cluster.KMeansConfig{K: o.K, Restarts: o.KMRestarts, Seed: seed})
-			return r.Clustering
-		}},
-		{"bisecting", func(vecs []vector.Sparse, seed int64) cluster.Clustering {
-			return cluster.BisectingKMeans(vecs, cluster.BisectingConfig{K: o.K, Trials: 5, Seed: seed})
-		}},
-	}
-	for _, v := range variants {
+	// Both variants come from the clusterer registry — the ablation is a
+	// two-name slice away from covering any other registered algorithm.
+	for _, name := range []string{"kmeans", "bisecting"} {
+		c, err := cluster.MustLookup(name)
+		if err != nil {
+			//thorlint:allow no-panic-in-lib programmer-error guard; both names are registered builtins
+			panic("experiments: " + err.Error())
+		}
 		var entSum, purSum float64
 		for _, col := range corp.Collections {
-			vecs := vector.TFIDF(core.TagSignatures(col.Pages))
-			cl := v.run(vecs, o.Seed+int64(col.SiteID))
-			entSum += quality.Entropy(cl, col.Labels(), int(corpus.NumClasses))
-			purSum += quality.Purity(cl, col.Labels(), int(corpus.NumClasses))
+			pages := col.Pages
+			in := cluster.Input{
+				N: len(pages),
+				Vecs: cluster.Memo(func() []vector.Sparse {
+					return vector.TFIDF(core.TagSignatures(pages))
+				}),
+			}
+			r, err := c.Cluster(in, cluster.Config{K: o.K, Restarts: o.KMRestarts, Seed: o.Seed + int64(col.SiteID)})
+			if err != nil {
+				//thorlint:allow no-panic-in-lib programmer-error guard; both clusterers consume the vector view, which is present
+				panic("experiments: " + err.Error())
+			}
+			entSum += quality.Entropy(r.Clustering, col.Labels(), int(corpus.NumClasses))
+			purSum += quality.Purity(r.Clustering, col.Labels(), int(corpus.NumClasses))
 		}
 		n := float64(len(corp.Collections))
 		res.Rows = append(res.Rows, Row{
-			Label:  v.label,
+			Label:  name,
 			Values: []float64{entSum / n, purSum / n},
 		})
 	}

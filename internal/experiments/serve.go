@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"thor/internal/core"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+	"thor/internal/quality"
+)
+
+// ServeBenchmark measures the staged engine's train-once/serve-many
+// split: for each site, the one-time cost of BuildModel over the probed
+// sample versus the per-page cost of Model.Apply on a second, fresh probe
+// round the model never saw. The gap between the two is the case for
+// persisting models — a deep-web search engine pays the left column once
+// per site and the right column on every page it serves. Timing is
+// serial (one site, one page at a time), like the paper's timing figures;
+// the fresh pages are also scored against ground truth so the table shows
+// what serving quality the latency buys.
+func ServeBenchmark(o Options) *TableResult {
+	sites := deepweb.NewSites(o.Sites, o.Seed)
+	trainProber := &probe.Prober{Plan: probe.NewPlan(o.DictWords, o.Nonsense, o.Seed+1000), Labeler: deepweb.Labeler()}
+	// A different plan seed draws different dictionary probes: the served
+	// pages answer queries the training sample never issued.
+	serveProber := &probe.Prober{Plan: probe.NewPlan(o.DictWords, o.Nonsense, o.Seed+2000), Labeler: deepweb.Labeler()}
+
+	var buildSecs, applySecs float64
+	var servedPages int
+	var counter quality.Counter
+	for _, s := range sites {
+		train := trainProber.ProbeSite(s)
+		cfg := core.DefaultConfig()
+		cfg.K = o.K
+		cfg.Restarts = o.KMRestarts
+		cfg.Seed = o.Seed + int64(s.ID())
+		cfg.Workers = 1
+		ext := core.NewExtractor(cfg)
+
+		start := time.Now()
+		m, err := ext.BuildModel(train.Pages)
+		buildSecs += time.Since(start).Seconds()
+		if err != nil {
+			//thorlint:allow no-panic-in-lib programmer-error guard; the default config names a registered clusterer
+			panic("experiments: " + err.Error())
+		}
+
+		fresh := serveProber.ProbeSite(s)
+		var pagelets []*core.Pagelet
+		start = time.Now()
+		for _, p := range fresh.Pages {
+			pls, err := m.Apply(p)
+			if err != nil {
+				//thorlint:allow no-panic-in-lib programmer-error guard; Apply errors only on nil pages or empty models
+				panic("experiments: " + err.Error())
+			}
+			pagelets = append(pagelets, pls...)
+		}
+		applySecs += time.Since(start).Seconds()
+		servedPages += len(fresh.Pages)
+		c, i, t := core.Score(pagelets, fresh.Pages)
+		counter.Add(c, i, t)
+	}
+
+	res := &TableResult{
+		Title:  "staged serving: one-time model build vs per-page Apply (fresh probe round)",
+		Header: []string{"seconds", "unit-ms", "unit/sec"},
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "build/site",
+		Values: []float64{
+			buildSecs,
+			1000 * buildSecs / float64(len(sites)),
+			float64(len(sites)) / buildSecs,
+		},
+	})
+	res.Rows = append(res.Rows, Row{
+		Label: "apply/page",
+		Values: []float64{
+			applySecs,
+			1000 * applySecs / float64(servedPages),
+			float64(servedPages) / applySecs,
+		},
+	})
+	pr := counter.PR()
+	res.Notes = append(res.Notes,
+		"unit = site for the build row, page for the apply row; seconds are serial totals",
+		fmt.Sprintf("served %d fresh pages: precision %.3f, recall %.3f", servedPages, pr.Precision, pr.Recall),
+	)
+	return res
+}
