@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"thor/internal/core"
+	"thor/internal/corpus"
+	"thor/internal/objects"
+	"thor/internal/quality"
+)
+
+// renderSiteReport renders one collection's extraction result — the same
+// report for every ingestion path (probed, eagerly loaded, streamed), so
+// -corpus and -stream output is byte-identical.
+func renderSiteReport(name string, pages []*corpus.Page, res *core.Result, verbose bool) siteReport {
+	var b strings.Builder
+	dist := [corpus.NumClasses]int{}
+	for _, p := range pages {
+		dist[p.Class]++
+	}
+	fmt.Fprintf(&b, "\n%s — %d pages (%d multi, %d single, %d no-match, %d error)\n",
+		name, len(pages), dist[corpus.MultiMatch], dist[corpus.SingleMatch],
+		dist[corpus.NoMatch], dist[corpus.ErrorPage])
+
+	for rank, pc := range res.Phase1.Ranked {
+		passed := " "
+		if rank < len(res.PassedClusters) {
+			passed = "*"
+		}
+		fmt.Fprintf(&b, "  %s cluster %d: %3d pages, score %.3f (terms %.0f, fanout %.1f, size %.0fB)\n",
+			passed, rank+1, len(pc.Pages), pc.Score,
+			pc.AvgDistinctTerms, pc.AvgMaxFanout, pc.AvgPageSize)
+	}
+	c, i, t := core.Score(res.Pagelets, pages)
+	pr := quality.PrecisionRecall(c, i, t)
+	fmt.Fprintf(&b, "  extracted %d QA-Pagelets: precision %.3f, recall %.3f\n",
+		len(res.Pagelets), pr.Precision, pr.Recall)
+
+	if verbose {
+		part := objects.NewPartitioner(objects.Config{})
+		for _, pl := range res.Pagelets[:min(3, len(res.Pagelets))] {
+			objs := part.Partition(pl.Node, pl.Objects)
+			fmt.Fprintf(&b, "\n  page %q → pagelet %s (%d QA-Objects)\n", pl.Page.Query, pl.Path, len(objs))
+			for _, o := range objs[:min(3, len(objs))] {
+				text := o.Text()
+				if len(text) > 100 {
+					text = text[:100] + "…"
+				}
+				fmt.Fprintf(&b, "    object: %s\n", strings.TrimSpace(text))
+			}
+		}
+	}
+	return siteReport{out: b.String(), c: c, i: i, t: t}
+}
+
+// runCorpusFile extracts QA-Pagelets from every collection of a persisted
+// corpus file and writes the per-site reports (plus an overall tally when
+// the file holds several sites) to w. With stream=false the whole file is
+// materialized up front (corpus.ReadFile); with stream=true pages come
+// off the file one at a time (corpus.OpenStream) and each collection runs
+// through the bounded-memory streaming build. Both paths produce
+// byte-identical output — BuildModelFromSource is contract-pinned to
+// BuildModel, and the reports render from the same Result.
+func runCorpusFile(w io.Writer, path string, stream bool, mkCfg func(siteID int) core.Config, verbose bool) error {
+	var reports []siteReport
+	var err error
+	if stream {
+		reports, err = streamReports(path, mkCfg, verbose)
+	} else {
+		reports, err = eagerReports(path, mkCfg, verbose)
+	}
+	if err != nil {
+		return err
+	}
+	var counter quality.Counter
+	for _, r := range reports {
+		if _, err := fmt.Fprint(w, r.out); err != nil {
+			return err
+		}
+		counter.Add(r.c, r.i, r.t)
+	}
+	if len(reports) > 1 {
+		pr := counter.PR()
+		if _, err := fmt.Fprintf(w, "\noverall: precision %.3f, recall %.3f over %d sites\n",
+			pr.Precision, pr.Recall, len(reports)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eagerReports loads the whole corpus and extracts per collection.
+func eagerReports(path string, mkCfg func(int) core.Config, verbose bool) ([]siteReport, error) {
+	c, err := corpus.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var reports []siteReport
+	for _, col := range c.Collections {
+		if len(col.Pages) == 0 {
+			continue // nothing to cluster; the streaming path never sees it either
+		}
+		res := core.NewExtractor(mkCfg(col.SiteID)).Extract(col.Pages)
+		reports = append(reports, renderSiteReport(col.Name, col.Pages, res, verbose))
+	}
+	return reports, nil
+}
+
+// streamReports pulls pages off the corpus stream and runs each
+// collection through the streaming model build as its pages arrive.
+func streamReports(path string, mkCfg func(int) core.Config, verbose bool) (reports []siteReport, err error) {
+	ps, err := corpus.OpenStream(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := ps.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	sp := &streamSplitter{ps: ps}
+	for {
+		p, id, name, perr := sp.pull()
+		if perr == io.EOF {
+			return reports, nil
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		sp.push(p, id, name)
+		cs := &collectionSource{sp: sp, siteID: id, name: name}
+		m, berr := core.NewExtractor(mkCfg(id)).BuildModelFromSource(cs)
+		if berr != nil {
+			return nil, berr
+		}
+		reports = append(reports, renderSiteReport(name, cs.seen, m.Training(), verbose))
+	}
+}
+
+// streamSplitter wraps a PageStream with one page of pushback, so the
+// per-collection sub-sources can detect a collection boundary (the page
+// that belongs to the next collection) and hand that page back for the
+// next sub-source to start from.
+type streamSplitter struct {
+	ps       *corpus.PageStream
+	pend     *corpus.Page
+	pendID   int
+	pendName string
+	hasPend  bool
+}
+
+// pull yields the next page together with its collection's identity.
+func (sp *streamSplitter) pull() (*corpus.Page, int, string, error) {
+	if sp.hasPend {
+		sp.hasPend = false
+		return sp.pend, sp.pendID, sp.pendName, nil
+	}
+	p, err := sp.ps.Next()
+	if err != nil {
+		return nil, 0, "", err
+	}
+	id, name := sp.ps.Collection()
+	return p, id, name, nil
+}
+
+// push hands one pulled page back; the next pull returns it again.
+func (sp *streamSplitter) push(p *corpus.Page, id int, name string) {
+	sp.pend, sp.pendID, sp.pendName, sp.hasPend = p, id, name, true
+}
+
+// collectionSource is the corpus.Source for one collection of the shared
+// stream: it yields pages until the stream crosses into the next
+// collection (or ends), pushing the crossing page back. Yielded pages are
+// retained in seen — the page structs must outlive the build for truth
+// scoring; it is their derived trees and signatures the streaming build
+// releases.
+type collectionSource struct {
+	sp     *streamSplitter
+	siteID int
+	name   string
+	done   bool
+	seen   []*corpus.Page
+}
+
+func (cs *collectionSource) Next() (*corpus.Page, error) {
+	if cs.done {
+		return nil, io.EOF
+	}
+	p, id, name, err := cs.sp.pull()
+	if err != nil {
+		cs.done = true
+		return nil, err // io.EOF ends the collection; real errors propagate
+	}
+	if id != cs.siteID || name != cs.name {
+		cs.sp.push(p, id, name)
+		cs.done = true
+		return nil, io.EOF
+	}
+	cs.seen = append(cs.seen, p)
+	return p, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thor/internal/core"
+	"thor/internal/deepweb"
+	"thor/internal/probe"
+)
+
+// writeTestCorpus probes a couple of simulated sites and persists them.
+func writeTestCorpus(t *testing.T, nsites int) string {
+	t.Helper()
+	sites := deepweb.NewSites(nsites, 42)
+	prober := &probe.Prober{Plan: probe.NewPlan(20, 4, 43), Labeler: deepweb.Labeler()}
+	c := prober.ProbeAll(deepweb.AsProbeSites(sites))
+	path := filepath.Join(t.TempDir(), "c.thor.json.gz")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCorpusFileEagerStreamIdenticalOutput: -corpus and -stream must
+// render byte-identical reports from the same file, at every worker
+// count.
+func TestCorpusFileEagerStreamIdenticalOutput(t *testing.T) {
+	path := writeTestCorpus(t, 2)
+	var first string
+	for _, workers := range []int{1, 2, 0} {
+		mkCfg := func(siteID int) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Seed = 42 + int64(siteID)
+			cfg.Workers = workers
+			return cfg
+		}
+		var eager, stream bytes.Buffer
+		if err := runCorpusFile(&eager, path, false, mkCfg, true); err != nil {
+			t.Fatalf("workers=%d eager: %v", workers, err)
+		}
+		if err := runCorpusFile(&stream, path, true, mkCfg, true); err != nil {
+			t.Fatalf("workers=%d stream: %v", workers, err)
+		}
+		if eager.String() != stream.String() {
+			t.Errorf("workers=%d: -corpus and -stream output differ:\n--- eager ---\n%s\n--- stream ---\n%s",
+				workers, eager.String(), stream.String())
+		}
+		for _, want := range []string{"precision", "overall:", "cluster 1:"} {
+			if !strings.Contains(eager.String(), want) {
+				t.Errorf("workers=%d: output missing %q:\n%s", workers, want, eager.String())
+			}
+		}
+		if first == "" {
+			first = stream.String()
+		} else if first != stream.String() {
+			t.Errorf("workers=%d: output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestCorpusFileErrors: both paths surface unreadable files as errors.
+func TestCorpusFileErrors(t *testing.T) {
+	mkCfg := func(int) core.Config { return core.DefaultConfig() }
+	var buf bytes.Buffer
+	if err := runCorpusFile(&buf, "/nonexistent/c.gz", false, mkCfg, false); err == nil {
+		t.Error("eager load of missing file did not error")
+	}
+	if err := runCorpusFile(&buf, "/nonexistent/c.gz", true, mkCfg, false); err == nil {
+		t.Error("streamed load of missing file did not error")
+	}
+}
+
+// TestCorpusFileSingleSiteNoOverall: one collection renders no pooled
+// tally line.
+func TestCorpusFileSingleSiteNoOverall(t *testing.T) {
+	path := writeTestCorpus(t, 1)
+	mkCfg := func(siteID int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 42 + int64(siteID)
+		cfg.Workers = 1
+		return cfg
+	}
+	var buf bytes.Buffer
+	if err := runCorpusFile(&buf, path, true, mkCfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "overall:") {
+		t.Errorf("single-site output carries an overall line:\n%s", buf.String())
+	}
+}

@@ -11,6 +11,9 @@
 //	thor -dict 100 -nonsense 10
 //	thor -clusterer bisecting          # pick the phase-one algorithm by name
 //	thor -save-model site0.model.gz    # train once, persist the model
+//	thor -sites 5 -save-corpus c.thor.json.gz  # persist the probed corpus
+//	thor -corpus c.thor.json.gz        # extract from a persisted corpus (eager load)
+//	thor -stream c.thor.json.gz        # same output, pages streamed off the file
 //	thor -serve :8080      # serve the simulated deep web over HTTP instead
 //	thor -serve :8080 -model site0.model.gz  # …plus POST /extract serving
 //	thor -v                # dump extracted pagelets and objects
@@ -35,7 +38,6 @@ import (
 
 	"thor/internal/cluster"
 	"thor/internal/core"
-	"thor/internal/corpus"
 	"thor/internal/deepweb"
 	"thor/internal/objects"
 	"thor/internal/parallel"
@@ -60,6 +62,9 @@ func main() {
 		clust   = flag.String("clusterer", "", "phase-one clusterer by registry name (default: the approach's own algorithm)")
 		model   = flag.String("model", "", "with -serve: load a trained model from this file and mount POST /extract")
 		saveTo  = flag.String("save-model", "", "train on the probed site and save the model to this file")
+		corpusF = flag.String("corpus", "", "extract from a persisted corpus file (loaded eagerly) instead of probing")
+		streamF = flag.String("stream", "", "like -corpus, but stream pages off the file with bounded derived memory; output is identical")
+		saveCor = flag.String("save-corpus", "", "probe the sites, persist the labeled corpus to this file, and exit")
 	)
 	flag.Parse()
 
@@ -71,6 +76,26 @@ func main() {
 
 	if *liveURL != "" {
 		runLive(*liveURL, *param, *dict, *nons, *seed, *k, *top, *workers, *clust, *verbose)
+		return
+	}
+
+	if *corpusF != "" || *streamF != "" {
+		path, stream := *corpusF, false
+		if *streamF != "" {
+			path, stream = *streamF, true
+		}
+		mkCfg := func(siteID int) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.K = *k
+			cfg.TopClusters = *top
+			cfg.Seed = *seed + int64(siteID)
+			cfg.Workers = *workers
+			cfg.Clusterer = *clust
+			return cfg
+		}
+		if err := runCorpusFile(os.Stdout, path, stream, mkCfg, *verbose); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -98,6 +123,16 @@ func main() {
 		sites = []*deepweb.Site{deepweb.NewSite(deepweb.SiteConfig{ID: *site, Seed: *seed})}
 	} else {
 		sites = deepweb.NewSites(*nsites, *seed)
+	}
+
+	if *saveCor != "" {
+		c := prober.ProbeAll(deepweb.AsProbeSites(sites))
+		if err := c.WriteFile(*saveCor); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %d collections (%d pages) to %s\n",
+			len(c.Collections), c.TotalPages(), *saveCor)
+		return
 	}
 
 	if *saveTo != "" {
@@ -165,45 +200,9 @@ type siteReport struct {
 // renders the per-site report into a string so concurrent site runs
 // never interleave their output.
 func runSite(s *deepweb.Site, prober *probe.Prober, cfg core.Config, verbose bool) siteReport {
-	var b strings.Builder
 	col := prober.ProbeSite(s)
-	dist := col.ClassDistribution()
-	fmt.Fprintf(&b, "\n%s — %d pages (%d multi, %d single, %d no-match, %d error)\n",
-		s.Name(), len(col.Pages), dist[corpus.MultiMatch], dist[corpus.SingleMatch],
-		dist[corpus.NoMatch], dist[corpus.ErrorPage])
-
-	ext := core.NewExtractor(cfg)
-	res := ext.Extract(col.Pages)
-
-	for rank, pc := range res.Phase1.Ranked {
-		passed := " "
-		if rank < len(res.PassedClusters) {
-			passed = "*"
-		}
-		fmt.Fprintf(&b, "  %s cluster %d: %3d pages, score %.3f (terms %.0f, fanout %.1f, size %.0fB)\n",
-			passed, rank+1, len(pc.Pages), pc.Score,
-			pc.AvgDistinctTerms, pc.AvgMaxFanout, pc.AvgPageSize)
-	}
-	c, i, t := core.Score(res.Pagelets, col.Pages)
-	pr := quality.PrecisionRecall(c, i, t)
-	fmt.Fprintf(&b, "  extracted %d QA-Pagelets: precision %.3f, recall %.3f\n",
-		len(res.Pagelets), pr.Precision, pr.Recall)
-
-	if verbose {
-		part := objects.NewPartitioner(objects.Config{})
-		for _, pl := range res.Pagelets[:min(3, len(res.Pagelets))] {
-			objs := part.Partition(pl.Node, pl.Objects)
-			fmt.Fprintf(&b, "\n  page %q → pagelet %s (%d QA-Objects)\n", pl.Page.Query, pl.Path, len(objs))
-			for _, o := range objs[:min(3, len(objs))] {
-				text := o.Text()
-				if len(text) > 100 {
-					text = text[:100] + "…"
-				}
-				fmt.Fprintf(&b, "    object: %s\n", strings.TrimSpace(text))
-			}
-		}
-	}
-	return siteReport{out: b.String(), c: c, i: i, t: t}
+	res := core.NewExtractor(cfg).Extract(col.Pages)
+	return renderSiteReport(s.Name(), col.Pages, res, verbose)
 }
 
 // serveFarm serves the simulated deep web — plus POST /extract when a

@@ -13,9 +13,11 @@
 //
 // Figures: 4, 5, 6, 7, 8, 9, 10, 11, plus "treedist" (tag-signature vs
 // tree-edit cost), "stats" (corpus statistics), "serve" (model-build time
-// vs per-page Apply latency), and the ablations "ksweep", "restarts",
-// "threshold", "ranking", "objects", "multiregion", "bisecting", and
-// "adaptive" (see DESIGN.md).
+// vs per-page Apply latency), "scale" (eager vs streaming ingestion
+// residency; with -json it writes the per-size heap record
+// BENCH_scale.json), and the ablations "ksweep", "restarts", "threshold",
+// "ranking", "objects", "multiregion", "bisecting", and "adaptive" (see
+// DESIGN.md).
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,scale,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites  = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict   = flag.Int("dict", 100, "dictionary probe words per site")
 		nons   = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -71,7 +73,16 @@ func main() {
 		start := time.Now()
 		result := f()
 		if *jsonDir != "" {
-			if err := writeBench(*jsonDir, name, o, time.Since(start)); err != nil {
+			// The scale figure writes its own richer record (per-size
+			// eager-vs-streaming heap residency), replacing the generic
+			// wall-time one.
+			var err error
+			if sr, ok := result.(*experiments.ScaleResult); ok {
+				err = writeScaleBench(*jsonDir, o, sr, time.Since(start))
+			} else {
+				err = writeBench(*jsonDir, name, o, time.Since(start))
+			}
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "thorbench: %v\n", err)
 			}
 		}
@@ -98,6 +109,7 @@ func main() {
 		"bisecting":   func() fmt.Stringer { return experiments.BisectingAblation(o) },
 		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
 		"serve":       func() fmt.Stringer { return experiments.ServeBenchmark(o) },
+		"scale":       func() fmt.Stringer { return experiments.ScaleBenchmark(o) },
 	}
 
 	if *fig == "all" {
@@ -113,7 +125,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive", "serve"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve", "scale"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}
@@ -162,6 +174,67 @@ func writeBench(dir, name string, o experiments.Options, wall time.Duration) err
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
+}
+
+// ScaleBenchRecord is the machine-readable artifact of the scale figure:
+// per sweep size, the live heap and allocation each ingestion path costs,
+// so eager-vs-streaming residency is comparable across commits and worker
+// counts.
+type ScaleBenchRecord struct {
+	Figure      string           `json:"figure"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Workers     int              `json:"workers"`
+	Approach    string           `json:"approach"`
+	Rows        []ScaleRowRecord `json:"rows"`
+	// EagerOverStreamingLiveRatio is the live-heap ratio at the largest
+	// measured size — the headline bounded-memory number.
+	EagerOverStreamingLiveRatio float64 `json:"eager_over_streaming_live_ratio"`
+}
+
+// ScaleRowRecord is one sweep size of the scale record.
+type ScaleRowRecord struct {
+	PagesPerSite          int     `json:"pages_per_site"`
+	EagerLiveBytes        uint64  `json:"eager_live_bytes"`
+	StreamingLiveBytes    uint64  `json:"streaming_live_bytes"`
+	EagerBytesPerPage     float64 `json:"eager_bytes_per_page"`
+	StreamingBytesPerPage float64 `json:"streaming_bytes_per_page"`
+	EagerAllocBytes       uint64  `json:"eager_alloc_bytes"`
+	StreamingAllocBytes   uint64  `json:"streaming_alloc_bytes"`
+	EagerSeconds          float64 `json:"eager_seconds"`
+	StreamingSeconds      float64 `json:"streaming_seconds"`
+}
+
+// writeScaleBench persists the scale figure as BENCH_scale.json.
+func writeScaleBench(dir string, o experiments.Options, r *experiments.ScaleResult, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := ScaleBenchRecord{
+		Figure:                      "scale",
+		WallSeconds:                 wall.Seconds(),
+		Workers:                     parallel.Workers(o.Workers),
+		Approach:                    r.Approach,
+		EagerOverStreamingLiveRatio: r.RatioAtLargest(),
+	}
+	for _, row := range r.Rows {
+		n := float64(row.PagesPerSite)
+		rec.Rows = append(rec.Rows, ScaleRowRecord{
+			PagesPerSite:          row.PagesPerSite,
+			EagerLiveBytes:        row.EagerLiveBytes,
+			StreamingLiveBytes:    row.StreamLiveBytes,
+			EagerBytesPerPage:     float64(row.EagerLiveBytes) / n,
+			StreamingBytesPerPage: float64(row.StreamLiveBytes) / n,
+			EagerAllocBytes:       row.EagerAllocBytes,
+			StreamingAllocBytes:   row.StreamAllocBytes,
+			EagerSeconds:          row.EagerSeconds,
+			StreamingSeconds:      row.StreamSeconds,
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_scale.json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

@@ -3,9 +3,7 @@ package core
 import (
 	"fmt"
 
-	"thor/internal/cluster"
 	"thor/internal/corpus"
-	"thor/internal/parallel"
 	"thor/internal/vector"
 )
 
@@ -49,52 +47,14 @@ type Model struct {
 // centroid computation, and the document-frequency table. The error cases
 // are configuration-level: an unknown Config.Clusterer name or a clusterer
 // that cannot run on page input.
+//
+// BuildModel is the eager face of the streaming build: it feeds the
+// slice through the Source adapter without releasing any page's cached
+// views, so shared corpora keep their warm trees. The two paths are
+// bit-identical (pinned by the staged-vs-legacy contract test and by
+// TestStreamingBuildWorkerCountIndependence).
 func (e *Extractor) BuildModel(pages []*corpus.Page) (*Model, error) {
-	cfg := e.cfg
-	in, sigs, vecs := pageInput(pages, cfg)
-	cres, err := clusterPages(in, cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// Training-set extraction, identical to the historical fused Extract:
-	// rank the clusters, run phase two over the top m concurrently, each
-	// cluster on its own derived seed.
-	res := &Result{Phase1: rankClusters(pages, cres.Clustering, cres.Similarity)}
-	m := cfg.TopClusters
-	if m > len(res.Phase1.Ranked) {
-		m = len(res.Phase1.Ranked)
-	}
-	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
-	res.PerCluster = parallel.Map(m, cfg.Workers, func(ci int) *Phase2Result {
-		return Phase2(res.Phase1.Ranked[ci].Pages, cfg, parallel.DeriveSeed(cfg.Seed, int64(ci)))
-	})
-	for _, p2 := range res.PerCluster {
-		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
-	}
-
-	model := &Model{
-		Cfg:       cfg,
-		NDocs:     len(pages),
-		DF:        vector.DocumentFrequencies(sigs()),
-		Centroids: cres.Centroids,
-		Wrappers:  make([]*Wrapper, cres.Clustering.K),
-		training:  res,
-	}
-	if model.Centroids == nil {
-		// Non-centroid clusterers (size, URL, random, tree-edit): derive
-		// assignment centroids from the clustering in the shared vector
-		// space.
-		model.Centroids = cluster.ClusterCentroids(vecs(), cres.Clustering)
-	}
-	for ci, pc := range res.PassedClusters {
-		w, err := e.BuildWrapper(res.PerCluster[ci])
-		if err != nil {
-			continue // no region selected; the cluster serves no pagelets
-		}
-		model.Wrappers[pc.ClusterID] = w
-	}
-	return model, nil
+	return e.buildModel(corpus.NewSliceSource(pages), false)
 }
 
 // Training returns the full two-phase result over the pages the model was

@@ -180,9 +180,37 @@ func Phase1(pages []*corpus.Page, cfg Config) Phase1Result {
 	return rankClusters(pages, cl, sim)
 }
 
+// pageStat holds the per-page scalars the cluster ranking consumes —
+// captured during a streaming build's first pass so the page's parsed
+// tree can be released before clustering.
+type pageStat struct {
+	distinctTerms int
+	maxFanout     int
+	size          int
+}
+
+// statOf reads the ranking scalars off a page (parsing its tree if it is
+// not already cached).
+func statOf(p *corpus.Page) pageStat {
+	t := p.Tree()
+	return pageStat{distinctTerms: t.DistinctTerms(), maxFanout: t.MaxFanout(), size: p.Size()}
+}
+
 // rankClusters builds and ranks the per-cluster statistics of Section
-// 3.1.3 over an existing clustering.
+// 3.1.3 over an existing clustering, reading the per-page scalars from
+// the (lazily cached) page trees.
 func rankClusters(pages []*corpus.Page, cl cluster.Clustering, sim float64) Phase1Result {
+	stats := make([]pageStat, len(pages))
+	for i, p := range pages {
+		stats[i] = statOf(p)
+	}
+	return rankClustersFromStats(pages, stats, cl, sim)
+}
+
+// rankClustersFromStats is rankClusters over precomputed per-page stats:
+// the accumulation order and arithmetic are identical, so the streaming
+// and eager builds rank bit-identically.
+func rankClustersFromStats(pages []*corpus.Page, stats []pageStat, cl cluster.Clustering, sim float64) Phase1Result {
 	res := Phase1Result{Clustering: cl, InternalSimilarity: sim}
 	for id, members := range cl.Clusters {
 		if len(members) == 0 {
@@ -190,11 +218,10 @@ func rankClusters(pages []*corpus.Page, cl cluster.Clustering, sim float64) Phas
 		}
 		pc := &PageCluster{ClusterID: id, Indexes: members}
 		for _, i := range members {
-			p := pages[i]
-			pc.Pages = append(pc.Pages, p)
-			pc.AvgDistinctTerms += float64(p.Tree().DistinctTerms())
-			pc.AvgMaxFanout += float64(p.Tree().MaxFanout())
-			pc.AvgPageSize += float64(p.Size())
+			pc.Pages = append(pc.Pages, pages[i])
+			pc.AvgDistinctTerms += float64(stats[i].distinctTerms)
+			pc.AvgMaxFanout += float64(stats[i].maxFanout)
+			pc.AvgPageSize += float64(stats[i].size)
 		}
 		n := float64(len(members))
 		pc.AvgDistinctTerms /= n

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"io"
+
+	"thor/internal/cluster"
+	"thor/internal/corpus"
+	"thor/internal/parallel"
+	"thor/internal/tagtree"
+	"thor/internal/vector"
+)
+
+// BuildModelFromSource runs the two-phase analysis over a page stream
+// with bounded derived state: pages arrive one at a time through the
+// Source, and the first pass keeps only each page's raw term-count
+// vector, its three ranking scalars, and the running document-frequency
+// table, releasing the parsed tree and signature maps before the next
+// page is drawn (Page.ReleaseDerived). The second pass DF-weights and
+// normalizes the vectors in place. Peak derived residency is therefore
+// O(sparse vectors) instead of O(trees + signature maps) across the
+// whole sample; only the pages of the top-m ranked clusters re-parse
+// their trees, when phase two examines their subtrees.
+//
+// The output is bit-identical to BuildModel over the collected slice:
+// the streaming TFIDF pass reproduces the batch weighting exactly
+// (vector.Accumulator's contract) and the ranking consumes the same
+// scalars in the same order. A non-EOF error from the source aborts the
+// build and is returned wrapped.
+func (e *Extractor) BuildModelFromSource(src corpus.Source) (*Model, error) {
+	return e.buildModel(src, true)
+}
+
+// buildModel is the shared spine of BuildModel and BuildModelFromSource.
+// release controls whether each page's derived views are dropped after
+// its features are extracted: the streaming path owns its pages and
+// releases them; the eager path serves callers who share the slice (and
+// its node identities) with later scoring, so it must not.
+func (e *Extractor) buildModel(src corpus.Source, release bool) (*Model, error) {
+	cfg := e.cfg
+	a := cfg.Approach
+
+	// Pass 1: stream the pages, folding each into its raw count vector,
+	// its ranking scalars, and the DF table.
+	acc := vector.NewAccumulator(a.RawWeighted())
+	var pages []*corpus.Page
+	var stats []pageStat
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if a.IsVector() && a.ContentBased() {
+			acc.Add(p.ContentSignature())
+		} else {
+			acc.Add(p.TagSignature())
+		}
+		stats = append(stats, statOf(p))
+		if release {
+			p.ReleaseDerived()
+		}
+		pages = append(pages, p)
+	}
+
+	// Pass 2: DF-weight and normalize in place; the finished vectors are
+	// the clustering space, the centroid fallback space, and (through the
+	// DF table) the model's assignment space for fresh pages.
+	vecs := acc.Finish()
+	in := cluster.Input{
+		N:    len(pages),
+		Vecs: func() []vector.Sparse { return vecs },
+		Sizes: cluster.Memo(func() []int {
+			sizes := make([]int, len(stats))
+			for i, s := range stats {
+				sizes[i] = s.size
+			}
+			return sizes
+		}),
+		URLs: cluster.Memo(func() []string {
+			urls := make([]string, len(pages))
+			for i, p := range pages {
+				urls[i] = p.URL
+			}
+			return urls
+		}),
+		Trees: cluster.Memo(func() []*tagtree.Node {
+			trees := make([]*tagtree.Node, len(pages))
+			for i, p := range pages {
+				trees[i] = p.Tree()
+			}
+			return trees
+		}),
+	}
+	cres, err := clusterPages(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Training-set extraction, identical to the historical fused Extract:
+	// rank the clusters, run phase two over the top m concurrently, each
+	// cluster on its own derived seed.
+	res := &Result{Phase1: rankClustersFromStats(pages, stats, cres.Clustering, cres.Similarity)}
+	m := cfg.TopClusters
+	if m > len(res.Phase1.Ranked) {
+		m = len(res.Phase1.Ranked)
+	}
+	res.PassedClusters = append(res.PassedClusters, res.Phase1.Ranked[:m]...)
+	res.PerCluster = parallel.Map(m, cfg.Workers, func(ci int) *Phase2Result {
+		return Phase2(res.Phase1.Ranked[ci].Pages, cfg, parallel.DeriveSeed(cfg.Seed, int64(ci)))
+	})
+	for _, p2 := range res.PerCluster {
+		res.Pagelets = append(res.Pagelets, p2.Pagelets...)
+	}
+
+	model := &Model{
+		Cfg:       cfg,
+		NDocs:     len(pages),
+		DF:        acc.DF(),
+		Centroids: cres.Centroids,
+		Wrappers:  make([]*Wrapper, cres.Clustering.K),
+		training:  res,
+	}
+	if model.Centroids == nil {
+		// Non-centroid clusterers (size, URL, random, tree-edit): derive
+		// assignment centroids from the clustering in the shared vector
+		// space.
+		model.Centroids = cluster.ClusterCentroids(vecs, cres.Clustering)
+	}
+	for ci, pc := range res.PassedClusters {
+		w, err := e.BuildWrapper(res.PerCluster[ci])
+		if err != nil {
+			continue // no region selected; the cluster serves no pagelets
+		}
+		model.Wrappers[pc.ClusterID] = w
+	}
+	return model, nil
+}

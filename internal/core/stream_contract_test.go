@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"thor/internal/corpus"
+)
+
+// wrapperShape extracts a Wrapper's comparable profile (the unexported
+// simplifier is derived state).
+type wrapperShape struct {
+	Paths                []string
+	Fanout, Depth, Nodes float64
+	Weights              ShapeWeights
+	MaxDistance          float64
+}
+
+func wrapperShapes(m *Model) []*wrapperShape {
+	out := make([]*wrapperShape, len(m.Wrappers))
+	for i, w := range m.Wrappers {
+		if w == nil {
+			continue
+		}
+		out[i] = &wrapperShape{Paths: w.Paths, Fanout: w.Fanout, Depth: w.Depth,
+			Nodes: w.Nodes, Weights: w.Weights, MaxDistance: w.MaxDistance}
+	}
+	return out
+}
+
+// TestStreamingBuildWorkerCountIndependence is the streaming-ingestion
+// contract: BuildModelFromSource(SliceSource(pages)) must reproduce
+// BuildModel(pages) bit for bit — assignment geometry, DF table, wrapper
+// profiles, phase-one ranking, and extracted pagelets — at every worker
+// count, and identically across worker counts. The name keeps it inside
+// CI's determinism matrix.
+func TestStreamingBuildWorkerCountIndependence(t *testing.T) {
+	col := probeSite(t, 2, 3)
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+
+	var first *Model
+	for _, w := range workerCounts {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.Workers = w
+
+		eager, err := NewExtractor(cfg).BuildModel(col.Pages)
+		if err != nil {
+			t.Fatalf("workers=%d: BuildModel: %v", w, err)
+		}
+		streamed, err := NewExtractor(cfg).BuildModelFromSource(corpus.NewSliceSource(col.Pages))
+		if err != nil {
+			t.Fatalf("workers=%d: BuildModelFromSource: %v", w, err)
+		}
+		if len(streamed.Training().Pagelets) == 0 {
+			t.Fatalf("workers=%d: streaming build found no pagelets; the contract check is vacuous", w)
+		}
+
+		compareModels(t, fmt.Sprintf("workers=%d eager-vs-streamed", w), eager, streamed)
+		if first == nil {
+			first = streamed
+		} else {
+			compareModels(t, fmt.Sprintf("workers=%d vs workers=%d", w, workerCounts[0]), first, streamed)
+		}
+	}
+}
+
+func compareModels(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	if a.NDocs != b.NDocs {
+		t.Errorf("%s: NDocs %d vs %d", label, a.NDocs, b.NDocs)
+	}
+	if !reflect.DeepEqual(a.DF, b.DF) {
+		t.Errorf("%s: DF tables differ", label)
+	}
+	if !reflect.DeepEqual(a.Centroids, b.Centroids) {
+		t.Errorf("%s: centroids differ", label)
+	}
+	if !reflect.DeepEqual(wrapperShapes(a), wrapperShapes(b)) {
+		t.Errorf("%s: wrapper profiles differ", label)
+	}
+	if !reflect.DeepEqual(a.Training().Phase1, b.Training().Phase1) {
+		t.Errorf("%s: phase-one results differ", label)
+	}
+	if !reflect.DeepEqual(pageletKeys(a.Training()), pageletKeys(b.Training())) {
+		t.Errorf("%s: extracted pagelets differ", label)
+	}
+}
+
+// failingSource yields a few pages then breaks, exercising the streaming
+// build's error path.
+type failingSource struct{ n int }
+
+func (s *failingSource) Next() (*corpus.Page, error) {
+	if s.n < 2 {
+		s.n++
+		return &corpus.Page{HTML: "<html><body><p>x</p></body></html>"}, nil
+	}
+	return nil, fmt.Errorf("stream broke")
+}
+
+func TestStreamingBuildPropagatesSourceError(t *testing.T) {
+	_, err := NewExtractor(DefaultConfig()).BuildModelFromSource(&failingSource{})
+	if err == nil || err.Error() != "stream broke" {
+		t.Fatalf("err = %v, want the source's error", err)
+	}
+}
+
+// TestStreamingBuildReleasesDerivedState: after a streaming build, pages
+// outside the passed clusters must carry no cached tree — the release
+// discipline that bounds peak residency. (Pages of passed clusters are
+// re-parsed by phase two, so they may legitimately be warm again.)
+func TestStreamingBuildReleasesDerivedState(t *testing.T) {
+	col := probeSite(t, 1, 5)
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	m, err := NewExtractor(cfg).BuildModelFromSource(corpus.NewSliceSource(col.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPassed := make(map[*corpus.Page]bool)
+	for _, pc := range m.Training().PassedClusters {
+		for _, p := range pc.Pages {
+			inPassed[p] = true
+		}
+	}
+	cold := 0
+	for _, p := range col.Pages {
+		if !inPassed[p] && !p.HasDerived() {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Error("no page outside the passed clusters was released")
+	}
+}
+
+var _ corpus.Source = (*failingSource)(nil)

@@ -102,6 +102,27 @@ func (p *Page) InvalidateTree() {
 	p.tree, p.tagSig, p.termSig = nil, nil, nil
 }
 
+// ReleaseDerived drops the cached tree and signature maps, returning the
+// page to its compact HTML-only form. Streaming pipelines call it once a
+// page's sparse vector has been built, so peak residency is bounded by
+// the vectors rather than by every page's parsed tree and count maps. The
+// views rebuild lazily (and equal the released ones) if touched again,
+// but note that a rebuilt tree is a fresh allocation: node pointers taken
+// before the release will not match nodes of the rebuilt tree.
+func (p *Page) ReleaseDerived() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tree, p.tagSig, p.termSig = nil, nil, nil
+}
+
+// HasDerived reports whether any derived view (tree or signature map)
+// is currently cached — the observable side of the release discipline.
+func (p *Page) HasDerived() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tree != nil || p.tagSig != nil || p.termSig != nil
+}
+
 // TagSignature returns (caching) the page's tag-frequency signature.
 func (p *Page) TagSignature() map[string]int {
 	p.mu.Lock()

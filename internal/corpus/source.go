@@ -1,0 +1,62 @@
+package corpus
+
+import "io"
+
+// Source is a forward-only iterator over answer pages — the streaming
+// counterpart of a []*Page slice. Next returns the next page, or (nil,
+// io.EOF) when the stream is exhausted; any other error means the stream
+// broke mid-way and the pages already yielded are all the caller will
+// get. A Source is single-use and not safe for concurrent Next calls;
+// fan-out happens downstream, after a stage has drawn its input.
+//
+// The ingestion spine is built on this interface: a persisted corpus
+// streams in through PageStream, a probed slice adapts through
+// SliceSource, and consumers like core.BuildModelFromSource process one
+// page at a time, releasing each page's derived views as soon as the
+// compact per-page features are extracted.
+type Source interface {
+	Next() (*Page, error)
+}
+
+// SliceSource adapts an in-memory page slice to the Source interface, so
+// every streaming consumer also accepts the eager representation. The
+// adapter holds only the slice header; it does not copy pages.
+type SliceSource struct {
+	pages []*Page
+	next  int
+}
+
+// NewSliceSource returns a Source yielding pages in slice order.
+func NewSliceSource(pages []*Page) *SliceSource {
+	return &SliceSource{pages: pages}
+}
+
+// Next yields the next page, or io.EOF after the last one.
+func (s *SliceSource) Next() (*Page, error) {
+	if s.next >= len(s.pages) {
+		return nil, io.EOF
+	}
+	p := s.pages[s.next]
+	s.next++
+	return p, nil
+}
+
+// Remaining returns how many pages have not been yielded yet.
+func (s *SliceSource) Remaining() int { return len(s.pages) - s.next }
+
+// Collect drains a source into a slice — the inverse of NewSliceSource,
+// used by eager callers and tests. On error the pages read so far are
+// returned alongside it.
+func Collect(src Source) ([]*Page, error) {
+	var out []*Page
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,274 @@
+package corpus
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageStream is a token-level streaming decoder for the persisted corpus
+// format: it yields one page at a time straight off the gzipped JSON
+// document, never buffering the whole corpus (Read materializes every
+// collection before returning; a paper-scale capture does not fit that
+// way). It implements Source; collection boundaries are exposed through
+// Collection, and pages of one collection are yielded contiguously in
+// their on-disk order — exactly the order Read produces.
+type PageStream struct {
+	dec    *json.Decoder
+	gz     *gzip.Reader
+	closer io.Closer // underlying file when opened via OpenStream
+
+	siteID int    // site id of the collection currently being yielded
+	name   string // name of that collection
+
+	inCollection bool // between a collection's '{' and '}'
+	inPages      bool // between its pages '[' and ']'
+	err          error
+}
+
+// ReadStream starts streaming a corpus written by Write from r. The
+// document header (the format version) is validated eagerly; pages are
+// decoded on demand by Next. The version field must precede the
+// collections, which is how Write lays the document out.
+func ReadStream(r io.Reader) (*PageStream, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: decompress: %w", err)
+	}
+	s := &PageStream{dec: json.NewDecoder(gz), gz: gz}
+	if err := s.readHeader(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenStream opens path and streams the corpus persisted there. The
+// caller owns the stream and must Close it; Close also closes the file.
+func OpenStream(path string) (*PageStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	s, err := ReadStream(f)
+	if err != nil {
+		//thorlint:allow no-unchecked-error closing a read-only file cannot lose data
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// readHeader consumes the document up to (and including) the opening '['
+// of the collections array, validating the format version on the way.
+func (s *PageStream) readHeader() error {
+	if err := s.expectDelim('{'); err != nil {
+		return err
+	}
+	versionSeen := false
+	for {
+		tok, err := s.dec.Token()
+		if err != nil {
+			return fmt.Errorf("corpus: decode: %w", err)
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			// A document with no collections at all: nothing to yield.
+			if !versionSeen {
+				return fmt.Errorf("corpus: unsupported format version %d", 0)
+			}
+			s.err = io.EOF
+			return nil
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return fmt.Errorf("corpus: decode: unexpected token %v in header", tok)
+		}
+		switch key {
+		case "version":
+			var v int
+			if err := s.dec.Decode(&v); err != nil {
+				return fmt.Errorf("corpus: decode: %w", err)
+			}
+			if v != persistVersion {
+				return fmt.Errorf("corpus: unsupported format version %d", v)
+			}
+			versionSeen = true
+		case "collections":
+			if !versionSeen {
+				return fmt.Errorf("corpus: decode: collections precede the version header")
+			}
+			empty, err := s.startArray()
+			if err != nil {
+				return err
+			}
+			if empty {
+				s.err = io.EOF // a null collections list: nothing to yield
+			}
+			return nil
+		default:
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Next yields the next page of the stream, in on-disk order across all
+// collections, or io.EOF once the document is exhausted. After any error
+// the stream is spent and Next keeps returning that error.
+func (s *PageStream) Next() (*Page, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	p, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return p, nil
+}
+
+func (s *PageStream) next() (*Page, error) {
+	for {
+		switch {
+		case s.inPages:
+			if s.dec.More() {
+				var pj pageJSON
+				if err := s.dec.Decode(&pj); err != nil {
+					return nil, fmt.Errorf("corpus: decode: %w", err)
+				}
+				if pj.Class < 0 || pj.Class >= int(NumClasses) {
+					return nil, fmt.Errorf("corpus: page %q has invalid class %d", pj.URL, pj.Class)
+				}
+				return &Page{
+					SiteID: pj.SiteID, URL: pj.URL, Query: pj.Query,
+					Class: Class(pj.Class), HTML: pj.HTML,
+				}, nil
+			}
+			if err := s.expectDelim(']'); err != nil {
+				return nil, err
+			}
+			s.inPages = false
+
+		case s.inCollection:
+			tok, err := s.dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("corpus: decode: %w", err)
+			}
+			if d, ok := tok.(json.Delim); ok && d == '}' {
+				s.inCollection = false
+				continue
+			}
+			key, ok := tok.(string)
+			if !ok {
+				return nil, fmt.Errorf("corpus: decode: unexpected token %v in collection", tok)
+			}
+			switch key {
+			case "site_id":
+				if err := s.dec.Decode(&s.siteID); err != nil {
+					return nil, fmt.Errorf("corpus: decode: %w", err)
+				}
+			case "name":
+				if err := s.dec.Decode(&s.name); err != nil {
+					return nil, fmt.Errorf("corpus: decode: %w", err)
+				}
+			case "pages":
+				empty, err := s.startArray()
+				if err != nil {
+					return nil, err
+				}
+				s.inPages = !empty
+			default:
+				if err := s.skipValue(); err != nil {
+					return nil, err
+				}
+			}
+
+		default: // inside the collections array, between collections
+			if s.dec.More() {
+				if err := s.expectDelim('{'); err != nil {
+					return nil, err
+				}
+				s.inCollection = true
+				s.siteID, s.name = 0, ""
+				continue
+			}
+			if err := s.expectDelim(']'); err != nil {
+				return nil, err
+			}
+			// Drain any keys after "collections", then the closing '}'.
+			for {
+				tok, err := s.dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("corpus: decode: %w", err)
+				}
+				if d, ok := tok.(json.Delim); ok && d == '}' {
+					return nil, io.EOF
+				}
+				if _, ok := tok.(string); !ok {
+					return nil, fmt.Errorf("corpus: decode: unexpected trailing token %v", tok)
+				}
+				if err := s.skipValue(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+}
+
+// Collection reports the site id and name of the collection the most
+// recently yielded page belongs to (zero values before the first page).
+func (s *PageStream) Collection() (siteID int, name string) { return s.siteID, s.name }
+
+// Close releases the underlying file when the stream was opened with
+// OpenStream; for ReadStream over a caller-owned reader it is a no-op.
+func (s *PageStream) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// startArray consumes the start of an array value. The encoder writes a
+// nil slice as JSON null, so null counts as an (empty=true) array.
+func (s *PageStream) startArray() (empty bool, err error) {
+	tok, err := s.dec.Token()
+	if err != nil {
+		return false, fmt.Errorf("corpus: decode: %w", err)
+	}
+	if tok == nil {
+		return true, nil
+	}
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		return false, nil
+	}
+	return false, fmt.Errorf("corpus: decode: got token %v, want an array", tok)
+}
+
+// expectDelim consumes one token and verifies it is the given delimiter.
+func (s *PageStream) expectDelim(want json.Delim) error {
+	tok, err := s.dec.Token()
+	if err != nil {
+		return fmt.Errorf("corpus: decode: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("corpus: decode: got token %v, want %q", tok, want)
+	}
+	return nil
+}
+
+// skipValue consumes and discards the value following an unknown key.
+func (s *PageStream) skipValue() error {
+	var raw json.RawMessage
+	if err := s.dec.Decode(&raw); err != nil {
+		return fmt.Errorf("corpus: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randomCorpus fabricates a corpus with randomized shape and page fields,
+// including characters that exercise JSON escaping.
+func randomCorpus(rng *rand.Rand) *Corpus {
+	alphabet := []string{"a", "β", `"`, "\\", "<td>", "\n", "züg", "&amp;", " "}
+	randString := func() string {
+		var b strings.Builder
+		for i := rng.Intn(12); i > 0; i-- {
+			b.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	c := &Corpus{}
+	for s := 0; s < rng.Intn(4); s++ {
+		col := &Collection{SiteID: rng.Intn(100), Name: randString()}
+		for p := 0; p < rng.Intn(6); p++ {
+			col.Pages = append(col.Pages, &Page{
+				SiteID: col.SiteID,
+				URL:    "http://x/" + randString(),
+				Query:  randString(),
+				HTML:   "<html><body>" + randString() + "</body></html>",
+				Class:  Class(rng.Intn(int(NumClasses))),
+			})
+		}
+		c.Collections = append(c.Collections, col)
+	}
+	return c
+}
+
+// samePage compares the persisted fields of two pages.
+func samePage(a, b *Page) bool {
+	return a.SiteID == b.SiteID && a.URL == b.URL && a.Query == b.Query &&
+		a.HTML == b.HTML && a.Class == b.Class
+}
+
+// TestStreamMatchesReadProperty is the decoder-equivalence property: for
+// randomized corpora, Write → ReadStream yields exactly the pages of
+// Write → Read — same order, same fields, same class labels, and the
+// same collection boundaries.
+func TestStreamMatchesReadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		c := randomCorpus(rng)
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("trial %d: Write: %v", trial, err)
+		}
+		data := buf.Bytes()
+
+		eager, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v", trial, err)
+		}
+		st, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d: ReadStream: %v", trial, err)
+		}
+
+		var eagerPages []*Page
+		type meta struct {
+			siteID int
+			name   string
+		}
+		var eagerMeta []meta
+		for _, col := range eager.Collections {
+			for _, p := range col.Pages {
+				eagerPages = append(eagerPages, p)
+				eagerMeta = append(eagerMeta, meta{col.SiteID, col.Name})
+			}
+		}
+
+		i := 0
+		for {
+			p, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("trial %d: Next: %v", trial, err)
+			}
+			if i >= len(eagerPages) {
+				t.Fatalf("trial %d: stream yielded more than the %d eager pages", trial, len(eagerPages))
+			}
+			if !samePage(p, eagerPages[i]) {
+				t.Fatalf("trial %d: page %d differs: stream %+v, eager %+v", trial, i, p, eagerPages[i])
+			}
+			siteID, name := st.Collection()
+			if siteID != eagerMeta[i].siteID || name != eagerMeta[i].name {
+				t.Fatalf("trial %d: page %d collection = (%d,%q), want (%d,%q)",
+					trial, i, siteID, name, eagerMeta[i].siteID, eagerMeta[i].name)
+			}
+			i++
+		}
+		if i != len(eagerPages) {
+			t.Fatalf("trial %d: stream yielded %d pages, eager read %d", trial, i, len(eagerPages))
+		}
+		// Exhausted streams stay exhausted.
+		if _, err := st.Next(); err != io.EOF {
+			t.Fatalf("trial %d: Next after EOF = %v", trial, err)
+		}
+	}
+}
+
+// TestStreamRejectsInvalidClassLikeRead pins the rejection path: a
+// persisted page with an out-of-range class fails both decoders with the
+// same message, and the stream yields exactly the pages before it.
+func TestStreamRejectsInvalidClassLikeRead(t *testing.T) {
+	c := &Corpus{Collections: []*Collection{{
+		SiteID: 1, Name: "s",
+		Pages: []*Page{
+			{SiteID: 1, URL: "u0", Class: MultiMatch, HTML: "<p>ok</p>"},
+			{SiteID: 1, URL: "u1", Class: Class(9), HTML: "<p>bad</p>"},
+			{SiteID: 1, URL: "u2", Class: NoMatch, HTML: "<p>after</p>"},
+		},
+	}}}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	_, readErr := Read(bytes.NewReader(buf.Bytes()))
+	if readErr == nil {
+		t.Fatal("Read accepted an invalid class")
+	}
+	st, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.Next()
+	if err != nil || p.URL != "u0" {
+		t.Fatalf("first page = %v, %v", p, err)
+	}
+	_, streamErr := st.Next()
+	if streamErr == nil {
+		t.Fatal("stream accepted an invalid class")
+	}
+	if readErr.Error() != streamErr.Error() {
+		t.Errorf("rejection messages differ:\n  read:   %v\n  stream: %v", readErr, streamErr)
+	}
+	// The error is sticky.
+	if _, err := st.Next(); err == nil || err == io.EOF {
+		t.Errorf("Next after rejection = %v, want the sticky error", err)
+	}
+}
+
+func TestStreamRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(`{"version":99,"collections":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStream(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "unsupported format version 99") {
+		t.Fatalf("ReadStream version error = %v", err)
+	}
+}
+
+func TestStreamEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Corpus{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("empty corpus Next = %v, want io.EOF", err)
+	}
+}
+
+func TestOpenStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.thor.json.gz")
+	c := &Corpus{Collections: []*Collection{{SiteID: 3, Name: "site3", Pages: []*Page{
+		{SiteID: 3, URL: "u", Query: "q", HTML: "<p>hi</p>", Class: SingleMatch},
+	}}}}
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := Collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || pages[0].URL != "u" {
+		t.Fatalf("pages = %v", pages)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := OpenStream(filepath.Join(dir, "absent.gz")); err == nil {
+		t.Fatal("OpenStream on a missing file succeeded")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	pages := []*Page{{URL: "a"}, {URL: "b"}, {URL: "c"}}
+	src := NewSliceSource(pages)
+	if src.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", src.Remaining())
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pages) {
+		t.Fatalf("Collect = %v", got)
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d", src.Remaining())
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next after drain = %v", err)
+	}
+	if got, err := Collect(NewSliceSource(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty Collect = %v, %v", got, err)
+	}
+}
+
+// errSource fails after one page.
+type errSource struct{ n int }
+
+func (s *errSource) Next() (*Page, error) {
+	if s.n == 0 {
+		s.n++
+		return &Page{URL: "ok"}, nil
+	}
+	return nil, fmt.Errorf("boom")
+}
+
+func TestCollectPropagatesErrors(t *testing.T) {
+	got, err := Collect(&errSource{})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 1 || got[0].URL != "ok" {
+		t.Fatalf("partial pages = %v", got)
+	}
+}
+
+func TestReleaseDerivedRebuildsEqualViews(t *testing.T) {
+	p := &Page{HTML: "<html><body><table><tr><td>alpha beta</td></tr></table></body></html>"}
+	tree := p.Tree()
+	tags := p.TagSignature()
+	terms := p.ContentSignature()
+
+	p.ReleaseDerived()
+	if reTree := p.Tree(); reTree == tree {
+		t.Error("ReleaseDerived kept the cached tree")
+	}
+	if !reflect.DeepEqual(p.TagSignature(), tags) {
+		t.Error("rebuilt tag signature differs")
+	}
+	if !reflect.DeepEqual(p.ContentSignature(), terms) {
+		t.Error("rebuilt content signature differs")
+	}
+}

@@ -1,0 +1,60 @@
+package synth
+
+import (
+	"math/rand"
+
+	"thor/internal/parallel"
+)
+
+// Sampler yields a synthetic page stream one page at a time, so the
+// paper-scale sweeps (110,000 pages/site, 5.5M total) never materialize
+// a whole collection: a consumer draws a page, folds it into whatever
+// compact feature it keeps (a sparse vector, a label, a size), and drops
+// it before drawing the next.
+//
+// Every page is generated from its own seed, derived from the stream
+// seed and the page's index (parallel.DeriveSeed). Page i therefore
+// depends only on (model, seed, i) — never on how many pages were drawn
+// before it, how the stream is chunked, or which worker consumes it —
+// and Sample is a plain collector over the same stream.
+type Sampler struct {
+	m    *Model
+	seed int64
+	n    int
+	next int
+}
+
+// Sampler returns a stream of n synthetic pages for the given seed.
+func (m *Model) Sampler(n int, seed int64) *Sampler {
+	return &Sampler{m: m, seed: seed, n: n}
+}
+
+// Next yields the next page of the stream; ok is false once all n pages
+// have been drawn.
+func (s *Sampler) Next() (page Page, ok bool) {
+	if s.next >= s.n {
+		return Page{}, false
+	}
+	p := s.m.PageAt(s.next, s.seed)
+	s.next++
+	return p, true
+}
+
+// Remaining returns how many pages the stream has yet to yield.
+func (s *Sampler) Remaining() int { return s.n - s.next }
+
+// PageAt generates page i of the stream seeded with seed. It is the
+// random-access form of the Sampler — safe to call from any worker in
+// any order, since each page's randomness comes from its own derived
+// seed.
+func (m *Model) PageAt(i int, seed int64) Page {
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(i))))
+	cm := m.pickClass(rng)
+	j := rng.Intn(len(cm.TagSignatures))
+	return Page{
+		Class:   cm.Class,
+		Tags:    jitter(cm.TagSignatures[j], rng),
+		Content: jitter(cm.ContentSignatures[j], rng),
+		Size:    jitterInt(cm.Sizes[j], rng),
+	}
+}

@@ -1,0 +1,114 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"thor/internal/parallel"
+)
+
+// collectChunked drains a fresh Sampler in the given chunk sizes,
+// re-creating the stream object between chunks would be wrong — the
+// point is that one stream yields the same pages no matter how callers
+// interleave their draws — so chunking here only varies the draw loop.
+func collectChunked(m *Model, n int, seed int64, chunk int) []Page {
+	s := m.Sampler(n, seed)
+	var out []Page
+	for len(out) < n {
+		for i := 0; i < chunk; i++ {
+			p, ok := s.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestSamplerDeterministicAcrossChunking: the same seed yields an
+// identical page stream regardless of how the stream is chunked.
+func TestSamplerDeterministicAcrossChunking(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	want := collectChunked(m, 60, 11, 1)
+	for _, chunk := range []int{2, 7, 60, 100} {
+		got := collectChunked(m, 60, 11, chunk)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk size %d changed the stream", chunk)
+		}
+	}
+}
+
+// TestSamplerMatchesSample: Sample must equal the collected Sampler
+// stream page for page.
+func TestSamplerMatchesSample(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	eager := m.Sample(80, 5)
+	s := m.Sampler(80, 5)
+	for i := 0; ; i++ {
+		p, ok := s.Next()
+		if !ok {
+			if i != len(eager) {
+				t.Fatalf("stream ended after %d pages, Sample drew %d", i, len(eager))
+			}
+			return
+		}
+		if !reflect.DeepEqual(p, eager[i]) {
+			t.Fatalf("page %d differs between Sample and Sampler", i)
+		}
+	}
+}
+
+// TestSamplerWorkerCountIndependence: generating the pages via PageAt
+// across any worker count reproduces the serial stream exactly — each
+// page depends only on (model, seed, index).
+func TestSamplerWorkerCountIndependence(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	const n, seed = 64, 9
+	want := m.Sample(n, seed)
+	for _, workers := range []int{1, 3, 0} {
+		got := parallel.Map(n, workers, func(i int) Page {
+			return m.PageAt(i, seed)
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel PageAt stream differs from Sample", workers)
+		}
+	}
+}
+
+func TestSamplerRemaining(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	s := m.Sampler(3, 1)
+	if s.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	s.Next()
+	if s.Remaining() != 2 {
+		t.Fatalf("Remaining after one draw = %d", s.Remaining())
+	}
+	s.Next()
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream yielded beyond n")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d", s.Remaining())
+	}
+}
+
+// TestSamplerSeedsDiffer: different stream seeds must decorrelate pages
+// (guards against DeriveSeed misuse collapsing the streams).
+func TestSamplerSeedsDiffer(t *testing.T) {
+	m := BuildModel(buildLabeledPages())
+	a := m.Sample(40, 1)
+	b := m.Sample(40, 2)
+	same := 0
+	for i := range a {
+		if a[i].Class == b[i].Class && a[i].Size == b[i].Size {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 produced identical streams")
+	}
+}

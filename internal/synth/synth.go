@@ -77,18 +77,15 @@ type Page struct {
 // sampled by perturbed bootstrap from the class's observed signatures:
 // a base signature is drawn uniformly and each count is jittered ±25%,
 // reproducing within-class variation without copying pages verbatim.
+//
+// Sample is a thin collector over Sampler: page i is generated from a
+// seed derived from (seed, i), so the eager slice and the streaming
+// consumers see bit-identical pages.
 func (m *Model) Sample(n int, seed int64) []Page {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]Page, n)
-	for i := range out {
-		cm := m.pickClass(rng)
-		j := rng.Intn(len(cm.TagSignatures))
-		out[i] = Page{
-			Class:   cm.Class,
-			Tags:    jitter(cm.TagSignatures[j], rng),
-			Content: jitter(cm.ContentSignatures[j], rng),
-			Size:    jitterInt(cm.Sizes[j], rng),
-		}
+	out := make([]Page, 0, n)
+	s := m.Sampler(n, seed)
+	for p, ok := s.Next(); ok; p, ok = s.Next() {
+		out = append(out, p)
 	}
 	return out
 }

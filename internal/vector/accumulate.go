@@ -1,0 +1,92 @@
+package vector
+
+import "math"
+
+// Accumulator builds the weighted document vectors of a collection
+// incrementally, one document at a time — the streaming counterpart of
+// TFIDF and RawFrequency. A streaming pipeline feeds each page's count
+// signature to Add and may then discard the page; the accumulator keeps
+// only the compact sparse vector and the running document-frequency
+// table, so peak residency is O(vectors) rather than O(pages + count
+// maps + vectors).
+//
+// TFIDF weighting needs the whole collection's document frequencies, so
+// it is necessarily two-pass: Add records the raw term-count vector
+// (pass 1) and Finish applies the DF weighting and normalization in
+// place (pass 2). The finished vectors are bit-identical to
+// TFIDF(docs) — same term order, same per-term arithmetic, same
+// normalization order — and, in raw mode, to RawFrequency(docs); the
+// equivalence is pinned by TestAccumulatorMatchesBatch.
+type Accumulator struct {
+	raw  bool
+	vecs []Sparse
+	df   map[string]int
+}
+
+// NewAccumulator returns an empty accumulator. In raw mode the vectors
+// are normalized raw frequencies (RawFrequency); otherwise they receive
+// the paper's TFIDF weighting at Finish. Document frequencies are
+// tallied in both modes.
+func NewAccumulator(raw bool) *Accumulator {
+	return &Accumulator{raw: raw, df: make(map[string]int)}
+}
+
+// Add appends one document's term counts. The counts map is read, never
+// retained: the caller may reuse or drop it immediately.
+func (a *Accumulator) Add(counts map[string]int) {
+	v := FromCounts(counts)
+	if a.raw {
+		v = v.Normalize()
+	}
+	a.vecs = append(a.vecs, v)
+	for term := range counts {
+		a.df[term]++
+	}
+}
+
+// Len returns how many documents have been added.
+func (a *Accumulator) Len() int { return len(a.vecs) }
+
+// DF returns the document-frequency table accumulated so far — after
+// Finish, exactly DocumentFrequencies over the added documents. The
+// caller must not mutate it.
+func (a *Accumulator) DF() map[string]int { return a.df }
+
+// Finish applies the second pass — TFIDF weighting and L2 normalization
+// in place — and returns the finished vectors. In raw mode the vectors
+// are already normalized and are returned as they stand. The accumulator
+// is spent afterwards; Add must not be called again.
+func (a *Accumulator) Finish() []Sparse {
+	if a.raw {
+		return a.vecs
+	}
+	n := float64(len(a.vecs))
+	for i := range a.vecs {
+		v := &a.vecs[i]
+		for j, term := range v.Terms {
+			// Identical arithmetic to TFIDF: idf computed from the
+			// quotient, then multiplied by log(tf+1).
+			idf := math.Log((n + 1) / float64(a.df[term]))
+			v.Weights[j] = math.Log(v.Weights[j]+1) * idf
+		}
+		normalizeInPlace(v)
+	}
+	return a.vecs
+}
+
+// normalizeInPlace scales v to unit L2 norm without allocating, matching
+// Normalize bit for bit (same summation and division order; the zero
+// vector is left unchanged).
+func normalizeInPlace(v *Sparse) {
+	var s float64
+	for _, w := range v.Weights {
+		s += w * w
+	}
+	n := math.Sqrt(s)
+	if n == 0 { //thorlint:allow no-float-eq the zero vector has an exactly zero norm
+		return
+	}
+	for i, w := range v.Weights {
+		v.Weights[i] = w / n
+	}
+}

@@ -1,0 +1,88 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDocs fabricates per-document term-count maps with overlapping
+// vocabulary, including empty documents.
+func randomDocs(rng *rand.Rand, n int) []map[string]int {
+	docs := make([]map[string]int, n)
+	for i := range docs {
+		docs[i] = make(map[string]int)
+		for t := rng.Intn(8); t > 0; t-- {
+			term := fmt.Sprintf("t%d", rng.Intn(12))
+			docs[i][term] = 1 + rng.Intn(9)
+		}
+	}
+	return docs
+}
+
+// TestAccumulatorMatchesBatch is the streaming-TFIDF contract: feeding
+// documents one at a time through the accumulator yields vectors
+// bit-identical to the batch TFIDF (and, in raw mode, RawFrequency) over
+// the same documents — every term and every weight exactly equal.
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		docs := randomDocs(rng, rng.Intn(15))
+
+		for _, raw := range []bool{false, true} {
+			want := TFIDF(docs)
+			if raw {
+				want = RawFrequency(docs)
+			}
+			acc := NewAccumulator(raw)
+			for _, d := range docs {
+				acc.Add(d)
+			}
+			if acc.Len() != len(docs) {
+				t.Fatalf("trial %d raw=%v: Len = %d, want %d", trial, raw, acc.Len(), len(docs))
+			}
+			got := acc.Finish()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d raw=%v: %d vectors, want %d", trial, raw, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i].Terms, want[i].Terms) {
+					t.Fatalf("trial %d raw=%v doc %d: terms %v, want %v",
+						trial, raw, i, got[i].Terms, want[i].Terms)
+				}
+				for j := range got[i].Weights {
+					if got[i].Weights[j] != want[i].Weights[j] { //thorlint:allow no-float-eq bit-identity is the contract under test
+						t.Fatalf("trial %d raw=%v doc %d term %q: weight %v, want %v",
+							trial, raw, i, got[i].Terms[j], got[i].Weights[j], want[i].Weights[j])
+					}
+				}
+			}
+			if !reflect.DeepEqual(acc.DF(), DocumentFrequencies(docs)) {
+				t.Fatalf("trial %d raw=%v: DF %v, want %v", trial, raw, acc.DF(), DocumentFrequencies(docs))
+			}
+		}
+	}
+}
+
+func TestAccumulatorDoesNotRetainCounts(t *testing.T) {
+	acc := NewAccumulator(false)
+	counts := map[string]int{"a": 2, "b": 1}
+	acc.Add(counts)
+	counts["a"] = 99 // mutate after Add: the accumulator must not see it
+	delete(counts, "b")
+	vecs := acc.Finish()
+	if len(vecs) != 1 || len(vecs[0].Terms) != 2 {
+		t.Fatalf("vectors = %v", vecs)
+	}
+	want := TFIDF([]map[string]int{{"a": 2, "b": 1}})
+	if !reflect.DeepEqual(vecs[0], want[0]) {
+		t.Fatalf("vector = %v, want %v", vecs[0], want[0])
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	if got := NewAccumulator(false).Finish(); len(got) != 0 {
+		t.Fatalf("empty Finish = %v", got)
+	}
+}
