@@ -15,9 +15,11 @@
 // tree-edit cost), "stats" (corpus statistics), "serve" (model-build time
 // vs per-page Apply latency), "scale" (eager vs streaming ingestion
 // residency; with -json it writes the per-size heap record
-// BENCH_scale.json), and the ablations "ksweep", "restarts", "threshold",
-// "ranking", "objects", "multiregion", "bisecting", and "adaptive" (see
-// DESIGN.md).
+// BENCH_scale.json), "kernels" (string vs interned similarity-kernel
+// micro-benchmark; with -json it writes the ns-per-pair record
+// BENCH_kernels.json), and the ablations "ksweep", "restarts",
+// "threshold", "ranking", "objects", "multiregion", "bisecting", and
+// "adaptive" (see DESIGN.md).
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,scale,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites  = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict   = flag.Int("dict", 100, "dictionary probe words per site")
 		nons   = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -77,9 +79,14 @@ func main() {
 			// eager-vs-streaming heap residency), replacing the generic
 			// wall-time one.
 			var err error
-			if sr, ok := result.(*experiments.ScaleResult); ok {
-				err = writeScaleBench(*jsonDir, o, sr, time.Since(start))
-			} else {
+			switch r := result.(type) {
+			case *experiments.ScaleResult:
+				err = writeScaleBench(*jsonDir, o, r, time.Since(start))
+			case *experiments.KernelResult:
+				// The kernels figure likewise writes its own richer record:
+				// ns-per-pair on both kernel families plus the speedups.
+				err = writeKernelsBench(*jsonDir, o, r, time.Since(start))
+			default:
 				err = writeBench(*jsonDir, name, o, time.Since(start))
 			}
 			if err != nil {
@@ -110,6 +117,7 @@ func main() {
 		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
 		"serve":       func() fmt.Stringer { return experiments.ServeBenchmark(o) },
 		"scale":       func() fmt.Stringer { return experiments.ScaleBenchmark(o) },
+		"kernels":     func() fmt.Stringer { return experiments.KernelBenchmark(o) },
 	}
 
 	if *fig == "all" {
@@ -125,7 +133,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive", "serve", "scale"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve", "scale", "kernels"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}
@@ -235,6 +243,51 @@ func writeScaleBench(dir string, o experiments.Options, r *experiments.ScaleResu
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_scale.json"), append(data, '\n'), 0o644)
+}
+
+// KernelsBenchRecord is the machine-readable artifact of the kernels
+// figure: ns-per-cosine-pair and ns-per-centroid-build on the string and
+// interned kernel families, the resulting speedups, and whether the
+// interned results were bit-identical to the string path.
+type KernelsBenchRecord struct {
+	Figure             string  `json:"figure"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	Workers            int     `json:"workers"`
+	Pages              int     `json:"pages"`
+	Pairs              int     `json:"pairs"`
+	StringNsPerPair    float64 `json:"string_ns_per_pair"`
+	InternedNsPerPair  float64 `json:"interned_ns_per_pair"`
+	CosineSpeedup      float64 `json:"cosine_speedup"`
+	StringCentroidNs   float64 `json:"string_centroid_ns"`
+	InternedCentroidNs float64 `json:"interned_centroid_ns"`
+	CentroidSpeedup    float64 `json:"centroid_speedup"`
+	BitIdentical       bool    `json:"bit_identical"`
+}
+
+// writeKernelsBench persists the kernels figure as BENCH_kernels.json.
+func writeKernelsBench(dir string, o experiments.Options, r *experiments.KernelResult, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := KernelsBenchRecord{
+		Figure:             "kernels",
+		WallSeconds:        wall.Seconds(),
+		Workers:            parallel.Workers(o.Workers),
+		Pages:              r.Pages,
+		Pairs:              r.Pairs,
+		StringNsPerPair:    r.StringNsPerPair,
+		InternedNsPerPair:  r.InternedNsPerPair,
+		CosineSpeedup:      r.CosineSpeedup,
+		StringCentroidNs:   r.StringCentroidNs,
+		InternedCentroidNs: r.InternedCentroidNs,
+		CentroidSpeedup:    r.CentroidSpeedup,
+		BitIdentical:       r.BitIdentical,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_kernels.json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

@@ -17,19 +17,37 @@ func init() {
 	Register(byTreeEditClusterer{})
 }
 
+// sparseCentroids projects ID-space centroids back to the string-keyed
+// form for Result.Centroids — k small vectors, off the hot path.
+func sparseCentroids(d *vector.Dict, centroids []vector.IDVec) []vector.Sparse {
+	out := make([]vector.Sparse, len(centroids))
+	for i, c := range centroids {
+		out[i] = d.ToSparse(c)
+	}
+	return out
+}
+
 // kmeansClusterer is THOR's choice: Simple K-Means over sparse cosine
-// space with restarts guided by internal similarity.
+// space with restarts guided by internal similarity. Interned input runs
+// the integer kernels; string input runs the original string kernels;
+// the two are bit-identical.
 type kmeansClusterer struct{}
 
 func (kmeansClusterer) Name() string { return "kmeans" }
 
 func (c kmeansClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	kcfg := KMeansConfig{K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers}
+	if in.Interned != nil {
+		iv := in.Interned()
+		res := KMeansInterned(iv.Vecs, iv.Dict.Len(), kcfg)
+		return Result{Clustering: res.Clustering, Similarity: res.Similarity,
+			Centroids: sparseCentroids(iv.Dict, res.Centroids),
+			Dict:      iv.Dict, IDCentroids: res.Centroids}, nil
+	}
 	if in.Vecs == nil {
 		return Result{}, needErr(c.Name(), "vector")
 	}
-	res := KMeans(in.Vecs(), KMeansConfig{
-		K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed, Workers: cfg.Workers,
-	})
+	res := KMeans(in.Vecs(), kcfg)
 	return Result{Clustering: res.Clustering, Centroids: res.Centroids, Similarity: res.Similarity}, nil
 }
 
@@ -39,11 +57,21 @@ type bisectingClusterer struct{}
 func (bisectingClusterer) Name() string { return "bisecting" }
 
 func (c bisectingClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	bcfg := BisectingConfig{K: cfg.K, Seed: cfg.Seed}
+	if in.Interned != nil {
+		iv := in.Interned()
+		dim := iv.Dict.Len()
+		cl := BisectingKMeansInterned(iv.Vecs, dim, bcfg)
+		centroids := ClusterCentroidsInterned(iv.Vecs, cl, dim)
+		return Result{Clustering: cl, Similarity: InternalSimilarityInterned(iv.Vecs, cl, centroids),
+			Centroids: sparseCentroids(iv.Dict, centroids),
+			Dict:      iv.Dict, IDCentroids: centroids}, nil
+	}
 	if in.Vecs == nil {
 		return Result{}, needErr(c.Name(), "vector")
 	}
 	vecs := in.Vecs()
-	cl := BisectingKMeans(vecs, BisectingConfig{K: cfg.K, Seed: cfg.Seed})
+	cl := BisectingKMeans(vecs, bcfg)
 	centroids := ClusterCentroids(vecs, cl)
 	return Result{Clustering: cl, Centroids: centroids,
 		Similarity: InternalSimilarity(vecs, cl, centroids)}, nil
@@ -57,13 +85,25 @@ type kmedoidsClusterer struct{}
 func (kmedoidsClusterer) Name() string { return "kmedoids" }
 
 func (c kmedoidsClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	mcfg := KMedoidsConfig{K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed}
+	if in.Interned != nil {
+		iv := in.Interned()
+		cl := KMedoids(len(iv.Vecs), func(i, j int) float64 {
+			return 1 - iv.Vecs[i].Cosine(iv.Vecs[j])
+		}, mcfg)
+		dim := iv.Dict.Len()
+		centroids := ClusterCentroidsInterned(iv.Vecs, cl, dim)
+		return Result{Clustering: cl, Similarity: InternalSimilarityInterned(iv.Vecs, cl, centroids),
+			Centroids: sparseCentroids(iv.Dict, centroids),
+			Dict:      iv.Dict, IDCentroids: centroids}, nil
+	}
 	if in.Vecs == nil {
 		return Result{}, needErr(c.Name(), "vector")
 	}
 	vecs := in.Vecs()
 	cl := KMedoids(len(vecs), func(i, j int) float64 {
 		return 1 - vector.Cosine(vecs[i], vecs[j])
-	}, KMedoidsConfig{K: cfg.K, Restarts: cfg.Restarts, Seed: cfg.Seed})
+	}, mcfg)
 	centroids := ClusterCentroids(vecs, cl)
 	return Result{Clustering: cl, Centroids: centroids,
 		Similarity: InternalSimilarity(vecs, cl, centroids)}, nil

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+
+	"thor/internal/parallel"
+	"thor/internal/vector"
+)
+
+// This file is the integer-ID mirror of kmeans.go and bisecting.go: the
+// same algorithms, step for step, over vector.IDVec instead of
+// vector.Sparse. Every floating-point operation happens in the same
+// order as in the string kernels — the merge-joins visit identical term
+// pairs (ascending-ID order is ascending-term order by Dict
+// construction), the cached norms carry the same bits the string path
+// recomputes per call, and the dense centroid accumulator folds member
+// weights in member order — so both paths choose bit-identical
+// clusterings from bit-identical similarities. The contract is pinned by
+// TestInternedKernelsMatchStringPath. RNG consumption is mirrored
+// exactly (one Perm per restart, one Intn per empty-cluster reseed, one
+// Int63 per bisection trial), which is what keeps the two paths on the
+// same random trajectory.
+
+// KMeansInternedResult carries the chosen clustering with its centroids
+// in ID space.
+type KMeansInternedResult struct {
+	Clustering Clustering
+	Centroids  []vector.IDVec
+	Similarity float64
+	Iterations int // total assign/recenter cycles across all restarts
+}
+
+// KMeansInterned is KMeans over interned vectors. dim is the dictionary
+// size, used to pre-size the per-worker centroid scratch buffers; the
+// scratches live in a pool keyed to this call, so concurrent restarts
+// never share one and sequential restarts on the same worker reuse it
+// across all their iterations.
+func KMeansInterned(vecs []vector.IDVec, dim int, cfg KMeansConfig) KMeansInternedResult {
+	n := len(vecs)
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	scratches := sync.Pool{New: func() any { return vector.NewCentroidScratch(dim) }}
+	type restartResult struct {
+		cl        Clustering
+		centroids []vector.IDVec
+		sim       float64
+		iters     int
+	}
+	results := parallel.Map(restarts, cfg.Workers, func(r int) restartResult {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, int64(r))))
+		scratch := scratches.Get().(*vector.CentroidScratch)
+		assign, centroids, iters := kmeansOnceInterned(vecs, k, maxIter, rng, scratch)
+		scratches.Put(scratch)
+		cl := newClustering(k, assign)
+		return restartResult{cl: cl, centroids: centroids,
+			sim: InternalSimilarityInterned(vecs, cl, centroids), iters: iters}
+	})
+
+	best := KMeansInternedResult{Similarity: -1}
+	totalIter := 0
+	for _, rr := range results {
+		totalIter += rr.iters
+		if rr.sim > best.Similarity {
+			best = KMeansInternedResult{Clustering: rr.cl, Centroids: rr.centroids, Similarity: rr.sim}
+		}
+	}
+	best.Iterations = totalIter
+	return best
+}
+
+func kmeansOnceInterned(vecs []vector.IDVec, k, maxIter int, rng *rand.Rand, scratch *vector.CentroidScratch) (assign []int, centroids []vector.IDVec, iters int) {
+	n := len(vecs)
+	perm := rng.Perm(n)
+	centroids = make([]vector.IDVec, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = vecs[perm[i]]
+	}
+	assign = make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iters = 1; iters <= maxIter; iters++ {
+		changed := false
+		for i, v := range vecs {
+			bestC, bestSim := 0, -1.0
+			for c, ctr := range centroids {
+				if sim := v.Cosine(ctr); sim > bestSim {
+					bestC, bestSim = c, sim
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		groups := make([][]vector.IDVec, k)
+		for i, c := range assign {
+			groups[c] = append(groups[c], vecs[i])
+		}
+		for c := range centroids {
+			if len(groups[c]) == 0 {
+				centroids[c] = vecs[rng.Intn(n)]
+				continue
+			}
+			centroids[c] = scratch.Centroid(groups[c])
+		}
+	}
+	return assign, centroids, iters
+}
+
+// InternalSimilarityInterned is InternalSimilarity over ID vectors.
+func InternalSimilarityInterned(vecs []vector.IDVec, cl Clustering, centroids []vector.IDVec) float64 {
+	if len(vecs) == 0 {
+		return 0
+	}
+	n := float64(len(vecs))
+	var total float64
+	for c, members := range cl.Clusters {
+		for _, i := range members {
+			total += vecs[i].Cosine(centroids[c])
+		}
+	}
+	return total / n
+}
+
+// ClusterCentroidsInterned recomputes ID-space centroids for an
+// arbitrary clustering of the given vectors.
+func ClusterCentroidsInterned(vecs []vector.IDVec, cl Clustering, dim int) []vector.IDVec {
+	scratch := vector.NewCentroidScratch(dim)
+	out := make([]vector.IDVec, cl.K)
+	for c, members := range cl.Clusters {
+		group := make([]vector.IDVec, 0, len(members))
+		for _, i := range members {
+			group = append(group, vecs[i])
+		}
+		out[c] = scratch.Centroid(group)
+	}
+	return out
+}
+
+// BisectingKMeansInterned is BisectingKMeans over ID vectors.
+func BisectingKMeansInterned(vecs []vector.IDVec, dim int, cfg BisectingConfig) Clustering {
+	n := len(vecs)
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	clusters := [][]int{indexRange(n)}
+	for len(clusters) < k {
+		target := -1
+		for i, members := range clusters {
+			if len(members) < 2 {
+				continue
+			}
+			if target < 0 || len(members) > len(clusters[target]) {
+				target = i
+			}
+		}
+		if target < 0 {
+			break // nothing splittable
+		}
+		left, right := bisectInterned(vecs, dim, clusters[target], trials, rng)
+		clusters[target] = left
+		clusters = append(clusters, right)
+	}
+	assign := make([]int, n)
+	for c, members := range clusters {
+		for _, i := range members {
+			assign[i] = c
+		}
+	}
+	for len(clusters) < k {
+		clusters = append(clusters, nil)
+	}
+	return Clustering{K: len(clusters), Assign: assign, Clusters: clusters}
+}
+
+// bisectInterned mirrors bisect over ID vectors.
+func bisectInterned(vecs []vector.IDVec, dim int, members []int, trials int, rng *rand.Rand) (left, right []int) {
+	sub := make([]vector.IDVec, len(members))
+	for i, m := range members {
+		sub[i] = vecs[m]
+	}
+	best := -1.0
+	for t := 0; t < trials; t++ {
+		res := KMeansInterned(sub, dim, KMeansConfig{K: 2, Restarts: 1, MaxIter: 50, Seed: rng.Int63()})
+		if res.Similarity > best && len(res.Clustering.Clusters[0]) > 0 && len(res.Clustering.Clusters[1]) > 0 {
+			best = res.Similarity
+			left = left[:0]
+			right = right[:0]
+			for i, c := range res.Clustering.Assign {
+				if c == 0 {
+					left = append(left, members[i])
+				} else {
+					right = append(right, members[i])
+				}
+			}
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		mid := len(members) / 2
+		return append([]int(nil), members[:mid]...), append([]int(nil), members[mid:]...)
+	}
+	return left, right
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"thor/internal/vector"
+)
+
+// randomClusterDocs fabricates term-count documents with the same planted
+// three-prototype structure randomVecs uses, returned as raw counts so a
+// test can weight them down both the string and the interned path.
+func randomClusterDocs(n int, seed int64) []map[string]int {
+	rng := rand.New(rand.NewSource(seed))
+	protos := []map[string]int{
+		{"table": 20, "tr": 40, "td": 90, "a": 30},
+		{"div": 25, "p": 60, "span": 15},
+		{"ul": 18, "li": 70, "img": 22, "b": 9},
+	}
+	docs := make([]map[string]int, n)
+	for i := range docs {
+		p := protos[rng.Intn(len(protos))]
+		doc := make(map[string]int, len(p))
+		for term, c := range p {
+			doc[term] = c + rng.Intn(10)
+		}
+		docs[i] = doc
+	}
+	return docs
+}
+
+// stringInput is a clusterer input offering only the string-keyed vector
+// view — the pre-interning path the registry adapters fall back to.
+func stringInput(vecs []vector.Sparse) Input {
+	return Input{N: len(vecs), Vecs: func() []vector.Sparse { return vecs }}
+}
+
+// internedInput offers only the interned view, forcing the integer
+// kernels.
+func internedInput(iv vector.Interned) Input {
+	return Input{N: len(iv.Vecs), Interned: func() vector.Interned { return iv }}
+}
+
+// TestInternedKernelsMatchStringPath is the clustering-layer half of the
+// interning contract: for every vector-space clusterer in the registry,
+// running on interned input must reproduce the string path bit for bit —
+// same assignments, same similarity, same centroids — at several worker
+// counts. The integer kernels are a pure re-encoding, never a different
+// algorithm.
+func TestInternedKernelsMatchStringPath(t *testing.T) {
+	docs := randomClusterDocs(90, 21)
+	vecs := vector.TFIDF(docs)
+	iv := vector.TFIDFInterned(docs)
+	for _, name := range []string{"kmeans", "bisecting", "kmedoids"} {
+		c, err := MustLookup(name)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			cfg := Config{K: 3, Restarts: 4, Seed: 77, Workers: w}
+			want, err := c.Cluster(stringInput(vecs), cfg)
+			if err != nil {
+				t.Fatalf("%s string path: %v", name, err)
+			}
+			got, err := c.Cluster(internedInput(iv), cfg)
+			if err != nil {
+				t.Fatalf("%s interned path: %v", name, err)
+			}
+			if !reflect.DeepEqual(got.Clustering, want.Clustering) {
+				t.Errorf("%s workers=%d: interned clustering differs from string path", name, w)
+			}
+			if got.Similarity != want.Similarity { //thorlint:allow no-float-eq bit-identity is the contract under test
+				t.Errorf("%s workers=%d: similarity %v, want %v", name, w, got.Similarity, want.Similarity)
+			}
+			if len(got.Centroids) != len(want.Centroids) {
+				t.Fatalf("%s workers=%d: %d centroids, want %d", name, w, len(got.Centroids), len(want.Centroids))
+			}
+			for i := range want.Centroids {
+				if !vector.Equal(got.Centroids[i], want.Centroids[i]) {
+					t.Errorf("%s workers=%d: centroid %d differs", name, w, i)
+				}
+			}
+			if got.Dict == nil || len(got.IDCentroids) != len(want.Centroids) {
+				t.Errorf("%s workers=%d: interned result missing Dict/IDCentroids", name, w)
+			}
+			if want.Dict != nil || want.IDCentroids != nil {
+				t.Errorf("%s workers=%d: string result unexpectedly carries interned artifacts", name, w)
+			}
+		}
+	}
+}
+
+// TestInternedKMeansWorkerCountIndependence puts the integer kernels
+// under the same determinism contract as the string ones (and into CI's
+// determinism matrix): the chosen clustering, centroids, similarity, and
+// iteration count must not depend on the worker count.
+func TestInternedKMeansWorkerCountIndependence(t *testing.T) {
+	iv := vector.TFIDFInterned(randomClusterDocs(120, 5))
+	dim := iv.Dict.Len()
+	var ref KMeansInternedResult
+	for i, w := range []int{1, 2, 3, runtime.GOMAXPROCS(0), 32} {
+		res := KMeansInterned(iv.Vecs, dim, KMeansConfig{K: 3, Restarts: 12, Seed: 99, Workers: w})
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("Workers=%d KMeansInterned result differs from Workers=1: sim %v vs %v, iters %d vs %d",
+				w, res.Similarity, ref.Similarity, res.Iterations, ref.Iterations)
+		}
+	}
+}
+
+// TestInternedKMeansMatchesKMeans pins the direct kernel APIs (not just
+// the adapters): identical clustering, iterations, similarity, and
+// centroid bits, including the ID-space centroids projected back.
+func TestInternedKMeansMatchesKMeans(t *testing.T) {
+	docs := randomClusterDocs(80, 9)
+	vecs := vector.TFIDF(docs)
+	iv := vector.TFIDFInterned(docs)
+	want := KMeans(vecs, KMeansConfig{K: 4, Restarts: 6, Seed: 3, Workers: 1})
+	got := KMeansInterned(iv.Vecs, iv.Dict.Len(), KMeansConfig{K: 4, Restarts: 6, Seed: 3, Workers: 1})
+	if !reflect.DeepEqual(got.Clustering, want.Clustering) {
+		t.Error("clusterings differ")
+	}
+	if got.Similarity != want.Similarity || got.Iterations != want.Iterations { //thorlint:allow no-float-eq bit-identity is the contract under test
+		t.Errorf("similarity/iterations: got %v/%d, want %v/%d",
+			got.Similarity, got.Iterations, want.Similarity, want.Iterations)
+	}
+	for i := range want.Centroids {
+		if !vector.Equal(iv.Dict.ToSparse(got.Centroids[i]), want.Centroids[i]) {
+			t.Errorf("centroid %d differs", i)
+		}
+	}
+	if sim := InternalSimilarityInterned(iv.Vecs, got.Clustering, got.Centroids); sim != want.Similarity { //thorlint:allow no-float-eq bit-identity is the contract under test
+		t.Errorf("InternalSimilarityInterned = %v, want %v", sim, want.Similarity)
+	}
+	wantC := ClusterCentroids(vecs, want.Clustering)
+	gotC := ClusterCentroidsInterned(iv.Vecs, got.Clustering, iv.Dict.Len())
+	for i := range wantC {
+		if !vector.Equal(iv.Dict.ToSparse(gotC[i]), wantC[i]) {
+			t.Errorf("recomputed centroid %d differs", i)
+		}
+	}
+}

@@ -26,10 +26,16 @@ type Model struct {
 	// DF maps each signature term to the number of training pages
 	// containing it, so a fresh page is weighted in the training space.
 	DF map[string]int
-	// Centroids holds one assignment-space centroid per phase-one cluster,
-	// indexed by cluster id. Fresh pages are assigned to the most similar
-	// centroid by cosine similarity.
-	Centroids []vector.Sparse
+	// Dict is the training vocabulary's interning dictionary: every
+	// signature term mapped to a dense int32 ID. Fresh pages are interned
+	// against it at Apply time, so assignment runs on the integer
+	// kernels; terms never seen in training miss the dictionary and drop
+	// (they kept no weight under the DF table either).
+	Dict *vector.Dict
+	// Centroids holds one assignment-space centroid per phase-one cluster
+	// in Dict's ID space, indexed by cluster id. Fresh pages are assigned
+	// to the most similar centroid by cosine similarity.
+	Centroids []vector.IDVec
 	// Wrappers[c] is the wrapper compiled from cluster c's phase-two
 	// result, or nil when the cluster did not pass phase one or phase two
 	// selected no QA-Pagelet region — pages assigned there yield nothing,
@@ -63,12 +69,18 @@ func (e *Extractor) BuildModel(pages []*corpus.Page) (*Model, error) {
 func (m *Model) Training() *Result { return m.training }
 
 // Apply extracts QA-Pagelets from one fresh page: the page is vectorized
-// in the model's assignment space, assigned to the nearest centroid by
-// cosine similarity (lowest cluster id on ties), and only that cluster's
-// wrapper runs — no clustering, no cross-page analysis. A page assigned to
-// a wrapperless cluster, or rejected by the wrapper's distance bound,
-// yields an empty extraction with no error: that is the model's verdict
-// that the page holds no QA-Pagelet.
+// in the model's assignment space, interned into the training
+// dictionary's ID space, assigned to the nearest centroid by cosine
+// similarity on the integer kernels (lowest cluster id on ties), and
+// only that cluster's wrapper runs — no clustering, no cross-page
+// analysis. A page assigned to a wrapperless cluster, or rejected by the
+// wrapper's distance bound, yields an empty extraction with no error:
+// that is the model's verdict that the page holds no QA-Pagelet.
+//
+// Interning drops terms outside the training vocabulary while keeping
+// them in the page vector's cached norm (Dict.Intern's contract), so the
+// similarities — and the chosen cluster — are bit-identical to running
+// the string kernels over Vectorize's output, unseen terms and all.
 func (m *Model) Apply(page *corpus.Page) ([]*Pagelet, error) {
 	if page == nil {
 		return nil, fmt.Errorf("core: Apply on nil page")
@@ -76,10 +88,10 @@ func (m *Model) Apply(page *corpus.Page) ([]*Pagelet, error) {
 	if len(m.Centroids) == 0 {
 		return nil, fmt.Errorf("core: model has no clusters to assign to")
 	}
-	v := m.Vectorize(page)
+	v := m.Dict.Intern(m.Vectorize(page))
 	best, bestSim := 0, -1.0
 	for c, ctr := range m.Centroids {
-		if sim := vector.Cosine(v, ctr); sim > bestSim {
+		if sim := v.Cosine(ctr); sim > bestSim {
 			best, bestSim = c, sim
 		}
 	}

@@ -32,17 +32,32 @@ type wrapperSnapshot struct {
 	Q           int
 }
 
+// idVecSnapshot is one centroid in ID space. The cached norm is not
+// persisted: it is derivable (and rebuilt bit-identically) from the
+// weights on load.
+type idVecSnapshot struct {
+	IDs     []int32
+	Weights []float64
+}
+
 type modelSnapshot struct {
-	Version   int
-	Cfg       Config
-	NDocs     int
-	DF        map[string]int
-	Centroids []vector.Sparse
+	Version int
+	Cfg     Config
+	NDocs   int
+	DF      map[string]int
+	// DictTerms is the dictionary section introduced in version 2: the
+	// training vocabulary in ID (= ascending term) order. Term i has ID
+	// int32(i).
+	DictTerms []string
+	Centroids []idVecSnapshot
 	Wrappers  []wrapperSnapshot
 }
 
-// ModelVersion is the current on-disk model format version.
-const ModelVersion = 1
+// ModelVersion is the current on-disk model format version. Version 2
+// added the interned dictionary section and switched the centroids to ID
+// space; version-1 snapshots (string-keyed centroids, no dictionary) are
+// rejected with a clear error rather than silently misread.
+const ModelVersion = 2
 
 // Save serializes the model to w as versioned gzipped gob.
 func (m *Model) Save(w io.Writer) error {
@@ -51,7 +66,10 @@ func (m *Model) Save(w io.Writer) error {
 		Cfg:       m.Cfg,
 		NDocs:     m.NDocs,
 		DF:        m.DF,
-		Centroids: m.Centroids,
+		DictTerms: m.Dict.Terms(),
+	}
+	for _, c := range m.Centroids {
+		snap.Centroids = append(snap.Centroids, idVecSnapshot{IDs: c.IDs, Weights: c.Weights})
 	}
 	for i, wr := range m.Wrappers {
 		if wr == nil {
@@ -76,7 +94,12 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // LoadModel deserializes a model written by Save, rebuilding each
-// wrapper's simplifier. It rejects snapshots of any other format version.
+// wrapper's simplifier and every centroid's cached norm. It rejects
+// snapshots of any other format version — version-1 files predate the
+// dictionary section and must be regenerated — and validates the
+// dictionary and centroid tables (sorted vocabulary, in-range ascending
+// IDs) so a corrupt snapshot cannot smuggle a broken assignment space
+// into a served model.
 func LoadModel(r io.Reader) (*Model, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
@@ -89,13 +112,36 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: decode model: %w", err)
 	}
 	if snap.Version != ModelVersion {
-		return nil, fmt.Errorf("core: unsupported model format version %d (want %d)", snap.Version, ModelVersion)
+		return nil, fmt.Errorf("core: unsupported model format version %d (want %d; version-1 models predate the term dictionary — rebuild and re-save)", snap.Version, ModelVersion)
+	}
+	for i := 1; i < len(snap.DictTerms); i++ {
+		if snap.DictTerms[i-1] >= snap.DictTerms[i] {
+			return nil, fmt.Errorf("core: corrupt model: dictionary terms not in ascending order at %d", i)
+		}
+	}
+	centroids := make([]vector.IDVec, 0, len(snap.Centroids))
+	for ci, c := range snap.Centroids {
+		if len(c.IDs) != len(c.Weights) {
+			return nil, fmt.Errorf("core: corrupt model: centroid %d has %d IDs but %d weights",
+				ci, len(c.IDs), len(c.Weights))
+		}
+		for i, id := range c.IDs {
+			if id < 0 || int(id) >= len(snap.DictTerms) {
+				return nil, fmt.Errorf("core: corrupt model: centroid %d ID %d outside dictionary of %d terms",
+					ci, id, len(snap.DictTerms))
+			}
+			if i > 0 && c.IDs[i-1] >= id {
+				return nil, fmt.Errorf("core: corrupt model: centroid %d IDs not in ascending order at %d", ci, i)
+			}
+		}
+		centroids = append(centroids, vector.NewIDVec(c.IDs, c.Weights))
 	}
 	m := &Model{
 		Cfg:       snap.Cfg,
 		NDocs:     snap.NDocs,
 		DF:        snap.DF,
-		Centroids: snap.Centroids,
+		Dict:      vector.NewDict(snap.DictTerms),
+		Centroids: centroids,
 		Wrappers:  make([]*Wrapper, len(snap.Centroids)),
 	}
 	for _, ws := range snap.Wrappers {

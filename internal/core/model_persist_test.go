@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"thor/internal/vector"
 )
 
 func TestModelSaveLoadRoundtrip(t *testing.T) {
@@ -38,6 +40,11 @@ func TestModelSaveLoadRoundtrip(t *testing.T) {
 	if !reflect.DeepEqual(loaded.DF, m.DF) {
 		t.Error("document-frequency table changed across roundtrip")
 	}
+	if !reflect.DeepEqual(loaded.Dict.Terms(), m.Dict.Terms()) {
+		t.Error("dictionary changed across roundtrip")
+	}
+	// DeepEqual on IDVec reaches the unexported cached norm too: the load
+	// path must rebuild it bit-identically from the weights.
 	if !reflect.DeepEqual(loaded.Centroids, m.Centroids) {
 		t.Error("centroids changed across roundtrip")
 	}
@@ -115,6 +122,98 @@ func TestLoadModelRejectsWrongVersion(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "version") {
 		t.Errorf("error %q does not mention the version", err)
+	}
+}
+
+// TestLoadModelRejectsLegacyVersion1 writes a snapshot shaped like the
+// pre-dictionary version-1 format — string-keyed centroids, no DictTerms
+// section — and checks it is rejected with an error that names both the
+// version mismatch and the remedy. Gob matches fields by name, so the
+// unknown Terms field decodes harmlessly and the version guard fires
+// before any table is interpreted.
+func TestLoadModelRejectsLegacyVersion1(t *testing.T) {
+	type legacySnapshot struct {
+		Version   int
+		Cfg       Config
+		NDocs     int
+		DF        map[string]int
+		Centroids []vector.Sparse
+		Wrappers  []wrapperSnapshot
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	legacy := legacySnapshot{
+		Version: 1,
+		NDocs:   2,
+		DF:      map[string]int{"table": 2},
+		Centroids: []vector.Sparse{
+			vector.FromMap(map[string]float64{"table": 1}),
+		},
+	}
+	if err := gob.NewEncoder(gz).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("LoadModel accepted a version-1 snapshot")
+	}
+	if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "dictionary") {
+		t.Errorf("rejection %q should name the version and the dictionary remedy", err)
+	}
+}
+
+// TestLoadModelRejectsCorruptDictTables feeds version-2 snapshots whose
+// dictionary or centroid tables violate the format invariants; each must
+// be rejected rather than loaded into a broken assignment space.
+func TestLoadModelRejectsCorruptDictTables(t *testing.T) {
+	cases := []struct {
+		name string
+		snap modelSnapshot
+	}{
+		{"unsorted dictionary", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"b", "a"},
+		}},
+		{"duplicate dictionary term", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"a", "a"},
+		}},
+		{"centroid ID out of range", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"a"},
+			Centroids: []idVecSnapshot{{IDs: []int32{1}, Weights: []float64{0.5}}},
+		}},
+		{"negative centroid ID", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"a"},
+			Centroids: []idVecSnapshot{{IDs: []int32{-1}, Weights: []float64{0.5}}},
+		}},
+		{"centroid IDs not ascending", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"a", "b"},
+			Centroids: []idVecSnapshot{{IDs: []int32{1, 0}, Weights: []float64{0.5, 0.5}}},
+		}},
+		{"centroid length mismatch", modelSnapshot{
+			Version:   ModelVersion,
+			DictTerms: []string{"a"},
+			Centroids: []idVecSnapshot{{IDs: []int32{0}, Weights: []float64{0.5, 0.5}}},
+		}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		if err := gob.NewEncoder(gz).Encode(&tc.snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadModel(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: LoadModel accepted the corrupt snapshot", tc.name)
+		}
 	}
 }
 

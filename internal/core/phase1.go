@@ -68,6 +68,16 @@ func SignatureVectors(docs []map[string]int, a Approach) []vector.Sparse {
 	return vector.TFIDF(docs)
 }
 
+// SignatureVectorsInterned is SignatureVectors into ID space: one Dict
+// over the signature vocabulary, bit-identical weights to the string
+// path.
+func SignatureVectorsInterned(docs []map[string]int, a Approach) vector.Interned {
+	if a.RawWeighted() {
+		return vector.RawFrequencyInterned(docs)
+	}
+	return vector.TFIDFInterned(docs)
+}
+
 // PageVectors builds the page vectors for a vector-space approach. It
 // panics for the non-vector approaches (SizeBased, URLBased, RandomAssign).
 func PageVectors(pages []*corpus.Page, a Approach) []vector.Sparse {
@@ -86,7 +96,10 @@ func PageVectors(pages []*corpus.Page, a Approach) []vector.Sparse {
 // page set, together with the memoized signature and vector accessors the
 // model builder shares with the clustering call — each page's signature
 // and vector is computed at most once per extraction, no matter how many
-// stages consume it.
+// stages consume it. The interned view is the primary one: the
+// vector-space clusterers consume it directly, and the string-keyed Vecs
+// view is its (bit-identical) projection, so requesting both never
+// weights the signatures twice.
 //
 // For the non-vector approaches the vector view is the TFIDF tag space:
 // their clusterers never request it, but it remains available both for
@@ -100,15 +113,19 @@ func pageInput(pages []*corpus.Page, cfg Config) (in cluster.Input, sigs func() 
 		}
 		return TagSignatures(pages)
 	})
-	vecs = cluster.Memo(func() []vector.Sparse {
+	interned := cluster.Memo(func() vector.Interned {
 		if a.IsVector() {
-			return SignatureVectors(sigs(), a)
+			return SignatureVectorsInterned(sigs(), a)
 		}
-		return vector.TFIDF(sigs())
+		return vector.TFIDFInterned(sigs())
+	})
+	vecs = cluster.Memo(func() []vector.Sparse {
+		return interned().ToSparse()
 	})
 	in = cluster.Input{
-		N:    len(pages),
-		Vecs: vecs,
+		N:        len(pages),
+		Interned: interned,
+		Vecs:     vecs,
 		Sizes: cluster.Memo(func() []int {
 			sizes := make([]int, len(pages))
 			for i, p := range pages {

@@ -308,17 +308,21 @@ func intraSetSimilarity(s *SubtreeSet, cfg Config) float64 {
 		// query answers: treat as fully static.
 		return 1
 	}
-	var vecs []vector.Sparse
+	// The members' content vectors are built straight in interned ID
+	// space (one throwaway Dict per set) so the O(n²) pairwise cosine —
+	// the dominant phase-two cost — runs on the integer kernels; the
+	// similarities are bit-identical to the string path.
+	var iv vector.Interned
 	if cfg.RawContentVectors {
-		vecs = vector.RawFrequency(docs)
+		iv = vector.RawFrequencyInterned(docs)
 	} else {
-		vecs = vector.TFIDF(docs)
+		iv = vector.TFIDFInterned(docs)
 	}
 	var sum float64
 	pairs := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			sum += vector.Cosine(vecs[i], vecs[j])
+			sum += iv.Vecs[i].Cosine(iv.Vecs[j])
 			pairs++
 		}
 	}

@@ -64,13 +64,17 @@ func (e *Extractor) buildModel(src corpus.Source, release bool) (*Model, error) 
 		pages = append(pages, p)
 	}
 
-	// Pass 2: DF-weight and normalize in place; the finished vectors are
-	// the clustering space, the centroid fallback space, and (through the
-	// DF table) the model's assignment space for fresh pages.
-	vecs := acc.Finish()
+	// Pass 2: DF-weight, normalize, and intern. The interned vectors (one
+	// Dict over the training vocabulary, integer IDs, cached norms) are
+	// the clustering space, the centroid fallback space, and — via the
+	// dictionary stored on the Model — the assignment space for fresh
+	// pages. The string-keyed view is only materialized if a clusterer
+	// outside the vector-space family asks for it.
+	interned := acc.FinishInterned()
 	in := cluster.Input{
-		N:    len(pages),
-		Vecs: func() []vector.Sparse { return vecs },
+		N:        len(pages),
+		Interned: func() vector.Interned { return interned },
+		Vecs:     cluster.Memo(func() []vector.Sparse { return interned.ToSparse() }),
 		Sizes: cluster.Memo(func() []int {
 			sizes := make([]int, len(stats))
 			for i, s := range stats {
@@ -118,15 +122,28 @@ func (e *Extractor) buildModel(src corpus.Source, release bool) (*Model, error) 
 		Cfg:       cfg,
 		NDocs:     len(pages),
 		DF:        acc.DF(),
-		Centroids: cres.Centroids,
+		Dict:      interned.Dict,
+		Centroids: cres.IDCentroids,
 		Wrappers:  make([]*Wrapper, cres.Clustering.K),
 		training:  res,
 	}
 	if model.Centroids == nil {
-		// Non-centroid clusterers (size, URL, random, tree-edit): derive
-		// assignment centroids from the clustering in the shared vector
-		// space.
-		model.Centroids = cluster.ClusterCentroids(vecs, cres.Clustering)
+		switch {
+		case cres.Centroids != nil:
+			// A clusterer that produced string-keyed centroids only (none
+			// of the built-ins do when handed interned input): intern them
+			// into the model's assignment space.
+			ids := make([]vector.IDVec, len(cres.Centroids))
+			for i, c := range cres.Centroids {
+				ids[i] = interned.Dict.Intern(c)
+			}
+			model.Centroids = ids
+		default:
+			// Non-centroid clusterers (size, URL, random, tree-edit):
+			// derive assignment centroids from the clustering in the
+			// shared vector space.
+			model.Centroids = cluster.ClusterCentroidsInterned(interned.Vecs, cres.Clustering, interned.Dict.Len())
+		}
 	}
 	for ci, pc := range res.PassedClusters {
 		w, err := e.BuildWrapper(res.PerCluster[ci])

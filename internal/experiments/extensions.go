@@ -70,11 +70,13 @@ func BisectingAblation(o Options) *TableResult {
 		var entSum, purSum float64
 		for _, col := range corp.Collections {
 			pages := col.Pages
+			interned := cluster.Memo(func() vector.Interned {
+				return vector.TFIDFInterned(core.TagSignatures(pages))
+			})
 			in := cluster.Input{
-				N: len(pages),
-				Vecs: cluster.Memo(func() []vector.Sparse {
-					return vector.TFIDF(core.TagSignatures(pages))
-				}),
+				N:        len(pages),
+				Interned: interned,
+				Vecs:     cluster.Memo(func() []vector.Sparse { return interned().ToSparse() }),
 			}
 			r, err := c.Cluster(in, cluster.Config{K: o.K, Restarts: o.KMRestarts, Seed: o.Seed + int64(col.SiteID)})
 			if err != nil {

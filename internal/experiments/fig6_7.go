@@ -140,11 +140,14 @@ func runFig67(o Options) (entropyFig, timeFig *Figure) {
 // the sparse vectors, not 110,000 signature maps.
 //
 // The entropies are bit-identical to clustering the eagerly collected
-// slice (Sample + SignatureVectors): the sampler yields the same pages
-// and the accumulator reproduces the batch weighting exactly; the
-// fig6_7 contract test pins the equivalence. Restarts are reduced at
-// large scales, and the timed region — the TFIDF finishing pass plus a
-// single clustering run with Workers pinned to 1 — keeps charging each
+// slice (Sample + SignatureVectors): the sampler yields the same pages,
+// the accumulator reproduces the batch weighting exactly, and the
+// interned integer kernels the production run clusters on are
+// bit-identical to the string kernels the eager reference uses; the
+// fig6_7 contract test pins the string-vs-interned equivalence
+// end-to-end. Restarts are reduced at large scales, and the timed
+// region — the TFIDF finishing-and-interning pass plus a single
+// clustering run with Workers pinned to 1 — keeps charging each
 // approach for building its own weighted view, as the eager lazy-input
 // timing did. (Raw per-page count accumulation is charged to sampling,
 // outside the clock, in both the eager and streaming codepaths' spirit:
@@ -187,8 +190,8 @@ func clusterSynthStream(m *synth.Model, size int, sampleSeed int64, a core.Appro
 	}
 	start := time.Now()
 	if acc != nil {
-		vecs := acc.Finish()
-		in.Vecs = func() []vector.Sparse { return vecs }
+		iv := acc.FinishInterned()
+		in.Interned = func() vector.Interned { return iv }
 	}
 	res, err := c.Cluster(in, cluster.Config{K: o.K, Restarts: restarts, Seed: o.Seed + salt, Workers: 1})
 	secs := time.Since(start).Seconds()

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"thor/internal/core"
+	"thor/internal/vector"
+)
+
+// KernelResult reports the clustering hot-path micro-benchmark: the cost
+// of the pairwise cosine and the centroid build on the string-keyed
+// Sparse kernels versus the interned int32-ID kernels, over the tag
+// signatures of a probed corpus — the exact vectors phase one clusters.
+// BitIdentical records that every interned cosine equaled its string
+// counterpart bit for bit, so the speedup buys no accuracy change.
+type KernelResult struct {
+	Pages int
+	// Pairs is the number of within-collection cosine pairs timed (the
+	// production pairwise pattern: clustering never crosses sites).
+	Pairs int
+	// Passes is how many times each measurement loop ran.
+	Passes             int
+	StringNsPerPair    float64
+	InternedNsPerPair  float64
+	CosineSpeedup      float64
+	StringCentroidNs   float64
+	InternedCentroidNs float64
+	CentroidSpeedup    float64
+	BitIdentical       bool
+}
+
+// String renders the comparison.
+func (r *KernelResult) String() string {
+	return fmt.Sprintf(
+		"Similarity-kernel micro-benchmark: string vs interned (TFIDF tag signatures)\n"+
+			"  %d pages, %d within-collection cosine pairs, %d passes\n"+
+			"  cosine:   string %.1f ns/pair, interned %.1f ns/pair (%.1fx)\n"+
+			"  centroid: string %.0f ns/build, interned %.0f ns/build (%.1fx)\n"+
+			"  interned cosines bit-identical to string path: %v\n",
+		r.Pages, r.Pairs, r.Passes,
+		r.StringNsPerPair, r.InternedNsPerPair, r.CosineSpeedup,
+		r.StringCentroidNs, r.InternedCentroidNs, r.CentroidSpeedup,
+		r.BitIdentical)
+}
+
+// KernelBenchmark measures both kernel families on the corpus the other
+// figures use. Each collection's pages are weighted once down both
+// paths; the timed loops then run the production access patterns —
+// all within-collection cosine pairs, and one all-member centroid per
+// collection — several passes each.
+func KernelBenchmark(o Options) *KernelResult {
+	corp := BuildCorpus(o)
+
+	type colVecs struct {
+		vecs []vector.Sparse
+		iv   vector.Interned
+	}
+	cols := make([]colVecs, 0, len(corp.Collections))
+	pages, pairs := 0, 0
+	for _, col := range corp.Collections {
+		docs := core.TagSignatures(col.Pages)
+		cols = append(cols, colVecs{vecs: vector.TFIDF(docs), iv: vector.TFIDFInterned(docs)})
+		n := len(col.Pages)
+		pages += n
+		pairs += n * (n - 1) / 2
+	}
+
+	const passes = 3
+	var sink float64
+
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, c := range cols {
+			for i := range c.vecs {
+				for j := i + 1; j < len(c.vecs); j++ {
+					sink += vector.Cosine(c.vecs[i], c.vecs[j])
+				}
+			}
+		}
+	}
+	stringPair := time.Since(start)
+
+	start = time.Now()
+	for p := 0; p < passes; p++ {
+		for _, c := range cols {
+			for i := range c.iv.Vecs {
+				for j := i + 1; j < len(c.iv.Vecs); j++ {
+					sink += c.iv.Vecs[i].Cosine(c.iv.Vecs[j])
+				}
+			}
+		}
+	}
+	internedPair := time.Since(start)
+
+	start = time.Now()
+	for p := 0; p < passes; p++ {
+		for _, c := range cols {
+			sink += vector.Centroid(c.vecs).Norm()
+		}
+	}
+	stringCentroid := time.Since(start)
+
+	start = time.Now()
+	for p := 0; p < passes; p++ {
+		for _, c := range cols {
+			sink += vector.CentroidInterned(c.iv.Vecs, c.iv.Dict.Len()).Norm()
+		}
+	}
+	internedCentroid := time.Since(start)
+	_ = sink // defeats dead-code elimination of the timed loops
+
+	bitIdentical := true
+	for _, c := range cols {
+		for i := range c.vecs {
+			for j := i + 1; j < len(c.vecs); j++ {
+				if c.iv.Vecs[i].Cosine(c.iv.Vecs[j]) != vector.Cosine(c.vecs[i], c.vecs[j]) { //thorlint:allow no-float-eq bit-identity is the property being reported
+					bitIdentical = false
+				}
+			}
+		}
+	}
+
+	nPairs := float64(pairs * passes)
+	nBuilds := float64(len(cols) * passes)
+	r := &KernelResult{
+		Pages:              pages,
+		Pairs:              pairs,
+		Passes:             passes,
+		StringNsPerPair:    float64(stringPair.Nanoseconds()) / nPairs,
+		InternedNsPerPair:  float64(internedPair.Nanoseconds()) / nPairs,
+		StringCentroidNs:   float64(stringCentroid.Nanoseconds()) / nBuilds,
+		InternedCentroidNs: float64(internedCentroid.Nanoseconds()) / nBuilds,
+		BitIdentical:       bitIdentical,
+	}
+	if r.InternedNsPerPair > 0 {
+		r.CosineSpeedup = r.StringNsPerPair / r.InternedNsPerPair
+	}
+	if r.InternedCentroidNs > 0 {
+		r.CentroidSpeedup = r.StringCentroidNs / r.InternedCentroidNs
+	}
+	return r
+}

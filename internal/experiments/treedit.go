@@ -47,12 +47,13 @@ func TreeEditComparison(o Options, samplePairs int) *TreeEditResult {
 	n := len(pages)
 	pairs := n * (n - 1) / 2
 
-	// Tag-signature cost: vector build + all pairwise cosines.
+	// Tag-signature cost: interned vector build + all pairwise cosines on
+	// the integer kernels — the production clustering path.
 	start := time.Now()
-	vecs := vector.TFIDF(core.TagSignatures(pages))
+	iv := vector.TFIDFInterned(core.TagSignatures(pages))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			vector.Cosine(vecs[i], vecs[j])
+			iv.Vecs[i].Cosine(iv.Vecs[j])
 		}
 	}
 	tagTotal := time.Since(start)

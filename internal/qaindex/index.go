@@ -42,9 +42,17 @@ type Hit struct {
 
 // Index is an inverted index over QA-Object documents with BM25 ranking.
 // The zero value is ready to use; it is not safe for concurrent mutation.
+//
+// The postings vocabulary is interned: each term gets a dense int32 ID at
+// first sight (in deterministic first-token order) and posting lists live
+// in an ID-indexed table, so the per-term storage and the query lookup
+// carry one map probe per term instead of string-keyed list storage. The
+// on-disk format is unaffected — persistence snapshots documents and
+// rebuilds the postings on load.
 type Index struct {
 	docs     []*Document
-	postings map[string][]posting
+	termIDs  map[string]int32 // term → dense ID, assigned in first-occurrence order
+	plists   [][]posting      // posting lists indexed by term ID
 	totalLen int
 }
 
@@ -72,17 +80,31 @@ func (ix *Index) AddText(siteID int, siteName, probeQuery, pageURL, text string)
 		ProbeQuery: probeQuery, PageURL: pageURL, Text: text,
 		terms: make(map[string]int),
 	}
+	// Track each distinct term's first occurrence so term IDs are assigned
+	// in token order, not map-iteration order: two identically-fed indexes
+	// get identical internals.
+	var order []string
 	for _, tok := range tagtree.Tokenize(text) {
-		doc.terms[stem.Stem(tok)]++
+		term := stem.Stem(tok)
+		if doc.terms[term] == 0 {
+			order = append(order, term)
+		}
+		doc.terms[term]++
 		doc.length++
 	}
 	id := len(ix.docs)
 	ix.docs = append(ix.docs, doc)
-	if ix.postings == nil {
-		ix.postings = make(map[string][]posting)
+	if ix.termIDs == nil {
+		ix.termIDs = make(map[string]int32)
 	}
-	for term, tf := range doc.terms {
-		ix.postings[term] = append(ix.postings[term], posting{doc: id, tf: tf})
+	for _, term := range order {
+		tid, ok := ix.termIDs[term]
+		if !ok {
+			tid = int32(len(ix.plists))
+			ix.termIDs[term] = tid
+			ix.plists = append(ix.plists, nil)
+		}
+		ix.plists[tid] = append(ix.plists[tid], posting{doc: id, tf: doc.terms[term]})
 	}
 	ix.totalLen += doc.length
 	return doc
@@ -92,7 +114,7 @@ func (ix *Index) AddText(siteID int, siteName, probeQuery, pageURL, text string)
 func (ix *Index) Len() int { return len(ix.docs) }
 
 // Terms returns the vocabulary size.
-func (ix *Index) Terms() int { return len(ix.postings) }
+func (ix *Index) Terms() int { return len(ix.termIDs) }
 
 // Search returns the top-k documents for a free-text query under BM25.
 // Query terms are stemmed like document terms.
@@ -118,7 +140,11 @@ func (ix *Index) search(query string, k, siteFilter int) []Hit {
 	scores := make(map[int]float64)
 	for _, tok := range tagtree.Tokenize(query) {
 		term := stem.Stem(tok)
-		plist := ix.postings[term]
+		tid, ok := ix.termIDs[term]
+		if !ok {
+			continue
+		}
+		plist := ix.plists[tid]
 		if len(plist) == 0 {
 			continue
 		}

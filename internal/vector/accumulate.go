@@ -47,10 +47,18 @@ func (a *Accumulator) Add(counts map[string]int) {
 // Len returns how many documents have been added.
 func (a *Accumulator) Len() int { return len(a.vecs) }
 
-// DF returns the document-frequency table accumulated so far — after
-// Finish, exactly DocumentFrequencies over the added documents. The
-// caller must not mutate it.
-func (a *Accumulator) DF() map[string]int { return a.df }
+// DF returns a copy of the document-frequency table accumulated so far —
+// after Finish, exactly DocumentFrequencies over the added documents.
+// Returning a copy keeps the accumulator's own table safe: a caller
+// mutating the result mid-stream can no longer corrupt the weighting of
+// documents still to be finished.
+func (a *Accumulator) DF() map[string]int {
+	out := make(map[string]int, len(a.df))
+	for term, n := range a.df {
+		out[term] = n
+	}
+	return out
+}
 
 // Finish applies the second pass — TFIDF weighting and L2 normalization
 // in place — and returns the finished vectors. In raw mode the vectors
@@ -72,6 +80,25 @@ func (a *Accumulator) Finish() []Sparse {
 		normalizeInPlace(v)
 	}
 	return a.vecs
+}
+
+// FinishInterned is Finish into ID space: the second pass runs as usual,
+// then every finished vector is interned against a dictionary built over
+// the accumulated DF table and the string-keyed form is released. The
+// interned weights are bit-identical to Finish's (interning only renames
+// terms to IDs; no term of a training vector can miss the dictionary,
+// since both grew from the same Adds). Like Finish, it spends the
+// accumulator.
+func (a *Accumulator) FinishInterned() Interned {
+	vecs := a.Finish()
+	d := DictFromDF(a.df)
+	out := make([]IDVec, len(vecs))
+	for i := range vecs {
+		out[i] = d.Intern(vecs[i])
+		vecs[i] = Sparse{} // drop the string-keyed form as we go
+	}
+	a.vecs = nil
+	return Interned{Dict: d, Vecs: out}
 }
 
 // normalizeInPlace scales v to unit L2 norm without allocating, matching

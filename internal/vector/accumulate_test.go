@@ -81,6 +81,28 @@ func TestAccumulatorDoesNotRetainCounts(t *testing.T) {
 	}
 }
 
+// TestAccumulatorDFIsACopy is the mutation-safety regression for DF:
+// the returned table is a snapshot, so a caller scribbling on it
+// mid-stream cannot corrupt the document frequencies the second pass
+// weights with.
+func TestAccumulatorDFIsACopy(t *testing.T) {
+	docs := []map[string]int{{"a": 2, "b": 1}, {"a": 1}}
+	acc := NewAccumulator(false)
+	acc.Add(docs[0])
+	df := acc.DF()
+	df["a"] = 999 // mutate the snapshot between Adds
+	delete(df, "b")
+	acc.Add(docs[1])
+	got := acc.Finish()
+	want := TFIDF(docs)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("doc %d: vector %+v, want %+v (DF snapshot mutation leaked into the accumulator)",
+				i, got[i], want[i])
+		}
+	}
+}
+
 func TestAccumulatorEmpty(t *testing.T) {
 	if got := NewAccumulator(false).Finish(); len(got) != 0 {
 		t.Fatalf("empty Finish = %v", got)

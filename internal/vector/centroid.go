@@ -1,0 +1,93 @@
+package vector
+
+import (
+	"math"
+	"slices"
+)
+
+// CentroidScratch is the reusable workspace of the dense-accumulator
+// centroid kernel: member weights are scattered into a dense []float64
+// indexed by term ID, then gathered back to a sparse IDVec — no maps, no
+// string-keyed merge chain. A scratch is sized to the dictionary and
+// reused across K-Means iterations; each Centroid call leaves it clean
+// for the next.
+//
+// Ownership: a scratch belongs to exactly one goroutine at a time. The
+// clustering layer keeps one per worker (via sync.Pool around the
+// parallel fan-out) and reuses it across the restarts and iterations
+// that worker runs; scratches are never shared concurrently.
+type CentroidScratch struct {
+	acc     []float64
+	seen    []bool
+	touched []int32
+}
+
+// NewCentroidScratch returns a scratch for dictionaries of up to dim
+// terms. The scratch grows on demand, so dim is a pre-sizing hint; the
+// zero value (via new(CentroidScratch)) also works.
+func NewCentroidScratch(dim int) *CentroidScratch {
+	return &CentroidScratch{
+		acc:  make([]float64, dim),
+		seen: make([]bool, dim),
+	}
+}
+
+// ensure grows the dense buffers to cover IDs below dim.
+func (s *CentroidScratch) ensure(dim int) {
+	if dim <= len(s.acc) {
+		return
+	}
+	acc := make([]float64, dim)
+	copy(acc, s.acc)
+	s.acc = acc
+	seen := make([]bool, dim)
+	copy(seen, s.seen)
+	s.seen = seen
+}
+
+// Centroid computes the centroid of vs — per-term average weight — by
+// scattering each member into the dense accumulator in member order and
+// gathering the touched IDs back in ascending order. The result is
+// bit-identical to the string-path Centroid (fold of Add over members,
+// then Scale): the dense cells accumulate each term's weights in the
+// same member order the Add-fold does (a term's first contribution lands
+// on an exact 0.0, and x+0 ≡ x), and the final multiply by 1/len(vs)
+// mirrors Scale. The centroid of an empty slice is the zero vector.
+func (s *CentroidScratch) Centroid(vs []IDVec) IDVec {
+	if len(vs) == 0 {
+		return IDVec{}
+	}
+	for _, v := range vs {
+		if n := len(v.IDs); n > 0 {
+			s.ensure(int(v.IDs[n-1]) + 1)
+		}
+		for i, id := range v.IDs {
+			if !s.seen[id] {
+				s.seen[id] = true
+				s.touched = append(s.touched, id)
+			}
+			s.acc[id] += v.Weights[i]
+		}
+	}
+	slices.Sort(s.touched)
+	f := 1 / float64(len(vs))
+	ids := make([]int32, len(s.touched))
+	weights := make([]float64, len(s.touched))
+	var norm float64
+	for i, id := range s.touched {
+		w := s.acc[id] * f
+		ids[i] = id
+		weights[i] = w
+		norm += w * w
+		s.acc[id] = 0
+		s.seen[id] = false
+	}
+	s.touched = s.touched[:0]
+	return IDVec{IDs: ids, Weights: weights, norm: math.Sqrt(norm)}
+}
+
+// CentroidInterned is the one-shot convenience over a fresh scratch, for
+// callers outside the iterated K-Means loop.
+func CentroidInterned(vs []IDVec, dim int) IDVec {
+	return NewCentroidScratch(dim).Centroid(vs)
+}

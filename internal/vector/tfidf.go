@@ -1,6 +1,9 @@
 package vector
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // TFIDF converts a collection of per-document term counts into normalized
 // TFIDF-weighted vectors using the paper's variant (Section 3.1.2):
@@ -37,6 +40,82 @@ func RawFrequency(docs []map[string]int) []Sparse {
 		out[i] = FromCounts(counts).Normalize()
 	}
 	return out
+}
+
+// TFIDFInterned is TFIDF straight into ID space: one Dict over the
+// collection vocabulary, per-term IDF precomputed once per ID, and each
+// document emitted as an IDVec with its norm cached. The weights are
+// bit-identical to TFIDF's — the IDF quotient, the log(tf+1) multiply,
+// and the normalization all use the same arithmetic in the same
+// (ascending-term ≡ ascending-ID) order.
+func TFIDFInterned(docs []map[string]int) Interned {
+	df := DocumentFrequencies(docs)
+	d := DictFromDF(df)
+	n := float64(len(docs))
+	idf := make([]float64, d.Len())
+	for id, term := range d.terms {
+		idf[id] = math.Log((n + 1) / float64(df[term]))
+	}
+	vecs := make([]IDVec, len(docs))
+	for i, counts := range docs {
+		ids := docIDs(d, counts)
+		weights := make([]float64, len(ids))
+		for j, id := range ids {
+			tf := counts[d.terms[id]]
+			weights[j] = math.Log(float64(tf)+1) * idf[id]
+		}
+		normalizeWeights(weights)
+		vecs[i] = NewIDVec(ids, weights)
+	}
+	return Interned{Dict: d, Vecs: vecs}
+}
+
+// RawFrequencyInterned is RawFrequency straight into ID space, against
+// one shared Dict; bit-identical weights to the string path.
+func RawFrequencyInterned(docs []map[string]int) Interned {
+	d := DictFromDF(DocumentFrequencies(docs))
+	vecs := make([]IDVec, len(docs))
+	for i, counts := range docs {
+		ids := docIDs(d, counts)
+		weights := make([]float64, len(ids))
+		for j, id := range ids {
+			weights[j] = float64(counts[d.terms[id]])
+		}
+		normalizeWeights(weights)
+		vecs[i] = NewIDVec(ids, weights)
+	}
+	return Interned{Dict: d, Vecs: vecs}
+}
+
+// docIDs interns one document's terms as a sorted ID list. Every term is
+// in the dictionary by construction (the Dict covers the collection's DF
+// table).
+func docIDs(d *Dict, counts map[string]int) []int32 {
+	ids := make([]int32, 0, len(counts))
+	for term := range counts {
+		if id, ok := d.ids[term]; ok {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// normalizeWeights scales weights to unit L2 norm in place, matching
+// Sparse.Normalize bit for bit (same summation and division order; all
+// zeros are left unchanged).
+func normalizeWeights(weights []float64) {
+	var s float64
+	for _, w := range weights {
+		s += w * w
+	}
+	n := math.Sqrt(s)
+	if n == 0 { //thorlint:allow no-float-eq the zero vector has an exactly zero norm
+		return
+	}
+	for i, w := range weights {
+		weights[i] = w / n
+	}
 }
 
 // DocumentFrequencies returns, for every term appearing in docs, the number
