@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -51,8 +53,14 @@ func extractHandler(m *core.Model) http.Handler {
 			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
 			return
 		}
-		pagelets, err := m.Apply(&corpus.Page{HTML: string(body)})
+		pagelets, err := m.ApplyContext(r.Context(), &corpus.Page{HTML: string(body)})
 		if err != nil {
+			// A canceled or timed-out request is the client's doing, not a
+			// model failure; answer 503 so retries are meaningful.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}

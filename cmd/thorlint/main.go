@@ -1,20 +1,27 @@
 // Command thorlint runs THOR's static-analysis pass: a stdlib-only
-// analyzer enforcing the determinism and numeric invariants the
-// reproduction depends on (seeded randomness, no exact float
-// comparison, no discarded errors, no panics or stray output in
-// library code).
+// analyzer enforcing the determinism, concurrency, and numeric
+// invariants the reproduction depends on (seeded randomness, no exact
+// float comparison, no discarded errors, no panics or stray output in
+// library code, ordered map iteration, supervised goroutines,
+// wallclock- and global-rand-free deterministic zones, sync.Pool
+// hygiene, and context threading in server code).
 //
 // Usage:
 //
-//	thorlint ./...              # lint the whole module
-//	thorlint ./internal/...     # lint a subtree
-//	thorlint ./internal/core    # lint one package
-//	thorlint -rules             # print the rule catalog
+//	thorlint ./...                         # lint the whole module
+//	thorlint ./internal/...                # lint a subtree
+//	thorlint -rules                        # print the rule catalog
+//	thorlint -format json ./...            # machine-readable report
+//	thorlint -enable no-wallclock ./...    # run a single rule
+//	thorlint -scope ctx-first=./cmd/... ./...
+//	thorlint -baseline lint-baseline.json ./...
+//	thorlint -write-baseline lint-baseline.json ./...
+//	thorlint -fix ./...                    # print map-range rewrites (dry run)
 //
-// Findings are printed one per line as "file:line: rule-id: message"
-// (paths relative to the module root) and the exit status is non-zero
-// if there are any. Suppress an individual finding with a line
-// directive, reason mandatory:
+// Error-level findings always gate; warn-level findings gate unless
+// recorded in the committed baseline. Exit status is 1 when blocking
+// findings remain, 2 on operational error, 0 otherwise. Suppress an
+// individual finding with a line directive, reason mandatory:
 //
 //	//thorlint:allow <rule-id> <reason>
 package main
@@ -23,24 +30,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+	"time"
 
 	"thor/internal/lint"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
-	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	var (
+		listRules     = flag.Bool("rules", false, "print the rule catalog and exit")
+		format        = flag.String("format", "text", "output format: text or json")
+		enable        = flag.String("enable", "", "comma-separated rule ids to run exclusively")
+		disable       = flag.String("disable", "", "comma-separated rule ids to skip")
+		baselinePath  = flag.String("baseline", "", "tolerate warn-level findings listed in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "write current warn-level findings to this baseline file and exit")
+		fix           = flag.Bool("fix", false, "print suggested rewrites for no-map-range-order findings (dry run, no files modified)")
+		workers       = flag.Int("workers", 0, "package-loading workers (0 = GOMAXPROCS)")
+		scopes        multiFlag
+	)
+	flag.Var(&scopes, "scope", "restrict a rule to packages: rule-id=./pattern/... (repeatable)")
 	flag.Parse()
 
 	rules := lint.AllRules()
 	if *listRules {
 		for _, r := range rules {
-			fmt.Printf("%-20s %s\n", r.ID(), r.Doc())
+			fmt.Printf("%-22s %-5s  %s\n", r.ID(), r.Severity(), r.Doc())
 		}
 		return
 	}
 
+	opts := lint.Options{
+		Enable:  splitList(*enable),
+		Disable: splitList(*disable),
+	}
+	for _, s := range scopes {
+		id, pat, ok := strings.Cut(s, "=")
+		if !ok {
+			fatal(fmt.Errorf("malformed -scope %q, want rule-id=./pattern", s))
+		}
+		if opts.Scope == nil {
+			opts.Scope = make(map[string][]string)
+		}
+		opts.Scope[id] = append(opts.Scope[id], pat)
+	}
+
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -53,28 +97,90 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loader.Workers = *workers
 	pkgs, err := loader.Module(flag.Args()...)
 	if err != nil {
 		fatal(err)
 	}
 
-	findings := lint.Run(pkgs, rules)
-	for _, f := range findings {
-		fmt.Println(relativize(root, f).String())
+	if *fix {
+		n, err := lint.WriteSuggestions(os.Stdout, root, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "thorlint: %d suggested rewrite(s); no files were modified\n", n)
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "thorlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	findings, err := lint.RunOpts(pkgs, rules, opts)
+	if err != nil {
+		fatal(err)
+	}
+	findings = lint.RelativizeFindings(root, findings)
+	runtimeMS := time.Since(start).Milliseconds()
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(findings)
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := b.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "thorlint: wrote %d warn-level finding(s) to %s\n", len(b.Findings), *writeBaseline)
+		return
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	blocking, baselined := lint.ApplyBaseline(findings, baseline)
+
+	switch *format {
+	case "json":
+		rep := lint.NewReport(loader.ModPath, len(pkgs), runtimeMS, findings, baseline)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "text":
+		for _, f := range blocking {
+			fmt.Println(f.String())
+		}
+		for _, f := range baselined {
+			fmt.Printf("%s [baselined]\n", f.String())
+		}
+	default:
+		fatal(fmt.Errorf("unknown -format %q, want text or json", *format))
+	}
+
+	fmt.Fprintf(os.Stderr, "thorlint: %d blocking, %d baselined finding(s) in %d package(s) in %dms\n",
+		len(blocking), len(baselined), len(pkgs), runtimeMS)
+	if len(blocking) > 0 {
 		os.Exit(1)
 	}
 }
 
-// relativize rewrites the finding's filename relative to the module
-// root for stable, clickable output.
-func relativize(root string, f lint.Finding) lint.Finding {
-	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		f.Pos.Filename = rel
+// splitList parses a comma-separated flag value into ids.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
 	}
-	return f
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

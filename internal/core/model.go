@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"thor/internal/corpus"
@@ -82,6 +83,19 @@ func (m *Model) Training() *Result { return m.training }
 // similarities — and the chosen cluster — are bit-identical to running
 // the string kernels over Vectorize's output, unseen terms and all.
 func (m *Model) Apply(page *corpus.Page) ([]*Pagelet, error) {
+	return m.ApplyContext(context.Background(), page)
+}
+
+// ApplyContext is Apply with caller-controlled cancellation: the serve
+// handler threads each request's context here so an abandoned request
+// stops before the extraction work runs. Extraction itself is
+// deterministic CPU work with no further blocking points, so one check
+// up front suffices; a ctx error is returned verbatim for the caller to
+// map onto its transport (the HTTP handler answers 503).
+func (m *Model) ApplyContext(ctx context.Context, page *corpus.Page) ([]*Pagelet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if page == nil {
 		return nil, fmt.Errorf("core: Apply on nil page")
 	}

@@ -20,6 +20,7 @@ package deepweb
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"thor/internal/probe"
@@ -172,8 +173,13 @@ func genValue(kind FieldKind, vocab vocabulary, rng *rand.Rand) string {
 func (db *Database) buildIndex() {
 	for i, rec := range db.Records {
 		seen := make(map[string]bool)
-		for _, val := range rec {
-			for _, tok := range strings.Fields(strings.ToLower(val)) {
+		fields := make([]string, 0, len(rec))
+		for f := range rec {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			for _, tok := range strings.Fields(strings.ToLower(rec[f])) {
 				tok = strings.Trim(tok, "$.,")
 				if tok == "" || seen[tok] {
 					continue

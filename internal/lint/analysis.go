@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is thorlint's shared dataflow-lite analysis layer. It gives
+// the determinism rule family two facts no single AST pass can see:
+//
+//   - which functions live in a "deterministic zone" — the code whose
+//     output must be bit-identical at any worker count. Membership comes
+//     from a default package set (the clustering spine) plus opt-in
+//     //thorlint:deterministic directives on a package clause or a
+//     function declaration;
+//
+//   - a one-level call graph, resolved through go/types, so a rule can
+//     flag a violation one call away from the zone: a deterministic
+//     function calling a same-package helper taints the helper, and the
+//     helper's wall-clock or global-rand use is reported even though the
+//     zone function itself looks clean.
+//
+// The analysis is deliberately intra-package: each package is
+// type-checked against export data only, so cross-package reachability
+// stops at the boundary — which is exactly where the default zone set
+// takes over (every function of a zone package is deterministic, so a
+// cross-package call from core into vector lands in a zone again).
+
+// DefaultDetZones lists the module-relative package subtrees that are
+// deterministic zones without any directive: the probe→cluster→extract
+// spine whose bit-identical output the CI determinism matrix pins
+// dynamically.
+var DefaultDetZones = []string{
+	"internal/core",
+	"internal/cluster",
+	"internal/vector",
+	"internal/synth",
+}
+
+// FuncFacts is what the analysis knows about one declared function.
+type FuncFacts struct {
+	// Decl is the declaration the facts describe.
+	Decl *ast.FuncDecl
+	// Callees are the statically resolved same-package functions the
+	// body calls (including calls inside function literals), deduped in
+	// first-call order — the one-level call graph edge set.
+	Callees []*types.Func
+	// Tagged reports a //thorlint:deterministic directive on the
+	// declaration itself.
+	Tagged bool
+	// Det reports direct deterministic-zone membership: a default-set
+	// or directive-tagged package, or a tagged declaration.
+	Det bool
+	// Reach reports that the function is reachable from the zone within
+	// one call level: Det, or called directly by a Det function of the
+	// same package.
+	Reach bool
+	// DetCaller names one deterministic function whose call makes Reach
+	// true when the function is not itself Det (nil otherwise). Used in
+	// messages so a transitive finding says who drags the helper into
+	// the zone.
+	DetCaller *types.Func
+}
+
+// Analysis holds the per-package facts the determinism rule family
+// shares. Build it with Package.Analysis, which memoizes.
+type Analysis struct {
+	pkg    *Package
+	pkgDet bool
+	funcs  map[*types.Func]*FuncFacts
+	// order keeps funcs in source order for deterministic iteration.
+	order []*types.Func
+}
+
+// Analysis returns the package's memoized analysis layer.
+func (p *Package) Analysis() *Analysis {
+	p.analysisOnce.Do(func() { p.analysis = analyze(p) })
+	return p.analysis
+}
+
+// PkgDeterministic reports whether the whole package is a deterministic
+// zone (default set or package-clause directive).
+func (a *Analysis) PkgDeterministic() bool { return a.pkgDet }
+
+// Facts returns the facts for a declared function of the package, or
+// nil for functions the package does not declare.
+func (a *Analysis) Facts(fn *types.Func) *FuncFacts { return a.funcs[fn] }
+
+// Funcs iterates the package's declared functions in source order.
+func (a *Analysis) Funcs() []*types.Func { return a.order }
+
+// HasZone reports whether any function of the package is in a
+// deterministic zone — the cheap pre-check zone rules use to skip
+// packages entirely outside the zone model.
+func (a *Analysis) HasZone() bool {
+	if a.pkgDet {
+		return true
+	}
+	for _, fn := range a.order {
+		if a.funcs[fn].Det {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the declared function whose body spans pos, or
+// nil when pos sits outside every declaration (package-level values).
+// Function literals attribute to the declaration that lexically holds
+// them: a violation inside a worker closure belongs to the function
+// that built the closure.
+func (a *Analysis) EnclosingFunc(pos token.Pos) *types.Func {
+	for _, fn := range a.order {
+		d := a.funcs[fn].Decl
+		if d.Pos() <= pos && pos <= d.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ZoneReason explains, for a Reach function, why the zone model applies
+// — used to build actionable messages.
+func (a *Analysis) ZoneReason(fn *types.Func) string {
+	f := a.funcs[fn]
+	switch {
+	case f == nil:
+		return "outside the analyzed package"
+	case f.Tagged:
+		return fn.Name() + " is tagged //thorlint:deterministic"
+	case a.pkgDet:
+		return "package " + a.pkg.Rel() + " is a deterministic zone"
+	case f.DetCaller != nil:
+		return "called from deterministic function " + f.DetCaller.Name()
+	default:
+		return "outside every deterministic zone"
+	}
+}
+
+// analyze builds the layer: directive scan, per-function call graph,
+// then the one-level reachability closure.
+func analyze(pkg *Package) *Analysis {
+	a := &Analysis{pkg: pkg, funcs: make(map[*types.Func]*FuncFacts)}
+	a.pkgDet = defaultZone(pkg) || pkgTagged(pkg)
+
+	directives := detDirectiveLines(pkg)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts := &FuncFacts{
+				Decl:    fd,
+				Callees: samePkgCallees(pkg, fd),
+				Tagged:  declTagged(pkg, fd, directives),
+			}
+			facts.Det = a.pkgDet || facts.Tagged
+			facts.Reach = facts.Det
+			a.funcs[fn] = facts
+			a.order = append(a.order, fn)
+		}
+	}
+
+	// One-level closure: every same-package callee of a deterministic
+	// function is reachable from the zone.
+	for _, g := range a.order {
+		gf := a.funcs[g]
+		if !gf.Det {
+			continue
+		}
+		for _, callee := range gf.Callees {
+			cf := a.funcs[callee]
+			if cf == nil || cf.Reach {
+				continue
+			}
+			cf.Reach = true
+			cf.DetCaller = g
+		}
+	}
+	return a
+}
+
+// defaultZone reports membership in the default deterministic package
+// set.
+func defaultZone(pkg *Package) bool {
+	rel := strings.TrimPrefix(pkg.Rel(), "./")
+	for _, zone := range DefaultDetZones {
+		if rel == zone || strings.HasPrefix(rel, zone+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgTagged reports a //thorlint:deterministic directive attached to
+// any file's package clause: in the package doc comment, or on the
+// clause's line or the line directly above it.
+func pkgTagged(pkg *Package) bool {
+	for _, file := range pkg.Files {
+		if groupHasDetDirective(file.Doc) {
+			return true
+		}
+		pkgLine := pkg.Fset.Position(file.Package).Line
+		fname := pkg.Fset.Position(file.Package).Filename
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !isDetDirective(c.Text) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				if p.Filename == fname && (p.Line == pkgLine || p.Line == pkgLine-1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// detDirectiveLines collects every //thorlint:deterministic comment
+// position as file:line keys for declaration tagging.
+func detDirectiveLines(pkg *Package) map[string]map[int]bool {
+	lines := make(map[string]map[int]bool)
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !isDetDirective(c.Text) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				if lines[p.Filename] == nil {
+					lines[p.Filename] = make(map[int]bool)
+				}
+				lines[p.Filename][p.Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// declTagged reports a //thorlint:deterministic directive on the
+// declaration: inside its doc comment group, or on the `func` line or
+// the line directly above it.
+func declTagged(pkg *Package, fd *ast.FuncDecl, lines map[string]map[int]bool) bool {
+	if groupHasDetDirective(fd.Doc) {
+		return true
+	}
+	p := pkg.Fset.Position(fd.Pos())
+	byLine := lines[p.Filename]
+	return byLine != nil && (byLine[p.Line] || byLine[p.Line-1])
+}
+
+// groupHasDetDirective scans one comment group for the directive.
+func groupHasDetDirective(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if isDetDirective(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDetDirective matches "//thorlint:deterministic", optionally
+// followed by explanatory text.
+func isDetDirective(text string) bool {
+	rest, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return false
+	}
+	rest, ok = strings.CutPrefix(strings.TrimSpace(rest), directivePrefix+detDirectiveName)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+// samePkgCallees resolves the declaration's direct same-package
+// callees in first-call order, deduped.
+func samePkgCallees(pkg *Package, fd *ast.FuncDecl) []*types.Func {
+	if fd.Body == nil {
+		return nil
+	}
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() != pkg.Types || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// fixtureFunc finds a declared function of the package by name through
+// the analysis layer.
+func fixtureFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	for _, fn := range pkg.Analysis().Funcs() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("package %s declares no function %q", pkg.Path, name)
+	return nil
+}
+
+// TestZoneReachability is the table-driven contract of the analysis
+// layer on the detzones fixture: direct directive tagging, one-level
+// transitive reach with caller provenance, the two-level cutoff, and
+// the untouched bystander.
+func TestZoneReachability(t *testing.T) {
+	pkg := loadFixture(t, "detzones")
+	a := pkg.Analysis()
+	if a.PkgDeterministic() {
+		t.Fatal("detzones must not be package-deterministic; only one function is tagged")
+	}
+	if !a.HasZone() {
+		t.Fatal("detzones has a tagged function; HasZone must be true")
+	}
+	cases := []struct {
+		fn        string
+		tagged    bool
+		det       bool
+		reach     bool
+		detCaller string // "" = none
+	}{
+		{"Tagged", true, true, true, ""},
+		{"helper", false, false, true, "Tagged"},
+		{"deep", false, false, false, ""},
+		{"Bystander", false, false, false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			facts := a.Facts(fixtureFunc(t, pkg, tc.fn))
+			if facts == nil {
+				t.Fatal("no facts")
+			}
+			if facts.Tagged != tc.tagged {
+				t.Errorf("Tagged = %v, want %v", facts.Tagged, tc.tagged)
+			}
+			if facts.Det != tc.det {
+				t.Errorf("Det = %v, want %v", facts.Det, tc.det)
+			}
+			if facts.Reach != tc.reach {
+				t.Errorf("Reach = %v, want %v", facts.Reach, tc.reach)
+			}
+			caller := ""
+			if facts.DetCaller != nil {
+				caller = facts.DetCaller.Name()
+			}
+			if caller != tc.detCaller {
+				t.Errorf("DetCaller = %q, want %q", caller, tc.detCaller)
+			}
+		})
+	}
+}
+
+// TestPackageDirectiveTagsZone asserts a //thorlint:deterministic on
+// the package clause makes every function deterministic.
+func TestPackageDirectiveTagsZone(t *testing.T) {
+	pkg := loadFixture(t, "wallclock")
+	a := pkg.Analysis()
+	if !a.PkgDeterministic() {
+		t.Fatal("wallclock carries a package-level directive; PkgDeterministic must be true")
+	}
+	for _, fn := range a.Funcs() {
+		if facts := a.Facts(fn); !facts.Det || !facts.Reach {
+			t.Errorf("%s: Det=%v Reach=%v, want both true in a tagged package",
+				fn.Name(), facts.Det, facts.Reach)
+		}
+	}
+}
+
+// TestDefaultZonePackages asserts the real clustering spine is in the
+// default deterministic set — loading the committed internal/core.
+func TestDefaultZonePackages(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Module("./internal/core")
+	if err != nil {
+		t.Fatalf("loading internal/core: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("matched %v", paths(pkgs))
+	}
+	a := pkgs[0].Analysis()
+	if !a.PkgDeterministic() {
+		t.Error("internal/core must be package-deterministic by default")
+	}
+	if !a.HasZone() {
+		t.Error("internal/core must report a zone")
+	}
+}
+
+// TestZoneRulesSkipZonelessPackages asserts the zone rules' cheap
+// pre-check: a package with no zone yields no analysis-family findings
+// even with wall-clock reads present.
+func TestZoneRulesSkipZonelessPackages(t *testing.T) {
+	// ctxfirstclean imports time nowhere, but more to the point has no
+	// zone; run the wallclock rule over a package that reads the clock
+	// outside any zone: wallclockclean's Measure.
+	pkg := loadFixture(t, "wallclockclean")
+	findings := noWallclock{}.Check(pkg)
+	// wallclockclean HAS zones (two tagged funcs); Measure's read must
+	// still be silent because Measure is unreachable from them. The
+	// annotated Stamp read is filtered by Run, not Check, so Check sees
+	// exactly one raw finding: Stamp's own.
+	if len(findings) != 1 {
+		t.Fatalf("raw wallclock findings = %d, want 1 (Stamp's annotated read):\n%s",
+			len(findings), render(findings))
+	}
+	if got := Run([]*Package{pkg}, AllRules()); len(got) != 0 {
+		t.Fatalf("allow directive did not suppress Stamp's read:\n%s", render(got))
+	}
+}

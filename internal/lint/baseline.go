@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is thorlint's machine-readable surface: the JSON report CI
+// consumes and the committed findings baseline (lint-baseline.json).
+//
+// The gating policy lives in ApplyBaseline: error-level findings block
+// unconditionally — they must be fixed or //thorlint:allow-annotated,
+// never baselined — while warn-level findings block only when they are
+// absent from the baseline. Baseline entries match on (rule, file,
+// message), deliberately not on line numbers, so unrelated edits above
+// a known finding do not resurrect it.
+
+// BaselineEntry identifies one tolerated warn-level finding.
+type BaselineEntry struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Msg  string `json:"msg"`
+}
+
+// Baseline is the committed set of tolerated findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineVersion is the current baseline file format version.
+const BaselineVersion = 1
+
+// baselineKey is the line-insensitive identity entries match on.
+func baselineKey(rule, file, msg string) string {
+	return rule + "\x00" + file + "\x00" + msg
+}
+
+// keys builds the lookup set once.
+func (b *Baseline) keys() map[string]bool {
+	set := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		set[baselineKey(e.Rule, e.File, e.Msg)] = true
+	}
+	return set
+}
+
+// NewBaseline builds a baseline from the warn-level findings of a run,
+// sorted and deduped. Error-level findings are deliberately excluded:
+// they must be fixed or annotated, not tolerated.
+func NewBaseline(findings []Finding) *Baseline {
+	seen := make(map[string]bool)
+	b := &Baseline{Version: BaselineVersion, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		if f.Severity != Warn {
+			continue
+		}
+		key := baselineKey(f.Rule, f.Pos.Filename, f.Msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Findings = append(b.Findings, BaselineEntry{Rule: f.Rule, File: f.Pos.Filename, Msg: f.Msg})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// Write serializes the baseline as indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline, rejecting unknown versions.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d, want %d", b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// ReadBaselineFile reads a baseline from disk.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//thorlint:allow no-unchecked-error close-after-read of a file opened read-only has nothing to report
+		_ = f.Close()
+	}()
+	return ReadBaseline(f)
+}
+
+// ApplyBaseline splits findings into the blocking set (every
+// error-level finding, plus warn-level findings absent from the
+// baseline) and the baselined set. A nil baseline tolerates nothing.
+func ApplyBaseline(findings []Finding, b *Baseline) (blocking, baselined []Finding) {
+	var keys map[string]bool
+	if b != nil {
+		keys = b.keys()
+	}
+	for _, f := range findings {
+		if f.Severity == Warn && keys[baselineKey(f.Rule, f.Pos.Filename, f.Msg)] {
+			baselined = append(baselined, f)
+			continue
+		}
+		blocking = append(blocking, f)
+	}
+	return blocking, baselined
+}
+
+// JSONFinding is one finding in the machine-readable report.
+type JSONFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Rule      string `json:"rule"`
+	Severity  string `json:"severity"`
+	Msg       string `json:"msg"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// Finding converts the JSON form back into a Finding — the round-trip
+// CI's baseline comparator relies on.
+func (jf JSONFinding) Finding() (Finding, error) {
+	sev, err := ParseSeverity(jf.Severity)
+	if err != nil {
+		return Finding{}, err
+	}
+	f := Finding{Rule: jf.Rule, Severity: sev, Msg: jf.Msg}
+	f.Pos.Filename = jf.File
+	f.Pos.Line = jf.Line
+	return f, nil
+}
+
+// Report is thorlint's -format json output.
+type Report struct {
+	Module    string        `json:"module"`
+	Packages  int           `json:"packages"`
+	RuntimeMS int64         `json:"runtime_ms"`
+	Errors    int           `json:"errors"`
+	Warns     int           `json:"warns"`
+	Baselined int           `json:"baselined"`
+	Blocking  int           `json:"blocking"`
+	Findings  []JSONFinding `json:"findings"`
+}
+
+// NewReport assembles the JSON report for a run whose findings were
+// already relativized to the module root.
+func NewReport(module string, packages int, runtimeMS int64, findings []Finding, b *Baseline) Report {
+	rep := Report{
+		Module:    module,
+		Packages:  packages,
+		RuntimeMS: runtimeMS,
+		Findings:  make([]JSONFinding, 0, len(findings)),
+	}
+	baselinedKeys := map[string]bool{}
+	if b != nil {
+		baselinedKeys = b.keys()
+	}
+	for _, f := range findings {
+		jf := JSONFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			Msg:      f.Msg,
+		}
+		switch f.Severity {
+		case Warn:
+			rep.Warns++
+			jf.Baselined = baselinedKeys[baselineKey(f.Rule, f.Pos.Filename, f.Msg)]
+		default:
+			rep.Errors++
+		}
+		if jf.Baselined {
+			rep.Baselined++
+		} else {
+			rep.Blocking++
+		}
+		rep.Findings = append(rep.Findings, jf)
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented for diff-friendly CI logs.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a -format json report.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("lint: parsing report: %w", err)
+	}
+	return rep, nil
+}
+
+// RelativizeFindings rewrites finding filenames relative to the module
+// root, the stable form baselines and reports use.
+func RelativizeFindings(root string, findings []Finding) []Finding {
+	out := make([]Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func mkFinding(file string, line int, rule, msg string, sev Severity) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line},
+		Rule:     rule,
+		Severity: sev,
+		Msg:      msg,
+	}
+}
+
+// TestApplyBaselineGating pins the gating policy: errors always block,
+// baselined warns pass, unbaselined warns block, and matching is
+// line-insensitive.
+func TestApplyBaselineGating(t *testing.T) {
+	warnOld := mkFinding("cmd/x/main.go", 10, "no-bare-go", "bare go statement", Warn)
+	warnNew := mkFinding("cmd/x/main.go", 20, "ctx-first", "blocking call without ctx", Warn)
+	errFinding := mkFinding("internal/y/y.go", 5, "no-wallclock", "time.Now in zone", Error)
+
+	b := NewBaseline([]Finding{warnOld, errFinding})
+	if len(b.Findings) != 1 {
+		t.Fatalf("baseline holds %d entries, want 1 (errors must never be baselined)", len(b.Findings))
+	}
+
+	// The same warn on a different line still matches.
+	warnMoved := warnOld
+	warnMoved.Pos.Line = 99
+
+	blocking, baselined := ApplyBaseline([]Finding{warnMoved, warnNew, errFinding}, b)
+	if len(baselined) != 1 || baselined[0].Rule != "no-bare-go" {
+		t.Fatalf("baselined = %v, want just the moved no-bare-go warn", baselined)
+	}
+	if len(blocking) != 2 {
+		t.Fatalf("blocking = %v, want the new warn and the error", blocking)
+	}
+
+	// An error listed in a hand-edited baseline must still block.
+	forged := &Baseline{Version: BaselineVersion, Findings: []BaselineEntry{
+		{Rule: errFinding.Rule, File: errFinding.Pos.Filename, Msg: errFinding.Msg},
+	}}
+	blocking, baselined = ApplyBaseline([]Finding{errFinding}, forged)
+	if len(blocking) != 1 || len(baselined) != 0 {
+		t.Fatal("a baselined error-severity finding must still block")
+	}
+
+	// A nil baseline tolerates nothing.
+	blocking, _ = ApplyBaseline([]Finding{warnOld}, nil)
+	if len(blocking) != 1 {
+		t.Fatal("nil baseline must block every warn")
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline and reads it back.
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline([]Finding{
+		mkFinding("b.go", 2, "ctx-first", "m2", Warn),
+		mkFinding("a.go", 1, "no-bare-go", "m1", Warn),
+		mkFinding("a.go", 7, "no-bare-go", "m1", Warn), // dup collapses
+	})
+	if len(b.Findings) != 2 {
+		t.Fatalf("want 2 deduped entries, got %d", len(b.Findings))
+	}
+	if b.Findings[0].File != "a.go" {
+		t.Fatalf("entries not sorted by file: %+v", b.Findings)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 2 || back.Findings[0] != b.Findings[0] {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back.Findings, b.Findings)
+	}
+
+	bad := strings.NewReader(`{"version": 99, "findings": []}`)
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Fatal("want error for unknown baseline version")
+	}
+}
+
+// TestReportRoundTrip runs real rules over the baregoserver fixture,
+// serializes the JSON report, reads it back, and feeds the recovered
+// findings through the baseline comparator — the exact CI pipeline.
+func TestReportRoundTrip(t *testing.T) {
+	pkg := loadFixture(t, "baregoserver")
+	findings := Run([]*Package{pkg}, AllRules())
+	if len(findings) != 1 || findings[0].Severity != Warn {
+		t.Fatalf("baregoserver must yield exactly one warn finding, got:\n%s", render(findings))
+	}
+
+	b := NewBaseline(findings)
+	rep := NewReport("thor", 1, 42, findings, b)
+	if rep.Warns != 1 || rep.Errors != 0 || rep.Baselined != 1 || rep.Blocking != 0 {
+		t.Fatalf("report counts off: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Module != "thor" || back.RuntimeMS != 42 || len(back.Findings) != 1 {
+		t.Fatalf("report round-trip mismatch: %+v", back)
+	}
+
+	recovered := make([]Finding, 0, len(back.Findings))
+	for _, jf := range back.Findings {
+		f, err := jf.Finding()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered = append(recovered, f)
+	}
+	blocking, baselined := ApplyBaseline(recovered, b)
+	if len(blocking) != 0 || len(baselined) != 1 {
+		t.Fatalf("recovered findings did not re-baseline: blocking=%v baselined=%v", blocking, baselined)
+	}
+
+	// A severity the comparator does not know must fail loudly.
+	if _, err := (JSONFinding{Severity: "fatal"}).Finding(); err == nil {
+		t.Fatal("want error for unknown severity in a report")
+	}
+}
+
+// TestRelativizeFindings pins the module-relative slash-form paths
+// baselines match on.
+func TestRelativizeFindings(t *testing.T) {
+	root := "/work/mod"
+	fs := RelativizeFindings(root, []Finding{
+		mkFinding("/work/mod/internal/a/a.go", 1, "r", "m", Error),
+		mkFinding("/elsewhere/b.go", 2, "r", "m", Error),
+	})
+	if fs[0].Pos.Filename != "internal/a/a.go" {
+		t.Errorf("in-module path = %q", fs[0].Pos.Filename)
+	}
+	if fs[1].Pos.Filename != "/elsewhere/b.go" {
+		t.Errorf("out-of-module path rewritten to %q", fs[1].Pos.Filename)
+	}
+}

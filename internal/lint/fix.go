@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"io"
+	"strings"
+)
+
+// This file implements `thorlint -fix`, a dry-run fixer for
+// no-map-range-order only: for every map range the rule flags it prints
+// the collect-sort-range rewrite at the insertion point, mutating
+// nothing. The output is pinned by a golden test so the suggestions
+// stay stable enough to paste.
+
+// Suggestion is one printable rewrite for a flagged map range.
+type Suggestion struct {
+	// Pos locates the range statement the rewrite replaces.
+	Pos token.Position
+	// Text is the indented, paste-ready rewrite.
+	Text string
+}
+
+// String renders "file:line: suggestion" with the rewrite block
+// indented one tab.
+func (s Suggestion) String() string {
+	return fmt.Sprintf("%s:%d: rewrite the map range to iterate sorted keys:\n%s",
+		s.Pos.Filename, s.Pos.Line, s.Text)
+}
+
+// SuggestMapRangeFixes produces one suggestion per map range
+// no-map-range-order flags in the package (allow-suppressed findings
+// included — the fixer shows the rewrite even where a human justified
+// the status quo, so un-annotating stays cheap).
+func SuggestMapRangeFixes(pkg *Package) []Suggestion {
+	findings := noMapRangeOrder{}.Check(pkg)
+	// One suggestion per range statement: findings are per sink
+	// category, so dedupe on position.
+	seen := make(map[token.Position]bool)
+	var out []Suggestion
+	for _, f := range findings {
+		if seen[f.Pos] {
+			continue
+		}
+		seen[f.Pos] = true
+		if s, ok := suggestAt(pkg, f.Pos); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// suggestAt rebuilds the rewrite for the range statement at pos.
+func suggestAt(pkg *Package, pos token.Position) (Suggestion, bool) {
+	var rs *ast.RangeStmt
+	inspectFiles(pkg, func(n ast.Node) bool {
+		if rs != nil {
+			return false
+		}
+		cand, ok := n.(*ast.RangeStmt)
+		if ok && pkg.Fset.Position(cand.Pos()) == pos {
+			rs = cand
+			return false
+		}
+		return true
+	})
+	if rs == nil {
+		return Suggestion{}, false
+	}
+	t := pkg.Info.TypeOf(rs.X)
+	mt, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return Suggestion{}, false
+	}
+
+	mapExpr := renderExpr(pkg, rs.X)
+	keyVar := "k"
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyVar = id.Name
+	}
+	keyType := types.TypeString(mt.Key(), types.RelativeTo(pkg.Types))
+	sortCall, sortable := sortCallFor(mt.Key(), "keys")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\tkeys := make([]%s, 0, len(%s))\n", keyType, mapExpr)
+	fmt.Fprintf(&b, "\tfor %s := range %s {\n\t\tkeys = append(keys, %s)\n\t}\n", keyVar, mapExpr, keyVar)
+	fmt.Fprintf(&b, "\t%s\n", sortCall)
+	valuePart := ""
+	if rs.Value != nil {
+		if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
+			valuePart = fmt.Sprintf("\n\t\t%s := %s[%s]", id.Name, mapExpr, keyVar)
+		}
+	}
+	fmt.Fprintf(&b, "\tfor _, %s := range keys {%s\n\t\t// … existing body …\n\t}", keyVar, valuePart)
+	if !sortable {
+		b.WriteString("\n\t// (key type is not ordered; supply the comparison in sort.Slice)")
+	}
+	return Suggestion{Pos: pos, Text: b.String()}, true
+}
+
+// sortCallFor picks the idiomatic sort call for a key type.
+func sortCallFor(key types.Type, slice string) (call string, ordered bool) {
+	if basic, ok := key.Underlying().(*types.Basic); ok {
+		switch {
+		case basic.Info()&types.IsString != 0:
+			return fmt.Sprintf("sort.Strings(%s)", slice), true
+		case basic.Kind() == types.Int:
+			return fmt.Sprintf("sort.Ints(%s)", slice), true
+		case basic.Kind() == types.Float64:
+			return fmt.Sprintf("sort.Float64s(%s)", slice), true
+		case basic.Info()&(types.IsInteger|types.IsFloat) != 0:
+			return fmt.Sprintf("slices.Sort(%s)", slice), true
+		}
+	}
+	return fmt.Sprintf("sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })",
+		slice, slice, slice), false
+}
+
+// renderExpr prints an expression as source.
+func renderExpr(pkg *Package, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pkg.Fset, e); err != nil {
+		return "m"
+	}
+	return buf.String()
+}
+
+// WriteSuggestions renders every suggestion for the packages, findings
+// relativized to root, returning how many were printed.
+func WriteSuggestions(w io.Writer, root string, pkgs []*Package) (int, error) {
+	n := 0
+	for _, pkg := range pkgs {
+		for _, s := range SuggestMapRangeFixes(pkg) {
+			rel := RelativizeFindings(root, []Finding{{Pos: s.Pos}})
+			s.Pos = rel[0].Pos
+			if _, err := fmt.Fprintf(w, "%s\n", s); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuggestMapRangeFixesGolden pins the -fix dry-run output for the
+// maprange fixture against a committed golden file, so the suggested
+// rewrites stay paste-ready and stable.
+func TestSuggestMapRangeFixesGolden(t *testing.T) {
+	l := sharedLoader(t)
+	pkg := loadFixture(t, "maprange")
+
+	var buf bytes.Buffer
+	n, err := WriteSuggestions(&buf, l.Root, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("got %d suggestions, want 3 (append, output, float accumulation)", n)
+	}
+
+	goldenPath := filepath.Join("testdata", "maprange", "fix.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("suggestions drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}
+
+// TestSuggestionsMutateNothing asserts the dry run leaves the fixture
+// byte-identical — -fix must never write.
+func TestSuggestionsMutateNothing(t *testing.T) {
+	src := filepath.Join("testdata", "maprange", "maprange.go")
+	before, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, "maprange")
+	if got := SuggestMapRangeFixes(pkg); len(got) == 0 {
+		t.Fatal("no suggestions produced")
+	}
+	after, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("suggesting fixes modified the fixture on disk")
+	}
+}
+
+// TestSortCallSelection pins the sort-call choice per key type through
+// the clean fixture's maps plus synthetic suggestions over the red
+// fixture (string keys → sort.Strings with the original key name kept).
+func TestSortCallSelection(t *testing.T) {
+	pkg := loadFixture(t, "maprange")
+	sugs := SuggestMapRangeFixes(pkg)
+	if len(sugs) != 3 {
+		t.Fatalf("got %d suggestions, want 3", len(sugs))
+	}
+	for _, s := range sugs {
+		if !bytes.Contains([]byte(s.Text), []byte("sort.Strings(keys)")) {
+			t.Errorf("suggestion at %v picked the wrong sort for string keys:\n%s", s.Pos, s.Text)
+		}
+	}
+}

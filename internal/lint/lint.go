@@ -24,19 +24,59 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// Severity classifies how a finding gates CI. Error findings always
+// block and must be fixed or //thorlint:allow-annotated; Warn findings
+// block unless they are recorded in the committed findings baseline
+// (lint-baseline.json), so pre-existing warnings don't stall unrelated
+// work while new ones still do.
+type Severity int
+
+const (
+	// Error blocks unconditionally. The zero value, so findings are
+	// errors unless a rule deliberately demotes them.
+	Error Severity = iota
+	// Warn blocks only when the finding is absent from the baseline.
+	Warn
+)
+
+// String returns "error" or "warn".
+func (s Severity) String() string {
+	if s == Warn {
+		return "warn"
+	}
+	return "error"
+}
+
+// ParseSeverity is the inverse of String.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "error":
+		return Error, nil
+	case "warn":
+		return Warn, nil
+	}
+	return Error, fmt.Errorf("lint: unknown severity %q", s)
+}
 
 // Finding is one rule violation at a source position.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos      token.Position
+	Rule     string
+	Severity Severity
+	Msg      string
 }
 
 // String renders the finding in the canonical "file:line: rule-id:
-// message" form.
+// message" form; warn-level findings carry a trailing "[warn]" marker.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	suffix := ""
+	if f.Severity == Warn {
+		suffix = " [warn]"
+	}
+	return fmt.Sprintf("%s:%d: %s: %s%s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg, suffix)
 }
 
 // Package is one type-checked package of the module, the unit rules
@@ -54,12 +94,24 @@ type Package struct {
 	Files  []*ast.File
 	Types  *types.Package
 	Info   *types.Info
+
+	analysisOnce sync.Once
+	analysis     *Analysis
 }
 
 // Internal reports whether the package is library code under
 // <module>/internal/.
 func (p *Package) Internal() bool {
 	return strings.HasPrefix(p.Path, p.Module+"/internal/")
+}
+
+// Rel returns the package directory relative to the module root in the
+// "./x/y" form package-scoping patterns match against.
+func (p *Package) Rel() string {
+	if p.Path == p.Module {
+		return "."
+	}
+	return "./" + strings.TrimPrefix(p.Path, p.Module+"/")
 }
 
 // findingf builds a Finding for a position inside the package.
@@ -74,6 +126,10 @@ type Rule interface {
 	ID() string
 	// Doc is a one-line description for the rule catalog.
 	Doc() string
+	// Severity is the rule's default severity in the catalog. Rules may
+	// demote individual findings to Warn for structurally accommodated
+	// contexts (e.g. supervised server goroutines).
+	Severity() Severity
 	// Check reports this rule's findings for one package.
 	Check(pkg *Package) []Finding
 }
@@ -83,19 +139,109 @@ type Rule interface {
 // suppressed.
 const DirectiveRule = "directive"
 
+// Options select and scope the rules a run executes.
+type Options struct {
+	// Enable, when non-empty, runs only the listed rule ids.
+	Enable []string
+	// Disable skips the listed rule ids (applied after Enable).
+	Disable []string
+	// Scope restricts a rule to packages matching the listed go-style
+	// patterns ("./internal/...", "./cmd/thor") relative to the module
+	// root. Rules without an entry run everywhere.
+	Scope map[string][]string
+}
+
+// filter returns the subset of rules the options select, rejecting
+// unknown rule ids so a typo in -enable fails loudly.
+func (o Options) filter(rules []Rule) ([]Rule, error) {
+	byID := make(map[string]Rule, len(rules))
+	for _, r := range rules {
+		byID[r.ID()] = r
+	}
+	for id := range o.Scope {
+		if byID[id] == nil {
+			return nil, fmt.Errorf("lint: scope names unknown rule %q", id)
+		}
+	}
+	keep := rules
+	if len(o.Enable) > 0 {
+		keep = keep[:0:0]
+		for _, id := range o.Enable {
+			r, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("lint: -enable names unknown rule %q", id)
+			}
+			keep = append(keep, r)
+		}
+	}
+	if len(o.Disable) > 0 {
+		drop := make(map[string]bool, len(o.Disable))
+		for _, id := range o.Disable {
+			if byID[id] == nil {
+				return nil, fmt.Errorf("lint: -disable names unknown rule %q", id)
+			}
+			drop[id] = true
+		}
+		kept := make([]Rule, 0, len(keep))
+		for _, r := range keep {
+			if !drop[r.ID()] {
+				kept = append(kept, r)
+			}
+		}
+		keep = kept
+	}
+	return keep, nil
+}
+
+// inScope reports whether a rule runs on the package under the options'
+// scoping patterns.
+func (o Options) inScope(rule string, pkg *Package) bool {
+	pats := o.Scope[rule]
+	if len(pats) == 0 {
+		return true
+	}
+	rel := pkg.Rel()
+	for _, pat := range pats {
+		if matchPattern(rel, pat) {
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes every rule over every package, applies the
 // //thorlint:allow directives, and returns the surviving findings
 // sorted by position.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	findings, err := RunOpts(pkgs, rules, Options{})
+	if err != nil {
+		// Unreachable: zero Options never reference a rule id.
+		//thorlint:allow no-panic-in-lib zero Options cannot fail validation; this guards the invariant
+		panic(err)
+	}
+	return findings
+}
+
+// RunOpts is Run with rule selection and package scoping. Allow
+// directives naming any rule of the full set stay valid even when the
+// rule is disabled for the run.
+func RunOpts(pkgs []*Package, rules []Rule, opts Options) ([]Finding, error) {
 	known := make(map[string]bool, len(rules))
 	for _, r := range rules {
 		known[r.ID()] = true
+	}
+	active, err := opts.filter(rules)
+	if err != nil {
+		return nil, err
 	}
 	var all []Finding
 	for _, pkg := range pkgs {
 		allows, bad := collectDirectives(pkg, known)
 		all = append(all, bad...)
-		for _, r := range rules {
+		for _, r := range active {
+			if !opts.inScope(r.ID(), pkg) {
+				continue
+			}
 			for _, f := range r.Check(pkg) {
 				if !allows.allowed(r.ID(), f.Pos) {
 					all = append(all, f)
@@ -116,7 +262,7 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
-	return all
+	return all, nil
 }
 
 // allowSet records, per file and line, which rule ids an allow
@@ -141,14 +287,18 @@ func (s allowSet) allowed(rule string, pos token.Position) bool {
 	return s[pos.Filename][pos.Line][rule]
 }
 
-const allowPrefix = "thorlint:allow"
+const (
+	allowPrefix      = "thorlint:allow"
+	directivePrefix  = "thorlint:"
+	detDirectiveName = "deterministic"
+)
 
 // collectDirectives scans a package's comments for //thorlint:allow
 // directives. A well-formed directive suppresses the named rule on its
 // own line and the line directly below (so it can sit at the end of the
 // offending line or on its own line above it). Malformed directives —
-// unknown rule id or missing reason — are returned as findings under
-// DirectiveRule.
+// unknown rule id, missing reason, or an unknown thorlint: verb — are
+// returned as findings under DirectiveRule.
 func collectDirectives(pkg *Package, known map[string]bool) (allowSet, []Finding) {
 	allows := make(allowSet)
 	var bad []Finding
@@ -162,6 +312,16 @@ func collectDirectives(pkg *Package, known map[string]bool) (allowSet, []Finding
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, allowPrefix)
 				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					// Not an allow directive; reject unknown thorlint: verbs
+					// so a typo like //thorlint:determinstic cannot silently
+					// tag nothing.
+					if verb, isDir := strings.CutPrefix(text, directivePrefix); isDir {
+						word := strings.Fields(verb)
+						if len(word) > 0 && word[0] != detDirectiveName {
+							bad = append(bad, pkg.findingf(c.Pos(), DirectiveRule,
+								"unknown thorlint directive %q", directivePrefix+word[0]))
+						}
+					}
 					continue
 				}
 				fields := strings.Fields(rest)

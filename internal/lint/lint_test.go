@@ -64,6 +64,13 @@ func TestFixturesFire(t *testing.T) {
 		{"panicinlib", "no-panic-in-lib", 1},
 		{"strayoutput", "no-stray-output", 3},
 		{"baddirective", DirectiveRule, 2},
+		{"maprange", "no-map-range-order", 3},
+		{"barego", "no-bare-go", 2},
+		{"baregoserver", "no-bare-go", 1},
+		{"wallclock", "no-wallclock", 2},
+		{"globalrand", "no-global-rand-in-det", 1},
+		{"poolhygiene", "pool-hygiene", 3},
+		{"ctxfirst", "ctx-first", 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -82,18 +89,103 @@ func TestFixturesFire(t *testing.T) {
 	}
 }
 
-// TestCleanFixtureSilent asserts the clean fixture — which exercises
-// seeded rand, epsilon comparison, in-memory writers, and annotated
-// panics/discards — produces no findings.
-func TestCleanFixtureSilent(t *testing.T) {
-	pkg := loadFixture(t, "clean")
-	if findings := Run([]*Package{pkg}, AllRules()); len(findings) != 0 {
-		t.Fatalf("clean fixture not clean:\n%s", render(findings))
+// TestCleanFixturesSilent asserts every green fixture — exercising
+// seeded rand, epsilon comparison, in-memory writers, annotated
+// panics/discards, collect-then-sort map iteration, parallel fan-out,
+// injected clocks, threaded rand sources, paired Get/Put, and threaded
+// contexts — produces no findings.
+func TestCleanFixturesSilent(t *testing.T) {
+	for _, name := range []string{
+		"clean", "maprangeclean", "baregoclean", "wallclockclean",
+		"globalrandclean", "poolhygieneclean", "ctxfirstclean", "detzones",
+	} {
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			if findings := Run([]*Package{pkg}, AllRules()); len(findings) != 0 {
+				t.Fatalf("clean fixture not clean:\n%s", render(findings))
+			}
+		})
 	}
 }
 
-// TestRepoClean asserts the real module is finding-free: the same
-// invariant CI enforces with `go run ./cmd/thorlint ./...`.
+// TestWarnSeverityDemotions asserts the per-finding demotions: a bare
+// goroutine in a net/http package and a ctx-less blocking HTTP call
+// come back at warn severity, while their plain-package counterparts
+// stay errors.
+func TestWarnSeverityDemotions(t *testing.T) {
+	server := loadFixture(t, "baregoserver")
+	fs := Run([]*Package{server}, AllRules())
+	if len(fs) != 1 || fs[0].Severity != Warn {
+		t.Fatalf("baregoserver: want one warn finding, got:\n%s", render(fs))
+	}
+
+	plain := loadFixture(t, "barego")
+	for _, f := range Run([]*Package{plain}, AllRules()) {
+		if f.Severity != Error {
+			t.Errorf("barego finding demoted unexpectedly: %s", f)
+		}
+	}
+
+	var warns, errors int
+	for _, f := range Run([]*Package{loadFixture(t, "ctxfirst")}, AllRules()) {
+		if f.Severity == Warn {
+			warns++
+		} else {
+			errors++
+		}
+	}
+	if warns != 1 || errors != 3 {
+		t.Errorf("ctxfirst: %d warns and %d errors, want 1 and 3", warns, errors)
+	}
+}
+
+// TestRunOpts exercises rule selection and package scoping.
+func TestRunOpts(t *testing.T) {
+	pkg := loadFixture(t, "maprange")
+	rules := AllRules()
+
+	only, err := RunOpts([]*Package{pkg}, rules, Options{Enable: []string{"no-map-range-order"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 3 {
+		t.Fatalf("-enable run found %d findings, want 3:\n%s", len(only), render(only))
+	}
+
+	none, err := RunOpts([]*Package{pkg}, rules, Options{Disable: []string{"no-map-range-order"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("-disable run still found:\n%s", render(none))
+	}
+
+	scoped, err := RunOpts([]*Package{pkg}, rules, Options{
+		Scope: map[string][]string{"no-map-range-order": {"./cmd/..."}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped) != 0 {
+		t.Fatalf("out-of-scope run still found:\n%s", render(scoped))
+	}
+
+	if _, err := RunOpts(nil, rules, Options{Enable: []string{"no-such-rule"}}); err == nil {
+		t.Error("want error for -enable naming an unknown rule")
+	}
+	if _, err := RunOpts(nil, rules, Options{Disable: []string{"no-such-rule"}}); err == nil {
+		t.Error("want error for -disable naming an unknown rule")
+	}
+	if _, err := RunOpts(nil, rules, Options{Scope: map[string][]string{"nope": {"./..."}}}); err == nil {
+		t.Error("want error for -scope naming an unknown rule")
+	}
+}
+
+// TestRepoClean asserts the real module is blocking-finding-free
+// modulo the committed baseline: the same gate CI enforces with
+// `go run ./cmd/thorlint -baseline lint-baseline.json ./...`. Every
+// error-severity finding must be fixed or annotated — the baseline
+// only ever excuses warns.
 func TestRepoClean(t *testing.T) {
 	l := sharedLoader(t)
 	pkgs, err := l.Module()
@@ -103,8 +195,43 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module discovery looks broken", len(pkgs))
 	}
-	if findings := Run(pkgs, AllRules()); len(findings) != 0 {
-		t.Fatalf("repo has %d findings:\n%s", len(findings), render(findings))
+	findings := RelativizeFindings(l.Root, Run(pkgs, AllRules()))
+	for _, f := range findings {
+		if f.Severity == Error {
+			t.Errorf("error-severity finding (never baselineable): %s", f)
+		}
+	}
+	baseline, err := ReadBaselineFile(filepath.Join(l.Root, "lint-baseline.json"))
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	if blocking, _ := ApplyBaseline(findings, baseline); len(blocking) != 0 {
+		t.Fatalf("repo has %d blocking findings:\n%s", len(blocking), render(blocking))
+	}
+}
+
+// TestParallelLoadDeterministic asserts Module returns the same
+// packages in the same order at any worker count — the contract that
+// keeps thorlint's own output stable.
+func TestParallelLoadDeterministic(t *testing.T) {
+	l := sharedLoader(t)
+	base, err := l.Module("./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := &Loader{Root: l.Root, ModPath: l.ModPath, Workers: 1,
+		fset: l.fset, imp: l.imp, exports: l.exports}
+	one, err := serial.Module("./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(one) {
+		t.Fatalf("package count differs across worker counts: %d vs %d", len(base), len(one))
+	}
+	for i := range base {
+		if base[i].Path != one[i].Path {
+			t.Fatalf("package order differs at %d: %s vs %s", i, base[i].Path, one[i].Path)
+		}
 	}
 }
 
@@ -176,12 +303,18 @@ func TestModuleExplicitFixtureDir(t *testing.T) {
 // TestRuleCatalog asserts ids are unique, documented, and stable.
 func TestRuleCatalog(t *testing.T) {
 	want := map[string]bool{
-		"no-unseeded-rand":   true,
-		"no-shared-rand":     true,
-		"no-float-eq":        true,
-		"no-unchecked-error": true,
-		"no-panic-in-lib":    true,
-		"no-stray-output":    true,
+		"no-unseeded-rand":      true,
+		"no-shared-rand":        true,
+		"no-float-eq":           true,
+		"no-unchecked-error":    true,
+		"no-panic-in-lib":       true,
+		"no-stray-output":       true,
+		"no-map-range-order":    true,
+		"no-bare-go":            true,
+		"no-wallclock":          true,
+		"no-global-rand-in-det": true,
+		"pool-hygiene":          true,
+		"ctx-first":             true,
 	}
 	seen := map[string]bool{}
 	for _, r := range AllRules() {

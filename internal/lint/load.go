@@ -14,6 +14,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"thor/internal/parallel"
 )
 
 // Loader parses and type-checks packages of a single module. Each
@@ -27,10 +30,30 @@ type Loader struct {
 	Root string
 	// ModPath is the module path from go.mod.
 	ModPath string
+	// Workers bounds how many packages Module type-checks concurrently;
+	// values below 1 select GOMAXPROCS. Results always come back in
+	// deterministic (sorted-directory) order regardless of the count.
+	Workers int
 
 	fset    *token.FileSet
 	imp     types.Importer
 	exports map[string]string // import path -> export data file
+}
+
+// lockedImporter serializes access to the underlying gc importer. The
+// shared token.FileSet is safe for concurrent use, but the importer's
+// internal package cache is a plain map, so concurrent type-checking
+// must take turns importing. Import time is dwarfed by checking time,
+// so the lock does not serialize the interesting work.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory
@@ -93,13 +116,13 @@ func NewLoader(root string) (*Loader, error) {
 		fset:    token.NewFileSet(),
 		exports: exports,
 	}
-	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+	l.imp = &lockedImporter{imp: importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
 		return os.Open(file)
-	})
+	})}
 	return l, nil
 }
 
@@ -160,13 +183,23 @@ func (l *Loader) Module(patterns ...string) ([]*Package, error) {
 	if len(keep) == 0 {
 		return nil, fmt.Errorf("lint: no packages match %v", patterns)
 	}
+	// Packages are parsed and type-checked concurrently; results land
+	// at their input index, so output order matches the sorted keep
+	// list at any worker count.
+	type loaded struct {
+		pkg *Package
+		err error
+	}
+	results := parallel.Map(len(keep), l.Workers, func(i int) loaded {
+		pkg, err := l.Dir(keep[i], l.importPath(keep[i]))
+		return loaded{pkg, err}
+	})
 	pkgs := make([]*Package, 0, len(keep))
-	for _, dir := range keep {
-		pkg, err := l.Dir(dir, l.importPath(dir))
-		if err != nil {
-			return nil, err
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
 		}
-		pkgs = append(pkgs, pkg)
+		pkgs = append(pkgs, res.pkg)
 	}
 	return pkgs, nil
 }

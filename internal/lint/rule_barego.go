@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// noBareGo forbids bare `go` statements outside internal/parallel.
+// Every fan-out in the pipeline must run through parallel.Map/ForEach,
+// whose bounded, order-preserving workers are what keeps output
+// bit-identical at any worker count; a stray goroutine bypasses that
+// contract and usually leaks besides. Server packages (those importing
+// net/http) get the finding at warn severity: supervised lifecycle
+// goroutines around ListenAndServe are idiomatic there, and the
+// committed baseline or an //thorlint:allow records each one.
+type noBareGo struct{}
+
+func (noBareGo) ID() string { return "no-bare-go" }
+
+func (noBareGo) Severity() Severity { return Error }
+
+func (noBareGo) Doc() string {
+	return "forbid bare go statements outside internal/parallel (warn in net/http server packages)"
+}
+
+// importsNetHTTP reports whether the package directly imports net/http
+// — thorlint's structural definition of a server/crawler package.
+func importsNetHTTP(pkg *Package) bool {
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+func (r noBareGo) Check(pkg *Package) []Finding {
+	if pkg.Path == pkg.Module+"/internal/parallel" {
+		return nil // the one place goroutines are launched on purpose
+	}
+	server := importsNetHTTP(pkg)
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		f := pkg.findingf(stmt.Pos(), r.ID(),
+			"bare go statement bypasses internal/parallel; use parallel.Map/ForEach or annotate a supervised server goroutine")
+		if server {
+			f.Severity = Warn
+		}
+		out = append(out, f)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxFirst enforces context hygiene in server/crawler packages (those
+// importing net/http), where blocking work must stay cancelable before
+// the live-web frontier lands. For exported functions it requires:
+//
+//   - a context.Context parameter, when present, to come first;
+//   - the received context to actually flow: manufacturing a fresh
+//     context.Background()/TODO() inside a ctx-taking function severs
+//     the caller's cancellation, as does reaching for the ctx-less
+//     net/http helpers (http.Get and friends) instead of
+//     http.NewRequestWithContext;
+//   - exported functions that make blocking HTTP calls without any
+//     context parameter are reported at warn severity — existing
+//     surface is baselined, new surface should take a ctx.
+type ctxFirst struct{}
+
+func (ctxFirst) ID() string { return "ctx-first" }
+
+func (ctxFirst) Severity() Severity { return Error }
+
+func (ctxFirst) Doc() string {
+	return "require exported funcs in net/http packages to take ctx first and thread it to blocking calls"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParamIndex returns the position of the first context.Context
+// parameter of the signature, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ctxlessHTTPHelpers are the net/http package-level helpers that cannot
+// carry a context.
+var ctxlessHTTPHelpers = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+// isBlockingHTTPCall reports whether the call performs a blocking HTTP
+// round-trip: a ctx-less package helper or an *http.Client method.
+func isBlockingHTTPCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Client" {
+			return false
+		}
+		switch fn.Name() {
+		case "Do", "Get", "Head", "Post", "PostForm":
+			return true
+		}
+		return false
+	}
+	return ctxlessHTTPHelpers[fn.Name()]
+}
+
+// isFreshContext reports whether the expression manufactures a new
+// root context: context.Background() or context.TODO().
+func isFreshContext(pkg *Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if pkgLevelFunc(fn, "context", "Background") {
+		return "Background", true
+	}
+	if pkgLevelFunc(fn, "context", "TODO") {
+		return "TODO", true
+	}
+	return "", false
+}
+
+func (r ctxFirst) Check(pkg *Package) []Finding {
+	if !importsNetHTTP(pkg) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			idx := ctxParamIndex(sig)
+			if idx < 0 {
+				// No ctx parameter: blocking HTTP calls should grow one.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isBlockingHTTPCall(pkg, call) {
+						return true
+					}
+					f := pkg.findingf(call.Pos(), r.ID(),
+						"exported %s makes a blocking HTTP call but takes no context.Context", fn.Name())
+					f.Severity = Warn // existing surface is baselined; new surface should comply
+					out = append(out, f)
+					return true
+				})
+				continue
+			}
+			if idx != 0 {
+				out = append(out, pkg.findingf(sig.Params().At(idx).Pos(), r.ID(),
+					"context.Context must be the first parameter of exported %s", fn.Name()))
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					if name, fresh := isFreshContext(pkg, arg); fresh {
+						out = append(out, pkg.findingf(arg.Pos(), r.ID(),
+							"%s receives a context but passes context.%s here; thread the caller's ctx",
+							fn.Name(), name))
+					}
+				}
+				if callee := calleeFunc(pkg, call); callee != nil && callee.Pkg() != nil &&
+					callee.Pkg().Path() == "net/http" &&
+					callee.Type().(*types.Signature).Recv() == nil &&
+					ctxlessHTTPHelpers[callee.Name()] {
+					out = append(out, pkg.findingf(call.Pos(), r.ID(),
+						"%s receives a context but http.%s cannot carry it; use http.NewRequestWithContext",
+						fn.Name(), callee.Name()))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

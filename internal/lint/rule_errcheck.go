@@ -17,6 +17,8 @@ import (
 // *bytes.Buffer and *strings.Builder themselves.
 type noUncheckedError struct{}
 
+func (noUncheckedError) Severity() Severity { return Error }
+
 func (noUncheckedError) ID() string { return "no-unchecked-error" }
 
 func (noUncheckedError) Doc() string {

@@ -14,6 +14,8 @@ import (
 // be annotated with //thorlint:allow.
 type noFloatEq struct{}
 
+func (noFloatEq) Severity() Severity { return Error }
+
 func (noFloatEq) ID() string { return "no-float-eq" }
 
 func (noFloatEq) Doc() string {

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noGlobalRandInDet tightens no-unseeded-rand to transitive
+// reachability: a function reachable from a deterministic zone must not
+// call a same-package function whose body draws from the global
+// math/rand source. The direct call inside the callee is
+// no-unseeded-rand's finding; this rule adds one at the zone-side call
+// site, so an //thorlint:allow on the callee (say, a CLI-facing helper
+// with a justified global draw) cannot silently leak nondeterminism
+// back into the zone through a call.
+type noGlobalRandInDet struct{}
+
+func (noGlobalRandInDet) ID() string { return "no-global-rand-in-det" }
+
+func (noGlobalRandInDet) Severity() Severity { return Error }
+
+func (noGlobalRandInDet) Doc() string {
+	return "forbid calls from deterministic zones into functions using the global rand source"
+}
+
+// usesGlobalRand reports whether the declaration's body contains a
+// package-level math/rand call (the no-unseeded-rand predicate).
+func usesGlobalRand(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if fn.Type().(*types.Signature).Recv() != nil || randConstructors[fn.Name()] {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func (r noGlobalRandInDet) Check(pkg *Package) []Finding {
+	a := pkg.Analysis()
+	if !a.HasZone() {
+		return nil
+	}
+	// The tainted set: declared functions whose bodies draw from the
+	// global source.
+	tainted := make(map[*types.Func]bool)
+	for _, fn := range a.Funcs() {
+		if usesGlobalRand(pkg, a.Facts(fn).Decl) {
+			tainted[fn] = true
+		}
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, fn := range a.Funcs() {
+		facts := a.Facts(fn)
+		if !facts.Reach || facts.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(facts.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg, call)
+			if callee == nil || !tainted[callee] {
+				return true
+			}
+			out = append(out, pkg.findingf(call.Pos(), r.ID(),
+				"%s draws from the global rand source and is called from a deterministic zone (%s); thread an explicit *rand.Rand through it",
+				callee.Name(), a.ZoneReason(fn)))
+			return true
+		})
+	}
+	return out
+}

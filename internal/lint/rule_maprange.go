@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noMapRangeOrder flags map ranges whose iteration order leaks into an
+// ordered artifact: appending to a slice that is never sorted
+// afterwards, writing straight to an output (fmt printers, Write*
+// methods, encoders), or accumulating floating-point values (addition
+// is not associative, so map order changes the rounding). The blessed
+// idiom — collect the keys, sort them, range the sorted slice — is
+// recognized: an append target later passed to a sort.* or slices.Sort*
+// call in the same function is exempt. `thorlint -fix` prints the
+// rewrite for each finding.
+type noMapRangeOrder struct{}
+
+func (noMapRangeOrder) ID() string { return "no-map-range-order" }
+
+func (noMapRangeOrder) Severity() Severity { return Error }
+
+func (noMapRangeOrder) Doc() string {
+	return "forbid map iteration order leaking into slices, output, or float accumulation"
+}
+
+// outputMethods are method names whose call inside a map range writes
+// an ordered artifact.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// sortCallNames are the sort/slices package-level functions that
+// establish an order over their (first) argument.
+var sortCallNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+}
+
+func (r noMapRangeOrder) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				out = append(out, r.checkRange(pkg, fd, rs)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkRange scans one map range's body for order-sensitive sinks. One
+// finding is reported per sink category so a loop that both appends and
+// prints is called out once for each hazard.
+func (r noMapRangeOrder) checkRange(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	var unsortedAppend, output, floatAcc bool
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(pkg, n) && len(n.Args) > 0 {
+				target := rootObj(pkg, n.Args[0])
+				if target == nil || !sortedAfter(pkg, fd, rs, target) {
+					unsortedAppend = true
+				}
+				return true
+			}
+			if isOutputCall(pkg, n) {
+				output = true
+			}
+		case *ast.AssignStmt:
+			if isFloatAccumulate(pkg, rs, n) {
+				floatAcc = true
+			}
+		}
+		return true
+	})
+	if unsortedAppend {
+		out = append(out, pkg.findingf(rs.Pos(), r.ID(),
+			"map range feeds append in iteration order; sort the keys first (run thorlint -fix for the rewrite)"))
+	}
+	if output {
+		out = append(out, pkg.findingf(rs.Pos(), r.ID(),
+			"map range writes output in iteration order; sort the keys first (run thorlint -fix for the rewrite)"))
+	}
+	if floatAcc {
+		f := pkg.findingf(rs.Pos(), r.ID(),
+			"float accumulation across a map range depends on iteration order; accumulate over sorted keys")
+		f.Severity = Warn // heuristic: tolerable where the sum feeds nothing persisted
+		out = append(out, f)
+	}
+	return out
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOutputCall reports whether the call writes an ordered artifact: a
+// fmt printer or a Write*/Encode method.
+func isOutputCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if fn.Type().(*types.Signature).Recv() != nil && outputMethods[fn.Name()] {
+		return true
+	}
+	return false
+}
+
+// isFloatAccumulate reports a compound assignment (+=, -=, *=, /=) onto
+// a float-typed target declared outside the range statement.
+func isFloatAccumulate(pkg *Package, rs *ast.RangeStmt, stmt *ast.AssignStmt) bool {
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	for _, lhs := range stmt.Lhs {
+		if !isFloat(pkg.Info.TypeOf(lhs)) {
+			continue
+		}
+		obj := rootObj(pkg, lhs)
+		if obj == nil {
+			return true // unresolvable target: assume it outlives the loop
+		}
+		if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call after the range statement inside the enclosing declaration —
+// the collect-then-sort idiom.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if !sortCallNames[fn.Name()] && !strings.HasPrefix(fn.Name(), "Sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pkg, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -16,6 +16,8 @@ import (
 // report progress.
 type noStrayOutput struct{}
 
+func (noStrayOutput) Severity() Severity { return Error }
+
 func (noStrayOutput) ID() string { return "no-stray-output" }
 
 func (noStrayOutput) Doc() string {

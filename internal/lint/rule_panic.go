@@ -12,6 +12,8 @@ import (
 // is individually justified.
 type noPanicInLib struct{}
 
+func (noPanicInLib) Severity() Severity { return Error }
+
 func (noPanicInLib) ID() string { return "no-panic-in-lib" }
 
 func (noPanicInLib) Doc() string {

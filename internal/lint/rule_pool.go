@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolHygiene checks sync.Pool discipline. A pool's value must stay
+// inside its Get/Put scope: the rule flags a function (declaration or
+// literal — the worker-closure case) that Gets from a pool it never
+// Puts back to, a direct `return pool.Get()` escape, and a Put whose
+// argument type differs from the pool's element type (inferred from the
+// New constructor or from Get type assertions). Pools that hand values
+// across function boundaries by design carry an //thorlint:allow with
+// the justification.
+type poolHygiene struct{}
+
+func (poolHygiene) ID() string { return "pool-hygiene" }
+
+func (poolHygiene) Severity() Severity { return Error }
+
+func (poolHygiene) Doc() string {
+	return "forbid sync.Pool values escaping their Get/Put scope or Puts of a foreign type"
+}
+
+// poolMethod resolves a call to (*sync.Pool).Get or Put, returning the
+// method name and the pool's root object, or "" when the call is
+// something else.
+func poolMethod(pkg *Package, call *ast.CallExpr) (name string, pool types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return "", nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", nil
+	}
+	return fn.Name(), rootObj(pkg, sel.X)
+}
+
+// isSyncPool reports whether t (possibly behind a pointer) is
+// sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// poolElemTypes infers each pool object's element type: the return type
+// of its New constructor literal, or failing that the first Get type
+// assertion seen.
+func poolElemTypes(pkg *Package) map[types.Object]types.Type {
+	elems := make(map[types.Object]types.Type)
+	record := func(obj types.Object, t types.Type) {
+		if obj != nil && t != nil && elems[obj] == nil {
+			elems[obj] = t
+		}
+	}
+	// Pass 1: composite literals with a New field, bound to a variable.
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if t := newFieldElem(pkg, n.Rhs[i]); t != nil {
+						record(rootObj(pkg, n.Lhs[i]), t)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					if t := newFieldElem(pkg, v); t != nil {
+						record(pkg.Info.Defs[n.Names[i]], t)
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: Get assertions fill the gaps.
+	inspectFiles(pkg, func(n ast.Node) bool {
+		ta, ok := n.(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, pool := poolMethod(pkg, call); name == "Get" {
+			record(pool, pkg.Info.TypeOf(ta.Type))
+		}
+		return true
+	})
+	return elems
+}
+
+// typeOfArg returns the static type of a single-argument call's
+// argument, or nil.
+func typeOfArg(pkg *Package, call *ast.CallExpr) types.Type {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	return pkg.Info.TypeOf(call.Args[0])
+}
+
+// newFieldElem returns the element type a sync.Pool composite literal's
+// New constructor produces, or nil.
+func newFieldElem(pkg *Package, e ast.Expr) types.Type {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || !isSyncPool(pkg.Info.TypeOf(lit)) {
+		return nil
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var elem types.Type
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 || elem != nil {
+				return true
+			}
+			elem = pkg.Info.TypeOf(ret.Results[0])
+			return false
+		})
+		return elem
+	}
+	return nil
+}
+
+// scopeUse tallies one function scope's pool traffic. Pools are kept in
+// first-Get order so findings come out deterministically.
+type scopeUse struct {
+	order    []types.Object
+	gets     map[types.Object]*ast.CallExpr // first Get per pool
+	puts     map[types.Object]bool
+	returned map[types.Object]bool // Get escaped via return; already reported
+}
+
+func (r poolHygiene) Check(pkg *Package) []Finding {
+	elems := poolElemTypes(pkg)
+	var out []Finding
+
+	var walkScope func(body *ast.BlockStmt)
+	walkScope = func(body *ast.BlockStmt) {
+		use := scopeUse{
+			gets:     make(map[types.Object]*ast.CallExpr),
+			puts:     make(map[types.Object]bool),
+			returned: make(map[types.Object]bool),
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walkScope(n.Body) // nested scope, analyzed on its own
+				return false
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					e := ast.Unparen(res)
+					if ta, ok := e.(*ast.TypeAssertExpr); ok {
+						e = ast.Unparen(ta.X)
+					}
+					if call, ok := e.(*ast.CallExpr); ok {
+						if name, pool := poolMethod(pkg, call); name == "Get" && pool != nil {
+							out = append(out, pkg.findingf(call.Pos(), r.ID(),
+								"sync.Pool value returned straight from Get escapes its Get/Put scope"))
+							use.returned[pool] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				name, pool := poolMethod(pkg, n)
+				if pool == nil {
+					return true
+				}
+				switch name {
+				case "Get":
+					if use.gets[pool] == nil {
+						use.gets[pool] = n
+						use.order = append(use.order, pool)
+					}
+				case "Put":
+					use.puts[pool] = true
+					if want, got := elems[pool], typeOfArg(pkg, n); want != nil && got != nil {
+						// An any-typed argument is opaque; only flag a
+						// concretely foreign type.
+						if _, iface := got.Underlying().(*types.Interface); !iface && !types.Identical(got, want) {
+							out = append(out, pkg.findingf(n.Pos(), r.ID(),
+								"Put of %s into a pool of %s", got, want))
+						}
+					}
+				}
+			}
+			return true
+		})
+		for _, pool := range use.order {
+			if !use.puts[pool] && !use.returned[pool] {
+				out = append(out, pkg.findingf(use.gets[pool].Pos(), r.ID(),
+					"sync.Pool value obtained here is never Put back in this function; keep Get/Put in one scope or annotate the handoff"))
+			}
+		}
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkScope(fd.Body)
+			}
+		}
+	}
+	return out
+}

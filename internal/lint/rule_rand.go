@@ -12,6 +12,8 @@ import (
 // every method on a *rand.Rand obtained from them.
 type noUnseededRand struct{}
 
+func (noUnseededRand) Severity() Severity { return Error }
+
 func (noUnseededRand) ID() string { return "no-unseeded-rand" }
 
 func (noUnseededRand) Doc() string {

@@ -17,6 +17,8 @@ import (
 // goroutine-spawning helpers parallel.Map and parallel.ForEach.
 type noSharedRand struct{}
 
+func (noSharedRand) Severity() Severity { return Error }
+
 func (noSharedRand) ID() string { return "no-shared-rand" }
 
 func (noSharedRand) Doc() string {

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// noWallclock forbids wall-clock reads — time.Now, time.Since,
+// time.Until — in code reachable from a deterministic zone. A clock
+// read in a build path makes two runs of the same seed differ, the
+// exact failure mode the CI determinism matrix exists to catch
+// dynamically; this rule rejects it structurally, one call level deep:
+// a zone function's same-package helper is tainted too. Timing code
+// that measures a zone from the outside (internal/experiments, the
+// CLIs) is untouched because it is not reachable from a zone.
+type noWallclock struct{}
+
+func (noWallclock) ID() string { return "no-wallclock" }
+
+func (noWallclock) Severity() Severity { return Error }
+
+func (noWallclock) Doc() string {
+	return "forbid time.Now/Since/Until in code reachable from deterministic zones"
+}
+
+// wallclockFuncs are the package-level time functions that read the
+// wall clock.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (r noWallclock) Check(pkg *Package) []Finding {
+	a := pkg.Analysis()
+	if !a.HasZone() {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+			return true
+		}
+		encl := a.EnclosingFunc(call.Pos())
+		if encl == nil {
+			return true
+		}
+		facts := a.Facts(encl)
+		if facts == nil || !facts.Reach {
+			return true
+		}
+		out = append(out, pkg.findingf(call.Pos(), r.ID(),
+			"time.%s reads the wall clock in a deterministic zone (%s); inject a clock or hoist the timing out of the zone",
+			fn.Name(), a.ZoneReason(encl)))
+		return true
+	})
+	return out
+}

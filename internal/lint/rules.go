@@ -5,7 +5,9 @@ import (
 	"go/types"
 )
 
-// AllRules returns the full thorlint rule set in catalog order.
+// AllRules returns the full thorlint rule set in catalog order: the
+// five v1 single-pass rules plus no-shared-rand, then the v2
+// determinism & concurrency family built on the analysis layer.
 func AllRules() []Rule {
 	return []Rule{
 		noUnseededRand{},
@@ -14,7 +16,37 @@ func AllRules() []Rule {
 		noUncheckedError{},
 		noPanicInLib{},
 		noStrayOutput{},
+		noMapRangeOrder{},
+		noBareGo{},
+		noWallclock{},
+		noGlobalRandInDet{},
+		poolHygiene{},
+		ctxFirst{},
 	}
+}
+
+// rootObj resolves the object an lvalue-ish expression ultimately
+// denotes: the identifier's object, a selector's field/var, or the base
+// of an index/star expression. It is the dataflow-lite identity the
+// map-range and pool rules track values by; nil means "too dynamic to
+// follow".
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObj(pkg, e.X)
+	case *ast.StarExpr:
+		return rootObj(pkg, e.X)
+	case *ast.UnaryExpr:
+		return rootObj(pkg, e.X)
+	}
+	return nil
 }
 
 // calleeFunc resolves the statically-known function or method a call

@@ -1,0 +1,18 @@
+// Package barego deliberately violates no-bare-go: it launches raw
+// goroutines instead of going through internal/parallel.
+package barego
+
+// Fire launches an unsupervised goroutine (finding).
+func Fire(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Fanout hand-rolls a fan-out that belongs in parallel.ForEach
+// (finding).
+func Fanout(n int, ch chan int) {
+	for i := 0; i < n; i++ {
+		go send(ch, i)
+	}
+}
+
+func send(ch chan int, v int) { ch <- v }

@@ -1,0 +1,18 @@
+// Package baregoclean stays silent under no-bare-go: fan-out runs
+// through internal/parallel and the one deliberate goroutine carries an
+// annotation.
+package baregoclean
+
+import "thor/internal/parallel"
+
+// Squares fans out through the sanctioned worker pool (no finding).
+func Squares(n int) []int {
+	return parallel.Map(n, 0, func(i int) int { return i * i })
+}
+
+// Watch launches a supervised goroutine with a recorded justification
+// (no finding).
+func Watch(done chan error) {
+	//thorlint:allow no-bare-go supervised: the caller always drains done
+	go func() { done <- nil }()
+}

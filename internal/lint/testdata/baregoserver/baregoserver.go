@@ -1,0 +1,15 @@
+// Package baregoserver exercises no-bare-go's severity demotion: it
+// imports net/http, so its bare goroutine is reported at warn severity
+// — the supervised-lifecycle idiom server packages record in the
+// baseline.
+package baregoserver
+
+import "net/http"
+
+// Serve supervises ListenAndServe from a lifecycle goroutine (finding,
+// warn severity).
+func Serve(srv *http.Server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	return <-errc
+}

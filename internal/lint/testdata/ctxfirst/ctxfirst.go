@@ -1,0 +1,53 @@
+// Package ctxfirst deliberately violates ctx-first: it imports
+// net/http and mishandles contexts in every way the rule knows.
+package ctxfirst
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fetch takes its context second (finding).
+func Fetch(u string, ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Refetch receives a context but severs it with a fresh root (finding).
+func Refetch(ctx context.Context, u string) error {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Helper receives a context but uses the ctx-less http.Get (finding).
+func Helper(ctx context.Context, u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Blocking makes a blocking round-trip with no context at all
+// (finding, warn severity).
+func Blocking(u string) error {
+	resp, err := http.DefaultClient.Get(u)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -1,0 +1,27 @@
+// Package ctxfirstclean stays silent under ctx-first: the context
+// comes first and flows into every blocking call.
+package ctxfirstclean
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fetch threads its context into the request (no finding).
+func Fetch(ctx context.Context, u string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Body.Close(); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// Describe does no blocking work, so it owes no context (no finding).
+func Describe(code int) string { return http.StatusText(code) }

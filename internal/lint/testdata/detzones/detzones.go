@@ -1,0 +1,19 @@
+// Package detzones exercises the analysis layer's reachability model:
+// a directive-tagged function, its one-level transitive helper, a
+// second-level helper the one-level closure must not reach, and an
+// unreachable bystander.
+package detzones
+
+// Tagged is directly deterministic via its directive.
+//
+//thorlint:deterministic
+func Tagged() int { return helper() + 1 }
+
+// helper is dragged into the zone by Tagged's call — one level.
+func helper() int { return deep() }
+
+// deep sits two calls out, beyond the one-level closure.
+func deep() int { return 2 }
+
+// Bystander is called by nobody deterministic.
+func Bystander() int { return helper() }

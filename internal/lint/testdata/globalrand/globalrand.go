@@ -1,0 +1,21 @@
+// Package globalrand deliberately violates no-global-rand-in-det: a
+// deterministic function calls a helper that draws from the global
+// math/rand source. The helper's own draw carries an //thorlint:allow
+// (modeling a justified CLI-side use), which must NOT excuse the
+// zone-side call site.
+package globalrand
+
+import "math/rand"
+
+// jitter draws from the global source; the direct no-unseeded-rand
+// finding is suppressed with a justification.
+func jitter() int {
+	//thorlint:allow no-unseeded-rand fixture models a justified global draw outside the zone
+	return rand.Intn(10)
+}
+
+// Pick is zone code; calling jitter leaks the global source back into
+// the zone one level deep (finding).
+//
+//thorlint:deterministic
+func Pick() int { return jitter() }

@@ -1,0 +1,14 @@
+// Package globalrandclean stays silent under no-global-rand-in-det:
+// zone code threads an explicit *rand.Rand through its helpers.
+package globalrandclean
+
+import "math/rand"
+
+// draw uses the threaded source (no finding).
+func draw(r *rand.Rand) int { return r.Intn(10) }
+
+// Pick is zone code whose helper receives the source explicitly (no
+// finding).
+//
+//thorlint:deterministic
+func Pick(r *rand.Rand) int { return draw(r) }

@@ -1,0 +1,34 @@
+// Package maprange deliberately violates no-map-range-order: map
+// iteration order leaks into a slice, an output stream, and a float
+// accumulation.
+package maprange
+
+import "strings"
+
+// UnsortedKeys leaks map order into the returned slice (finding).
+func UnsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Render writes fields in map order (finding).
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Total accumulates floats in map order — addition is not associative,
+// so the rounding depends on iteration order (finding, warn).
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,27 @@
+// Package poolhygiene deliberately violates pool-hygiene: a Get that
+// is never Put back, a value escaping straight through a return, and a
+// Put of a foreign type.
+package poolhygiene
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// Leak Gets a buffer and never returns it (finding).
+func Leak() int {
+	b := bufs.Get().(*[]byte)
+	return len(*b)
+}
+
+// Escape hands the pooled value to the caller with no Put anywhere
+// (finding).
+func Escape() any {
+	return bufs.Get()
+}
+
+// WrongType Puts a value the pool never produced (finding).
+func WrongType() {
+	b := bufs.Get().(*[]byte)
+	bufs.Put("not a byte slice")
+	_ = b
+}

@@ -1,0 +1,40 @@
+// Package poolhygieneclean stays silent under pool-hygiene: Get and
+// Put stay paired in one scope, worker closures pair their own, and
+// the one designed handoff is annotated.
+package poolhygieneclean
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// RoundTrip pairs Get with a deferred Put (no finding).
+func RoundTrip(n int) int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b) + n
+}
+
+// Worker closures pair their own Get/Put (no finding).
+func Worker(jobs []int) int {
+	total := 0
+	run := func(j int) {
+		b := bufs.Get().(*[]byte)
+		defer bufs.Put(b)
+		total += j + len(*b)
+	}
+	for _, j := range jobs {
+		run(j)
+	}
+	return total
+}
+
+// Borrow hands the buffer to the caller by design; the annotation
+// records the contract (no finding).
+func Borrow() *[]byte {
+	//thorlint:allow pool-hygiene caller must hand the buffer back through Release
+	b := bufs.Get().(*[]byte)
+	return b
+}
+
+// Release is Borrow's other half (no finding).
+func Release(b *[]byte) { bufs.Put(b) }

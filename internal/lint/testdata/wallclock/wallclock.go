@@ -1,0 +1,14 @@
+// Package wallclock deliberately violates no-wallclock: the whole
+// package is tagged as a deterministic zone, and it reads the wall
+// clock anyway.
+//
+//thorlint:deterministic
+package wallclock
+
+import "time"
+
+// Stamp reads the clock directly inside the zone (finding).
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Age reads the clock through time.Since (finding).
+func Age(t time.Time) time.Duration { return time.Since(t) }

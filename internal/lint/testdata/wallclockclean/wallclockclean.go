@@ -1,0 +1,23 @@
+// Package wallclockclean stays silent under no-wallclock: zone code
+// takes time values as inputs, timing code lives outside every zone,
+// and the one justified read is annotated.
+package wallclockclean
+
+import "time"
+
+// Process is zone code that receives its timestamp (no finding).
+//
+//thorlint:deterministic
+func Process(now time.Time) int64 { return now.UnixNano() }
+
+// Measure reads the clock outside every zone — instrumentation code is
+// untouched (no finding).
+func Measure() time.Time { return time.Now() }
+
+// Stamp is zone code with a justified read (no finding).
+//
+//thorlint:deterministic
+func Stamp() int64 {
+	//thorlint:allow no-wallclock log timestamp only; never reaches the output
+	return time.Now().UnixNano()
+}

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -59,14 +60,28 @@ func (h *HTTPSite) Query(keyword string) (html, pageURL string) {
 	return h.QueryPage(keyword, 1)
 }
 
-// QueryPage implements PagedSite when PageParam is configured.
+// QueryPage implements PagedSite when PageParam is configured. The
+// request is bounded only by the client's timeout; callers that need
+// cancellation use QueryPageContext.
 func (h *HTTPSite) QueryPage(keyword string, page int) (html, pageURL string) {
+	return h.QueryPageContext(context.Background(), keyword, page)
+}
+
+// QueryPageContext is QueryPage with caller-controlled cancellation:
+// the request is abandoned as soon as ctx is done, which a crawling
+// loop uses to bound per-site stalls independently of the client
+// timeout.
+func (h *HTTPSite) QueryPageContext(ctx context.Context, keyword string, page int) (html, pageURL string) {
 	pageURL = h.buildURL(keyword, page)
 	client := h.Client
 	if client == nil {
 		client = defaultClient
 	}
-	resp, err := client.Get(pageURL)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pageURL, nil)
+	if err != nil {
+		return "", pageURL
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", pageURL
 	}

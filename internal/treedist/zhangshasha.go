@@ -6,7 +6,11 @@
 // This package exists to reproduce that comparison.
 package treedist
 
-import "thor/internal/tagtree"
+import (
+	"sort"
+
+	"thor/internal/tagtree"
+)
 
 // unit edit costs; relabeling identical labels is free.
 const (
@@ -64,12 +68,7 @@ func decompose(root *tagtree.Node) ordered {
 	for _, i := range highest {
 		o.keyrts = append(o.keyrts, i)
 	}
-	// Sort keyroots ascending (insertion sort; counts are small).
-	for i := 1; i < len(o.keyrts); i++ {
-		for j := i; j > 0 && o.keyrts[j] < o.keyrts[j-1]; j-- {
-			o.keyrts[j], o.keyrts[j-1] = o.keyrts[j-1], o.keyrts[j]
-		}
-	}
+	sort.Ints(o.keyrts)
 	return o
 }
 

@@ -41,6 +41,7 @@ func NewDict(terms []string) *Dict {
 // terms — the natural corpus vocabulary after a TFIDF pass.
 func DictFromDF(df map[string]int) *Dict {
 	terms := make([]string, 0, len(df))
+	//thorlint:allow no-map-range-order NewDict sorts and dedupes its input, so collection order is immaterial
 	for t := range df {
 		terms = append(terms, t)
 	}
