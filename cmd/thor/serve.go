@@ -10,7 +10,6 @@ import (
 	"net/http"
 
 	"thor/internal/core"
-	"thor/internal/corpus"
 	"thor/internal/deepweb"
 )
 
@@ -53,7 +52,11 @@ func extractHandler(m *core.Model) http.Handler {
 			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
 			return
 		}
-		pagelets, err := m.ApplyContext(r.Context(), &corpus.Page{HTML: string(body)})
+		// The pooled apply pipeline: parse, signature, interning, and
+		// candidate scoring all run on recycled scratch — no per-request
+		// tree or map survives the call. Bit-identical verdict to
+		// ApplyContext on a page built from the same bytes.
+		path, found, err := m.ApplyHTML(r.Context(), string(body))
 		if err != nil {
 			// A canceled or timed-out request is the client's doing, not a
 			// model failure; answer 503 so retries are meaningful.
@@ -64,9 +67,9 @@ func extractHandler(m *core.Model) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		resp := extractResponse{Pagelets: make([]extractedPagelet, 0, len(pagelets))}
-		for _, pl := range pagelets {
-			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: pl.Path})
+		resp := extractResponse{Pagelets: []extractedPagelet{}}
+		if found {
+			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: path})
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {

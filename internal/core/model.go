@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"thor/internal/corpus"
 	"thor/internal/vector"
@@ -46,6 +47,12 @@ type Model struct {
 	// training is the full training-run result, retained so Extract stays
 	// a thin composition over BuildModel. It is not persisted.
 	training *Result
+
+	// weightOnce/weighting lazily cache the per-ID weighting tables the
+	// pooled apply path uses (see applyWeighting). Unexported, so models
+	// loaded from disk rebuild them on first use.
+	weightOnce sync.Once
+	weighting  vector.Weighting
 }
 
 // BuildModel runs both THOR phases over a site's sampled pages and
@@ -103,12 +110,10 @@ func (m *Model) ApplyContext(ctx context.Context, page *corpus.Page) ([]*Pagelet
 		return nil, fmt.Errorf("core: model has no clusters to assign to")
 	}
 	v := m.Dict.Intern(m.Vectorize(page))
-	best, bestSim := 0, -1.0
-	for c, ctr := range m.Centroids {
-		if sim := v.Cosine(ctr); sim > bestSim {
-			best, bestSim = c, sim
-		}
-	}
+	// AssignNearest is the old verbatim Cosine loop with a CosineUnit
+	// fast path where the cached norms prove it exact; best index and
+	// similarity bits are pinned equal by the regression tests.
+	best, _ := vector.AssignNearest(v, m.Centroids)
 	w := m.Wrappers[best]
 	if w == nil {
 		return nil, nil
@@ -125,14 +130,12 @@ func (m *Model) ApplyContext(ctx context.Context, page *corpus.Page) ([]*Pagelet
 // page lands where it would have landed had it been part of the training
 // run. Terms never seen in training carry no weight.
 func (m *Model) Vectorize(page *corpus.Page) vector.Sparse {
-	a := m.Cfg.Approach
-	var counts map[string]int
-	if a.IsVector() && a.ContentBased() {
-		counts = page.ContentSignature()
-	} else {
-		counts = page.TagSignature()
-	}
-	if a.RawWeighted() {
+	counts := m.signatureCounts(page)
+	if m.Cfg.Approach.RawWeighted() {
+		// Raw weighting never consults the DF table: every term of the
+		// page — in the training vocabulary or not — keeps its raw
+		// frequency, and FromCounts pre-sizes off the counts map. The
+		// branch runs before any weighting loop so no DF lookups are paid.
 		return vector.FromCounts(counts).Normalize()
 	}
 	weighted := make(map[string]float64, len(counts))
@@ -144,6 +147,18 @@ func (m *Model) Vectorize(page *corpus.Page) vector.Sparse {
 		weighted[term] = vector.TFIDFWeight(tf, m.NDocs, df)
 	}
 	return vector.FromMap(weighted).Normalize()
+}
+
+// signatureCounts returns the page signature the model's approach clusters
+// on: stemmed content terms for the content approaches, tag frequencies
+// for everything else (the size/URL/random baselines cluster on other
+// criteria at build time but still assign fresh pages by tag signature).
+func (m *Model) signatureCounts(page *corpus.Page) map[string]int {
+	a := m.Cfg.Approach
+	if a.IsVector() && a.ContentBased() {
+		return page.ContentSignature()
+	}
+	return page.TagSignature()
 }
 
 // String summarizes the model.

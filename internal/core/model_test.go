@@ -11,7 +11,7 @@ import (
 )
 
 // probeSite samples one simulated site for the model tests.
-func probeSite(t *testing.T, id int, planSeed int64) *corpus.Collection {
+func probeSite(t testing.TB, id int, planSeed int64) *corpus.Collection {
 	t.Helper()
 	site := deepweb.NewSite(deepweb.SiteConfig{ID: id, Seed: 31})
 	prober := &probe.Prober{Plan: probe.NewPlan(80, 8, planSeed), Labeler: deepweb.Labeler()}

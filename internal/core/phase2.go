@@ -123,7 +123,7 @@ func hasToken(n *tagtree.Node) bool {
 		if found {
 			return false
 		}
-		if m.Type == tagtree.ContentNode && len(tagtree.Tokenize(m.Content)) > 0 {
+		if m.Type == tagtree.ContentNode && tagtree.HasWordToken(m.Content) {
 			found = true
 			return false
 		}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"thor/internal/corpus"
+	"thor/internal/htmlx"
+	"thor/internal/strdist"
+	"thor/internal/tagtree"
+	"thor/internal/vector"
+)
+
+// applyScratch bundles every reusable buffer of the pooled apply pipeline:
+// the arena-backed parser (the page's entire tag tree lives in its arena
+// and is released wholesale when the scratch returns to the pool), the
+// signature scratch that replaces the per-request count map, the interning
+// scratch that replaces Vectorize's weight map and string-keyed Sparse,
+// and the candidate-scoring buffers of the wrapper pass. One scratch
+// serves one request at a time; concurrent requests each Get their own.
+type applyScratch struct {
+	parser *htmlx.Parser
+	sig    *corpus.SignatureScratch
+	intern vector.InternScratch
+	lev    strdist.LevScratch
+	// chain collects a candidate's ancestors (leaf→root) while its
+	// simplified path and indexed path are rebuilt root→leaf.
+	chain []*tagtree.Node
+	// simp is the byte buffer the candidate's simplified path is built
+	// into — the second operand of the wrapper's edit distance.
+	simp []byte
+	// path is the byte buffer the winning node's indexed path is built in
+	// before the one final string materialization.
+	path []byte
+}
+
+// applyPool recycles applyScratch values across requests. Steady state, a
+// Get hands back a scratch whose arena slabs, maps, and buffers are warm,
+// so a full ApplyHTML pass allocates only its answer.
+var applyPool = sync.Pool{
+	New: func() any {
+		return &applyScratch{parser: htmlx.NewParser(), sig: corpus.NewSignatureScratch()}
+	},
+}
+
+// applyWeighting returns (building once) the model's per-ID weighting
+// tables: IDF factors and DF entries indexed by dictionary ID for the
+// TFIDF approaches, or the raw-frequency marker for the raw ones. The
+// tables are derived state over the persisted DF/NDocs/Dict fields, so
+// models loaded from disk rebuild them here on first use.
+func (m *Model) applyWeighting() vector.Weighting {
+	m.weightOnce.Do(func() {
+		if !m.Cfg.Approach.RawWeighted() {
+			m.weighting = vector.DFWeighting(m.Dict, m.DF, m.NDocs)
+		}
+	})
+	return m.weighting
+}
+
+// ApplyHTML extracts the QA-Pagelet path from one fresh page given its raw
+// HTML — the pooled serve path. It is Apply with the page-cache layers cut
+// out: the HTML is parsed into a pooled arena (no garbage-collected tree),
+// the signature is counted into pooled scratch (no fresh map), the vector
+// is interned directly in ID space (no intermediate weight map or
+// string-keyed Sparse), the nearest centroid is chosen with the same
+// AssignNearest kernel, and the chosen wrapper scores candidates with
+// scratch-backed path simplification and edit distance. Only the winning
+// node's indexed path is materialized; every node and buffer behind it is
+// released wholesale when the scratch returns to the pool — safe because
+// the returned path is a fresh string and shares nothing with the arena.
+//
+// The verdict is bit-identical to Apply on a page holding the same HTML:
+// same assigned cluster, same candidate distances, and a byte-identical
+// path (or the same "no pagelet" answer, found=false). The contract tests
+// pin this across every approach and worker count.
+func (m *Model) ApplyHTML(ctx context.Context, html string) (path string, found bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return "", false, err
+	}
+	if len(m.Centroids) == 0 {
+		return "", false, fmt.Errorf("core: model has no clusters to assign to")
+	}
+	s := applyPool.Get().(*applyScratch)
+	defer applyPool.Put(s)
+	defer s.parser.Release()
+
+	tree := s.parser.Parse(html)
+	a := m.Cfg.Approach
+	var counts map[string]int
+	if a.IsVector() && a.ContentBased() {
+		counts = s.sig.TermCounts(tree)
+	} else {
+		counts = s.sig.TagCounts(tree)
+	}
+	v := m.Dict.InternCounts(counts, m.applyWeighting(), &s.intern)
+	best, _ := vector.AssignNearest(v, m.Centroids)
+	w := m.Wrappers[best]
+	if w == nil {
+		return "", false, nil
+	}
+	return w.extractPath(tree, s)
+}
+
+// simplifiedPath rebuilds n's simplified indexed path (what
+// simp.SimplifyPath(n.Path()) returns) directly into the scratch's byte
+// buffer: identifiers are resolved ancestor by ancestor in root→leaf
+// order — the same first-sight order the string path presents tags to the
+// simplifier in — and positional indexes are appended under Path's
+// total > 1 rule, so the bytes match the string form exactly.
+func (s *applyScratch) simplifiedPath(n *tagtree.Node, simp *strdist.Simplifier) []byte {
+	s.chain = s.chain[:0]
+	for m := n; m != nil; m = m.Parent {
+		s.chain = append(s.chain, m)
+	}
+	s.simp = s.simp[:0]
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		m := s.chain[i]
+		s.simp = append(s.simp, simp.ID(m.Tag)...)
+		if m.Parent != nil {
+			if idx, total := m.StepIndex(); total > 1 {
+				s.simp = strconv.AppendInt(s.simp, int64(idx), 10)
+			}
+		}
+	}
+	return s.simp
+}
+
+// pathString materializes n's indexed path — byte-identical to n.Path() —
+// with the steps built in the scratch's byte buffer and one final string
+// allocation for the answer that outlives the scratch.
+func (s *applyScratch) pathString(n *tagtree.Node) string {
+	s.chain = s.chain[:0]
+	for m := n; m != nil; m = m.Parent {
+		s.chain = append(s.chain, m)
+	}
+	s.path = s.path[:0]
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		m := s.chain[i]
+		if i < len(s.chain)-1 {
+			s.path = append(s.path, '/')
+		}
+		s.path = append(s.path, m.Tag...)
+		if m.Parent != nil {
+			if idx, total := m.StepIndex(); total > 1 {
+				s.path = append(s.path, '[')
+				s.path = strconv.AppendInt(s.path, int64(idx), 10)
+				s.path = append(s.path, ']')
+			}
+		}
+	}
+	return string(s.path)
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// maxSteadyStateAllocs is the allocation budget for one warm ApplyHTML
+// call. The pipeline's only steady-state allocation is the returned path
+// string (plus occasional pool/arena growth amortized to zero); the
+// budget leaves one spare so a page that happens to grow a scratch
+// buffer once inside the measured window doesn't flake.
+const maxSteadyStateAllocs = 2
+
+// TestApplyHTMLSteadyStateAllocs is the allocation-discipline gate CI
+// runs as a benchmark smoke step: after warmup, serving a page through
+// the pooled pipeline must cost at most maxSteadyStateAllocs
+// allocations — the answer string, not trees, maps, or vectors.
+func TestApplyHTMLSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI step")
+	}
+	m, _, htmls := buildModelForApproach(t, TFIDFTags)
+	ctx := context.Background()
+	// Warm the pool and grow every scratch buffer to its high-water mark.
+	for range 3 {
+		for _, html := range htmls {
+			if _, _, err := m.ApplyHTML(ctx, html); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, html := range htmls {
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := m.ApplyHTML(ctx, html); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > maxSteadyStateAllocs {
+			t.Errorf("page %d: %.1f allocs per warm ApplyHTML, budget %d", i, allocs, maxSteadyStateAllocs)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"thor/internal/strdist"
 	"thor/internal/tagtree"
@@ -35,6 +36,24 @@ type Wrapper struct {
 
 	simp *strdist.Simplifier
 	q    int
+
+	// topOnce/topSimplified cache the simplified form of Paths[0], the
+	// reference operand of every candidate comparison. Resolving it first
+	// also pins the simplifier's first-sight ID assignments to the exact
+	// order the uncached code had (it always simplified Paths[0] before
+	// the candidate path).
+	topOnce       sync.Once
+	topSimplified string
+}
+
+// topPath returns (resolving once) the simplified form of Paths[0].
+func (w *Wrapper) topPath() string {
+	w.topOnce.Do(func() {
+		if len(w.Paths) > 0 {
+			w.topSimplified = w.simp.SimplifyPath(w.Paths[0])
+		}
+	})
+	return w.topSimplified
 }
 
 // BuildWrapper compiles a wrapper from a phase-two result. It returns an
@@ -92,12 +111,63 @@ func (w *Wrapper) Extract(tree *tagtree.Node) (*tagtree.Node, float64) {
 	return best, bestD
 }
 
+// extractPath is Extract for the pooled apply pipeline: the same
+// traversal (hasToken/isMinimal pruning in document order), the same
+// distance arithmetic, and the same strict-less winner rule — but over an
+// arena-backed tree, with each candidate's simplified path and shape
+// metrics computed into scratch buffers instead of Candidate allocations,
+// and only the winning node's indexed path materialized as a string.
+func (w *Wrapper) extractPath(tree *tagtree.Node, s *applyScratch) (string, bool, error) {
+	best, bestD := (*tagtree.Node)(nil), math.Inf(1)
+	tree.Walk(func(n *tagtree.Node) bool {
+		if n.Type != tagtree.TagNode {
+			return false
+		}
+		if !hasToken(n) {
+			return false
+		}
+		if !isMinimal(n) {
+			return true
+		}
+		if d := w.distancePooled(n, s); d < bestD {
+			best, bestD = n, d
+		}
+		return true
+	})
+	if best == nil || bestD > w.MaxDistance {
+		return "", false, nil
+	}
+	return s.pathString(best), true, nil
+}
+
+// distancePooled is distance over a live node instead of a Candidate: the
+// path term compares the cached simplified profile path against the
+// candidate's simplified path built in scratch bytes, and the three shape
+// terms read the node's metrics directly. Term for term the arithmetic is
+// distance's, so the scores are bit-identical.
+func (w *Wrapper) distancePooled(n *tagtree.Node, s *applyScratch) float64 {
+	var d float64
+	if w.Weights[0] != 0 && len(w.Paths) > 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
+		d += w.Weights[0] * strdist.NormalizedBytes(w.topPath(), s.simplifiedPath(n, w.simp), &s.lev)
+	}
+	if w.Weights[1] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
+		d += w.Weights[1] * ratioDiffF(w.Fanout, float64(n.Fanout()))
+	}
+	if w.Weights[2] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
+		d += w.Weights[2] * ratioDiffF(w.Depth, float64(n.Depth()))
+	}
+	if w.Weights[3] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
+		d += w.Weights[3] * ratioDiffF(w.Nodes, float64(n.NodeCount()))
+	}
+	return d
+}
+
 // distance scores a candidate against the wrapper profile using the
 // paper's four-term shape distance with averaged reference values.
 func (w *Wrapper) distance(c *Candidate) float64 {
 	var d float64
 	if w.Weights[0] != 0 && len(w.Paths) > 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
-		d += w.Weights[0] * w.simp.PathDistance(w.Paths[0], c.Path)
+		d += w.Weights[0] * strdist.Normalized(w.topPath(), w.simp.SimplifyPath(c.Path))
 	}
 	if w.Weights[1] != 0 { //thorlint:allow no-float-eq zero weight is an exact "term disabled" sentinel
 		d += w.Weights[1] * ratioDiffF(w.Fanout, float64(c.Fanout))

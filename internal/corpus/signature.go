@@ -1,0 +1,37 @@
+package corpus
+
+import (
+	"thor/internal/stem"
+	"thor/internal/tagtree"
+)
+
+// SignatureScratch computes page signatures into one reusable map — the
+// serve-path form of Page.TagSignature/Page.ContentSignature for trees
+// that are not attached to a cached Page (arena-backed parses of request
+// bodies). The map returned by either method is the scratch's own and is
+// valid only until the next call; the pooled apply path consumes it before
+// releasing the scratch back to its pool.
+type SignatureScratch struct {
+	counts map[string]int
+}
+
+// NewSignatureScratch returns a ready scratch.
+func NewSignatureScratch() *SignatureScratch {
+	return &SignatureScratch{counts: make(map[string]int, 64)}
+}
+
+// TagCounts returns tree's tag-frequency signature, equal to
+// tree.TagCounts() but computed into the reusable map.
+func (s *SignatureScratch) TagCounts(tree *tagtree.Node) map[string]int {
+	clear(s.counts)
+	tree.TagCountsInto(s.counts)
+	return s.counts
+}
+
+// TermCounts returns tree's Porter-stemmed content term signature, equal
+// to tree.TermCounts(stem.Stem) but computed into the reusable map.
+func (s *SignatureScratch) TermCounts(tree *tagtree.Node) map[string]int {
+	clear(s.counts)
+	tree.TermCountsInto(stem.Stem, s.counts)
+	return s.counts
+}

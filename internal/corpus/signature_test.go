@@ -1,0 +1,32 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+var signaturePages = []string{
+	`<html><body><table><tr><td>Answer one</td></tr><tr><td>Answer two</td></tr></table></body></html>`,
+	`<html><body><div class="result"><p>Searching finds nothing</p></div><ul><li>apples</li><li>apple</li></ul></body></html>`,
+	`<html><head><title>T</title></head><body><form><input><select><option>a</option></select></form></body></html>`,
+}
+
+// TestSignatureScratchMatchesPage pins the scratch-backed signatures to
+// the cached Page ones, and exercises reuse: the same scratch serves
+// differently-shaped pages and both signature kinds back to back, so any
+// leftover entry from a previous call would show up as a mismatch.
+func TestSignatureScratchMatchesPage(t *testing.T) {
+	s := NewSignatureScratch()
+	for round := 0; round < 2; round++ {
+		for i, html := range signaturePages {
+			p := &Page{HTML: html}
+			tree := p.Tree()
+			if got, want := s.TagCounts(tree), p.TagSignature(); !reflect.DeepEqual(got, want) {
+				t.Errorf("round %d page %d: scratch tag signature %v, Page %v", round, i, got, want)
+			}
+			if got, want := s.TermCounts(tree), p.ContentSignature(); !reflect.DeepEqual(got, want) {
+				t.Errorf("round %d page %d: scratch term signature %v, Page %v", round, i, got, want)
+			}
+		}
+	}
+}

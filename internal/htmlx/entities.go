@@ -29,27 +29,31 @@ var namedEntities = map[string]string{
 // references (&#65; &#x41;) are handled; malformed or unknown references
 // are left untouched.
 func DecodeEntities(s string) string {
-	amp := strings.IndexByte(s, '&')
-	if amp < 0 {
+	if strings.IndexByte(s, '&') < 0 {
 		return s
 	}
-	var b strings.Builder
-	b.Grow(len(s))
+	return string(appendDecodedEntities(make([]byte, 0, len(s)), s))
+}
+
+// appendDecodedEntities appends s to dst with character references
+// replaced — the same bytes DecodeEntities produces, written into a
+// caller-owned buffer so the pooled parse path can decode without
+// allocating.
+func appendDecodedEntities(dst []byte, s string) []byte {
 	for {
-		b.WriteString(s[:amp])
+		amp := strings.IndexByte(s, '&')
+		if amp < 0 {
+			return append(dst, s...)
+		}
+		dst = append(dst, s[:amp]...)
 		s = s[amp:]
 		repl, consumed := decodeOne(s)
 		if consumed == 0 {
-			b.WriteByte('&')
+			dst = append(dst, '&')
 			s = s[1:]
 		} else {
-			b.WriteString(repl)
+			dst = append(dst, repl...)
 			s = s[consumed:]
-		}
-		amp = strings.IndexByte(s, '&')
-		if amp < 0 {
-			b.WriteString(s)
-			return b.String()
 		}
 	}
 }

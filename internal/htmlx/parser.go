@@ -50,11 +50,51 @@ var scopeStop = map[string]bool{
 // discarded, as are <script> and <style> bodies, none of which participate
 // in THOR's page model.
 func Parse(src string) *tagtree.Node {
-	root := tagtree.NewTag("html")
-	stack := []*tagtree.Node{root}
+	z := &tokenizer{src: src}
+	root, _ := build(z, heapAllocator{}, make([]*tagtree.Node, 0, 16))
+	return root
+}
+
+// nodeAllocator abstracts where tree nodes — and the strings they hold —
+// come from: the heap for Parse (trees with unbounded lifetime) or arenas
+// for Parser (trees released wholesale after extraction). Both paths
+// share build, so the trees are identical node for node and byte for
+// byte.
+type nodeAllocator interface {
+	NewTag(tag string) *tagtree.Node
+	NewContent(text string) *tagtree.Node
+	// text materializes one text token's content: character references
+	// decoded (unless verbatim — raw-text element bodies are never
+	// decoded), then whitespace collapsed.
+	text(raw string, verbatim bool) string
+	// attrVal materializes one attribute value: references decoded,
+	// whitespace kept.
+	attrVal(raw string) string
+}
+
+// heapAllocator allocates ordinary garbage-collected nodes and strings.
+type heapAllocator struct{}
+
+func (heapAllocator) NewTag(tag string) *tagtree.Node      { return tagtree.NewTag(tag) }
+func (heapAllocator) NewContent(text string) *tagtree.Node { return tagtree.NewContent(text) }
+
+func (heapAllocator) text(raw string, verbatim bool) string {
+	if !verbatim {
+		raw = DecodeEntities(raw)
+	}
+	return collapseSpace(raw)
+}
+
+func (heapAllocator) attrVal(raw string) string { return DecodeEntities(raw) }
+
+// build runs the tree-construction loop over z's tokens, allocating nodes
+// from alloc and using stack as the open-element stack (its backing array
+// is returned so callers can retain the grown capacity).
+func build(z *tokenizer, alloc nodeAllocator, stack []*tagtree.Node) (*tagtree.Node, []*tagtree.Node) {
+	root := alloc.NewTag("html")
+	stack = append(stack, root)
 	top := func() *tagtree.Node { return stack[len(stack)-1] }
 
-	z := &tokenizer{src: src}
 	sawHTML := false
 	for {
 		tok, ok := z.next()
@@ -63,7 +103,7 @@ func Parse(src string) *tagtree.Node {
 		}
 		switch tok.kind {
 		case tokText:
-			text := collapseSpace(tok.data)
+			text := alloc.text(tok.data, tok.verbatim)
 			if text == "" {
 				continue
 			}
@@ -71,7 +111,7 @@ func Parse(src string) *tagtree.Node {
 			if parent.Tag == "script" || parent.Tag == "style" {
 				continue
 			}
-			parent.AppendChild(tagtree.NewContent(text))
+			parent.AppendChild(alloc.NewContent(text))
 		case tokComment, tokDoctype:
 			// Dropped: Tidy-cleaned trees carry no comments or doctype.
 		case tokStartTag, tokSelfClosingTag:
@@ -81,15 +121,15 @@ func Parse(src string) *tagtree.Node {
 				if !sawHTML {
 					sawHTML = true
 					for _, a := range tok.attrs {
-						root.SetAttr(a.key, a.val)
+						root.SetAttr(a.key, alloc.attrVal(a.val))
 					}
 				}
 				continue
 			}
 			closeImplied(&stack, name)
-			node := tagtree.NewTag(name)
+			node := alloc.NewTag(name)
 			for _, a := range tok.attrs {
-				node.Attrs = append(node.Attrs, tagtree.Attribute{Key: a.key, Val: a.val})
+				node.Attrs = append(node.Attrs, tagtree.Attribute{Key: a.key, Val: alloc.attrVal(a.val)})
 			}
 			top().AppendChild(node)
 			if tok.kind == tokStartTag && !tagtree.IsVoidTag(name) {
@@ -110,7 +150,7 @@ func Parse(src string) *tagtree.Node {
 			}
 		}
 	}
-	return root
+	return root, stack
 }
 
 // closeImplied pops open elements that the incoming tag implicitly closes.
@@ -162,7 +202,43 @@ var inlineTags = map[string]bool{
 }
 
 // collapseSpace trims text and collapses internal whitespace runs to single
-// spaces, mirroring Tidy's text normalization.
+// spaces, mirroring Tidy's text normalization. Text that is already in
+// collapsed form — the common case for template-generated pages — is
+// returned as-is without allocating.
 func collapseSpace(s string) string {
+	if isCollapsed(s) {
+		return s
+	}
 	return strings.Join(strings.Fields(s), " ")
+}
+
+// isCollapsed reports whether s is already in collapsed form — the common
+// case for template-generated pages — so collapseSpace can return it
+// without allocating.
+func isCollapsed(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s[0] == ' ' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == ' ':
+			// A trailing space or a space run needs collapsing.
+			if i+1 == len(s) || s[i+1] == ' ' {
+				return false
+			}
+		case c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			return false
+		case c == 0xC2 || c == 0xE1 || c == 0xE2 || c == 0xE3:
+			// Possible lead byte of a non-ASCII Unicode space
+			// (NBSP, en/em spaces, ideographic space, ...); defer to
+			// strings.Fields rather than decode here. Common text
+			// lead bytes (Latin-1 0xC3, CJK 0xE4+) stay on the fast
+			// path.
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,178 @@
+package htmlx
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"thor/internal/tagtree"
+)
+
+// trickyPages exercises every normalization the builder applies: entity
+// decoding (text and attributes), whitespace collapsing (ASCII and
+// Unicode spaces), raw-text elements with case-insensitive close tags,
+// implied end tags, comments, doctypes, literal '<', and malformed tag
+// soup.
+var trickyPages = []string{
+	`<html><body><p>plain text</p></body></html>`,
+	`<p>a &amp; b &lt;tag&gt; &#65;&#x42; &unknown; &amp</p>`,
+	`<a href="?q=1&amp;page=2" title="Caf&eacute;">link</a>`,
+	"<div>\n\t  spaced \t out  text　here  \n</div>",
+	`<script>var x = "</div>"; if (a &amp;&amp; b) {}</script><p>after</p>`,
+	`<SCRIPT>x</SCRIPT><TITLE>The &amp; Title</TITLE>`,
+	`<style>p { content: "&gt;" }</style><textarea>raw &amp; kept</textarea>`,
+	`<ul><li>one<li>two<li>three</ul><table><tr><td>a<td>b<tr><td>c</table>`,
+	`<p>first<p>second<div>closes p</div>`,
+	`<!doctype html><!-- comment --><html lang="en"><body>x</body></html>`,
+	`3 < 5 and 5 > 3 and a<b is text`,
+	`<b><i>nested <u>deep</u></i></b><br><hr/><img src="x.png">`,
+	`<div class=unquoted other='single'>mixed quoting</div>`,
+	`<option>a<option>b<optgroup><option>c</optgroup>`,
+	`text before any tag<div>then a div</div>trailing text`,
+	`<script>unterminated raw text...`,
+	`<div><p>unclosed everything`,
+	``,
+}
+
+// treeEqual reports whether two trees are identical in every observable
+// field. reflect.DeepEqual cannot be used across the heap/arena pair:
+// recycled arena nodes hold empty-but-non-nil Children/Attrs slices
+// where fresh heap nodes hold nil ones.
+func treeEqual(a, b *tagtree.Node) error {
+	if a.Type != b.Type || a.Tag != b.Tag || a.Content != b.Content {
+		return fmt.Errorf("node %q/%q: (%v, %q, %q) != (%v, %q, %q)",
+			a.Tag, b.Tag, a.Type, a.Tag, a.Content, b.Type, b.Tag, b.Content)
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return fmt.Errorf("<%s>: %d attrs != %d attrs", a.Tag, len(a.Attrs), len(b.Attrs))
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return fmt.Errorf("<%s> attr %d: %+v != %+v", a.Tag, i, a.Attrs[i], b.Attrs[i])
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Errorf("<%s>: %d children != %d children", a.Tag, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		if err := treeEqual(a.Children[i], b.Children[i]); err != nil {
+			return fmt.Errorf("<%s> child %d: %w", a.Tag, i, err)
+		}
+	}
+	return nil
+}
+
+// TestParserMatchesParse: the arena Parser and the heap Parse run the
+// same build loop, so every page — however malformed — must yield
+// identical trees, node for node and byte for byte.
+func TestParserMatchesParse(t *testing.T) {
+	p := NewParser()
+	for i, src := range trickyPages {
+		if err := treeEqual(Parse(src), p.Parse(src)); err != nil {
+			t.Errorf("page %d %.40q: %v", i, src, err)
+		}
+	}
+}
+
+// TestParserReuseNoStateLeak re-parses pages on a single warmed Parser in
+// adversarial order — each page's recycled nodes, text bytes, and
+// tokenizer state are immediately reused by a differently-shaped page —
+// and demands every result still match a fresh heap parse.
+func TestParserReuseNoStateLeak(t *testing.T) {
+	p := NewParser()
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 50; round++ {
+		i := rng.Intn(len(trickyPages))
+		src := trickyPages[i]
+		if err := treeEqual(Parse(src), p.Parse(src)); err != nil {
+			t.Fatalf("round %d page %d: state leaked across reuse: %v", round, i, err)
+		}
+	}
+	// Release mid-stream must be equivalent to a fresh start.
+	p.Release()
+	if err := treeEqual(Parse(trickyPages[0]), p.Parse(trickyPages[0])); err != nil {
+		t.Fatalf("after Release: %v", err)
+	}
+}
+
+// TestParserWorkerCountIndependence runs the determinism-matrix contract
+// for the parse layer: any number of goroutines, each with its own
+// pooled Parser, must produce the same trees as a serial pass. Run with
+// -race in CI.
+func TestParserWorkerCountIndependence(t *testing.T) {
+	pool := sync.Pool{New: func() any { return NewParser() }}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 8} {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(trickyPages)*4)
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					src := trickyPages[i%len(trickyPages)]
+					p := pool.Get().(*Parser)
+					err := treeEqual(Parse(src), p.Parse(src))
+					p.Release()
+					pool.Put(p)
+					if err != nil {
+						errs <- fmt.Errorf("workers=%d page %d: %w", workers, i, err)
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < len(trickyPages)*4; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestAppendCollapsedMatchesFieldsJoin pins the arena collapse kernel to
+// the strings.Join(strings.Fields(s), " ") composition it replaces, over
+// generated whitespace torture cases.
+func TestAppendCollapsedMatchesFieldsJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pieces := []string{"", " ", "  ", "\t", "\n", " ", " ", "　", "\v",
+		"word", "a", "é", "日本", "x y", "&"}
+	var buf []byte
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		for n := rng.Intn(8); n > 0; n-- {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		s := sb.String()
+		want := strings.Join(strings.Fields(s), " ")
+		buf = appendCollapsed(buf[:0], s)
+		if string(buf) != want {
+			t.Fatalf("appendCollapsed(%q) = %q, want %q", s, buf, want)
+		}
+	}
+}
+
+// TestAppendDecodedMatchesDecodeEntities pins the arena decode kernel to
+// DecodeEntities on the entity edge cases.
+func TestAppendDecodedMatchesDecodeEntities(t *testing.T) {
+	cases := []string{
+		"a &amp; b", "&lt;&gt;&quot;&apos;", "&#65;&#x41;&#x2603;",
+		"&unknown; &amp &;&", "no entities at all", "&eacute;&frac12;",
+		"&#0;&#1114112;&#xffffffff;", "trailing &", "&AMP;&Amp;",
+	}
+	var buf []byte
+	for _, s := range cases {
+		want := DecodeEntities(s)
+		buf = appendDecodedEntities(buf[:0], s)
+		if string(buf) != want {
+			t.Fatalf("appendDecodedEntities(%q) = %q, want %q", s, buf, want)
+		}
+	}
+}

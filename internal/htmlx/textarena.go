@@ -1,0 +1,161 @@
+package htmlx
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+	"unsafe"
+
+	"thor/internal/tagtree"
+)
+
+// arenaAllocator is Parser's nodeAllocator: nodes come from a
+// tagtree.Arena, and the strings those nodes hold — decoded attribute
+// values and normalized text content — come from a flat byte arena with
+// exactly the same lifetime. Both are recycled wholesale on reset, so a
+// warmed Parser materializes a whole tree without allocating.
+type arenaAllocator struct {
+	nodes tagtree.Arena
+	bytes textArena
+	// decodeBuf holds one text token's entity-decoded bytes while
+	// deciding whether they also need whitespace collapsing; it is
+	// overwritten on every token, so anything kept is copied into bytes.
+	decodeBuf []byte
+}
+
+func (a *arenaAllocator) NewTag(tag string) *tagtree.Node      { return a.nodes.NewTag(tag) }
+func (a *arenaAllocator) NewContent(text string) *tagtree.Node { return a.nodes.NewContent(text) }
+
+// reset recycles nodes and text bytes together. The node arena scrubs
+// every string field first, so no node can dangle into the byte arena
+// (or the previous document's source) after the bytes are reused.
+func (a *arenaAllocator) reset() {
+	a.nodes.Reset()
+	a.bytes.reset()
+}
+
+// text implements the heapAllocator.text pipeline — decode unless
+// verbatim, then collapse — with every produced byte living in the
+// arena. Already-clean text (the common case) is returned as a slice of
+// the source string without copying, which is why an arena tree may
+// alias the src passed to Parser.Parse.
+func (a *arenaAllocator) text(raw string, verbatim bool) string {
+	s := raw
+	decoded := false
+	if !verbatim && strings.IndexByte(s, '&') >= 0 {
+		a.decodeBuf = appendDecodedEntities(a.decodeBuf[:0], s)
+		s = byteView(a.decodeBuf)
+		decoded = true
+	}
+	if isCollapsed(s) {
+		if !decoded {
+			return s // slice of src; stable for the tree's lifetime
+		}
+		return a.bytes.copyIn(s) // decodeBuf is volatile: move it in
+	}
+	return a.bytes.collapseIn(s)
+}
+
+func (a *arenaAllocator) attrVal(raw string) string {
+	if strings.IndexByte(raw, '&') < 0 {
+		return raw // slice of src
+	}
+	return a.bytes.decodeIn(raw)
+}
+
+// textArena is an append-only byte buffer whose contents are viewed as
+// strings without copying. The returned strings are immutable as far as
+// any reader is concerned — the buffer region backing a string is never
+// written again until reset, and reset is only legal once the tree
+// holding the strings has been scrubbed (arenaAllocator.reset orders
+// exactly that). Growth is safe too: when append moves the buffer to a
+// bigger array, previously returned strings keep the old array alive.
+type textArena struct{ buf []byte }
+
+func (t *textArena) reset() { t.buf = t.buf[:0] }
+
+// copyIn appends s and returns the arena's view of it.
+func (t *textArena) copyIn(s string) string {
+	start := len(t.buf)
+	t.buf = append(t.buf, s...)
+	return byteView(t.buf[start:])
+}
+
+// decodeIn appends s with character references decoded.
+func (t *textArena) decodeIn(s string) string {
+	start := len(t.buf)
+	t.buf = appendDecodedEntities(t.buf, s)
+	return byteView(t.buf[start:])
+}
+
+// collapseIn appends s with whitespace collapsed.
+func (t *textArena) collapseIn(s string) string {
+	start := len(t.buf)
+	t.buf = appendCollapsed(t.buf, s)
+	return byteView(t.buf[start:])
+}
+
+// byteView reinterprets b as a string without copying. Callers must
+// guarantee b is not written afterwards for as long as the string is
+// readable — the textArena contract above.
+func byteView(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// appendCollapsed appends s to dst with whitespace collapsed, producing
+// exactly the bytes of strings.Join(strings.Fields(s), " ") — the
+// collapseSpace slow path — without the intermediate slice of fields.
+func appendCollapsed(dst []byte, s string) []byte {
+	i := 0
+	first := true
+	for {
+		// Skip a whitespace run.
+		for i < len(s) {
+			if c := s[i]; c < utf8.RuneSelf {
+				if !asciiSpaceByte(c) {
+					break
+				}
+				i++
+				continue
+			}
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if !unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		if i >= len(s) {
+			return dst
+		}
+		// Copy a field.
+		start := i
+		for i < len(s) {
+			if c := s[i]; c < utf8.RuneSelf {
+				if asciiSpaceByte(c) {
+					break
+				}
+				i++
+				continue
+			}
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		if !first {
+			dst = append(dst, ' ')
+		}
+		first = false
+		dst = append(dst, s[start:i]...)
+	}
+}
+
+// asciiSpaceByte matches unicode.IsSpace over the ASCII range — the set
+// strings.Fields splits on (note '\v', which HTML's own isSpace omits).
+func asciiSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}

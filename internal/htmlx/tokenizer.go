@@ -20,11 +20,16 @@ const (
 	tokDoctype
 )
 
-// token is one lexical unit of an HTML document.
+// token is one lexical unit of an HTML document. Text and attribute
+// values are raw source slices — character references are decoded by the
+// tree builder, which owns where the decoded bytes live.
 type token struct {
 	kind  tokenKind
 	data  string // tag name (lowercase) or text content
 	attrs []attr
+	// verbatim marks text from a raw-text element (script, style,
+	// textarea, title), whose character references are never decoded.
+	verbatim bool
 }
 
 type attr struct{ key, val string }
@@ -38,6 +43,19 @@ type tokenizer struct {
 	// rawTag, when non-empty, means the tokenizer is inside a raw-text
 	// element and must scan text until "</rawTag".
 	rawTag string
+	// attrs is the reusable attribute scratch for startTag. Each start-tag
+	// token's attrs slice aliases it and is valid only until the next call
+	// to next — the parser copies attributes into the tree immediately.
+	attrs []attr
+}
+
+// reset re-aims the tokenizer at a new document, retaining the attribute
+// scratch capacity.
+func (z *tokenizer) reset(src string) {
+	z.src = src
+	z.pos = 0
+	z.rawTag = ""
+	z.attrs = z.attrs[:0]
 }
 
 var rawTextTags = map[string]bool{
@@ -78,7 +96,7 @@ func (z *tokenizer) text() (token, bool) {
 		z.pos++ // literal '<'
 	}
 	raw := z.src[start:z.pos]
-	return token{kind: tokText, data: DecodeEntities(raw)}, true
+	return token{kind: tokText, data: raw}, true
 }
 
 // beginsMarkup reports whether the '<' at z.pos starts a tag, comment, or
@@ -93,15 +111,13 @@ func (z *tokenizer) beginsMarkup() bool {
 
 // rawText scans the contents of a raw-text element up to its end tag.
 func (z *tokenizer) rawText() (token, bool) {
-	closer := "</" + z.rawTag
-	low := strings.ToLower(z.src[z.pos:])
-	i := strings.Index(low, closer)
+	i := indexCloseTag(z.src[z.pos:], z.rawTag)
 	if i < 0 {
 		// Unterminated raw element: consume the rest of the input.
 		text := z.src[z.pos:]
 		z.pos = len(z.src)
 		z.rawTag = ""
-		return token{kind: tokText, data: text}, true
+		return token{kind: tokText, data: text, verbatim: true}, true
 	}
 	text := z.src[z.pos : z.pos+i]
 	z.pos += i
@@ -110,7 +126,38 @@ func (z *tokenizer) rawText() (token, bool) {
 		// Nothing between start and end tag; emit the end tag directly.
 		return z.next()
 	}
-	return token{kind: tokText, data: text}, true
+	return token{kind: tokText, data: text, verbatim: true}, true
+}
+
+// indexCloseTag returns the index of the first case-insensitive
+// occurrence of "</"+tag in s, or -1. Tag names are ASCII, so an
+// ASCII-folding byte scan suffices — and unlike lowercasing a copy of the
+// remaining input, it allocates nothing and cannot mis-map indices when
+// the raw content holds characters whose case form changes byte length.
+func indexCloseTag(s, tag string) int {
+	for i := 0; i+2+len(tag) <= len(s); i++ {
+		if s[i] != '<' || s[i+1] != '/' {
+			continue
+		}
+		match := true
+		for j := 0; j < len(tag); j++ {
+			if lowerASCII(s[i+2+j]) != tag[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func lowerASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
 }
 
 // markup scans a tag, comment, or declaration starting at '<'. It returns
@@ -174,7 +221,7 @@ func (z *tokenizer) startTag() (token, bool) {
 		p++
 	}
 	name := strings.ToLower(s[start:p])
-	var attrs []attr
+	attrs := z.attrs[:0]
 	selfClosing := false
 	for p < len(s) {
 		for p < len(s) && isSpace(s[p]) {
@@ -231,10 +278,11 @@ func (z *tokenizer) startTag() (token, bool) {
 			}
 		}
 		if key != "" {
-			attrs = append(attrs, attr{key: key, val: DecodeEntities(val)})
+			attrs = append(attrs, attr{key: key, val: val})
 		}
 	}
 	z.pos = p
+	z.attrs = attrs
 	kind := tokStartTag
 	if selfClosing {
 		kind = tokSelfClosingTag

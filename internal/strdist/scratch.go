@@ -1,0 +1,85 @@
+package strdist
+
+// LevScratch holds the reusable dynamic-programming rows of the
+// scratch-backed edit-distance entry points, so the pooled apply path
+// computes path distances without per-call row allocations. The zero value
+// is ready to use; rows grow to the longest operand seen and stay.
+type LevScratch struct {
+	prev, cur []int
+}
+
+// rows returns the two DP rows sized for an inner operand of length n.
+func (s *LevScratch) rows(n int) ([]int, []int) {
+	if cap(s.prev) < n+1 {
+		s.prev = make([]int, n+1)
+		s.cur = make([]int, n+1)
+	}
+	return s.prev[:n+1], s.cur[:n+1]
+}
+
+// LevenshteinBytes returns the edit distance between a string and a byte
+// slice using the scratch's rows — the same distance Levenshtein(a,
+// string(b)) returns, without converting b or allocating rows. Edit
+// distance is an integer, so there is no bit-identity subtlety: any
+// correct evaluation order yields the same value. The two loops below
+// mirror Levenshtein's keep-the-inner-loop-short swap.
+func LevenshteinBytes(a string, b []byte, s *LevScratch) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) >= len(b) {
+		prev, cur := s.rows(len(b))
+		for j := range prev {
+			prev[j] = j
+		}
+		for i := 1; i <= len(a); i++ {
+			cur[0] = i
+			ca := a[i-1]
+			for j := 1; j <= len(b); j++ {
+				cost := 1
+				if ca == b[j-1] {
+					cost = 0
+				}
+				cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			}
+			prev, cur = cur, prev
+		}
+		return prev[len(b)]
+	}
+	prev, cur := s.rows(len(a))
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(b); i++ {
+		cur[0] = i
+		cb := b[i-1]
+		for j := 1; j <= len(a); j++ {
+			cost := 1
+			if cb == a[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}
+
+// NormalizedBytes is Normalized with the second operand as a byte slice
+// and scratch-backed rows: bit-identical to Normalized(a, string(b)) —
+// the integer distance is exact and the final division is the same two
+// operands in the same order.
+func NormalizedBytes(a string, b []byte, s *LevScratch) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	d := LevenshteinBytes(a, b, s)
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return float64(d) / float64(m)
+}

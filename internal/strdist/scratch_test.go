@@ -1,0 +1,64 @@
+package strdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLevenshteinBytesMatchesString pins the scratch-backed byte entry
+// points to the string originals on edge cases and random operand pairs —
+// including the length-swap boundary both implementations share.
+func TestLevenshteinBytesMatchesString(t *testing.T) {
+	var s LevScratch
+	check := func(a, b string) {
+		t.Helper()
+		if got, want := LevenshteinBytes(a, []byte(b), &s), Levenshtein(a, b); got != want {
+			t.Errorf("LevenshteinBytes(%q, %q) = %d, want %d", a, b, got, want)
+		}
+		gotN, wantN := NormalizedBytes(a, []byte(b), &s), Normalized(a, b)
+		if math.Float64bits(gotN) != math.Float64bits(wantN) {
+			t.Errorf("NormalizedBytes(%q, %q) = %x, want %x", a, b, gotN, wantN)
+		}
+	}
+	check("", "")
+	check("", "abc")
+	check("abc", "")
+	check("kitten", "sitting")
+	check("a", "a")
+	check("short", "a much longer operand")
+
+	rng := rand.New(rand.NewSource(5))
+	alphabet := "abXY/[]01"
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 300; trial++ {
+		check(randStr(rng.Intn(24)), randStr(rng.Intn(24)))
+	}
+}
+
+// TestLevScratchReuseAcrossSizes interleaves small and large operands on
+// one scratch so stale row contents from a bigger computation would
+// corrupt a smaller one if any cell were read before written.
+func TestLevScratchReuseAcrossSizes(t *testing.T) {
+	var s LevScratch
+	pairs := [][2]string{
+		{"abcdefghijklmnop", "ponmlkjihgfedcba"},
+		{"ab", "ba"},
+		{"xyxyxyxyxyxyxyxyxyxyxyxy", "yx"},
+		{"a", ""},
+		{"same", "same"},
+	}
+	for round := 0; round < 3; round++ {
+		for _, p := range pairs {
+			if got, want := LevenshteinBytes(p[0], []byte(p[1]), &s), Levenshtein(p[0], p[1]); got != want {
+				t.Fatalf("round %d: LevenshteinBytes(%q, %q) = %d, want %d", round, p[0], p[1], got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package tagtree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestArenaSlabGrowthAndReuse allocates across several slab boundaries,
+// resets, and re-allocates, checking that the arena recycles the same
+// node memory instead of growing.
+func TestArenaSlabGrowthAndReuse(t *testing.T) {
+	var a Arena
+	const n = arenaSlabNodes*2 + 100
+	first := make([]*Node, n)
+	for i := range first {
+		first[i] = a.NewTag("div")
+	}
+	if got := len(a.slabs); got != 3 {
+		t.Fatalf("%d nodes filled %d slabs, want 3", n, got)
+	}
+	a.Reset()
+	if got := len(a.slabs); got != 3 {
+		t.Fatalf("Reset dropped slabs: %d, want 3", got)
+	}
+	for i := 0; i < n; i++ {
+		if again := a.NewTag("p"); again != first[i] {
+			t.Fatalf("node %d not recycled: %p != %p", i, again, first[i])
+		}
+	}
+	if got := len(a.slabs); got != 3 {
+		t.Fatalf("re-allocation grew the arena to %d slabs", got)
+	}
+}
+
+// TestArenaResetScrubs builds a small linked tree with attributes and
+// content, resets, and verifies every handed-out node comes back clean:
+// no strings, no parent, no attribute pairs, no child pointers — but
+// with slice capacity retained.
+func TestArenaResetScrubs(t *testing.T) {
+	var a Arena
+	parent := a.NewTag("table")
+	parent.SetAttr("class", "results")
+	child := a.NewContent("answer text")
+	parent.AppendChild(child)
+	a.Reset()
+
+	for i, n := range []*Node{parent, child} {
+		if n.Type != TagNode || n.Tag != "" || n.Content != "" || n.Parent != nil {
+			t.Errorf("node %d not scrubbed: %+v", i, n)
+		}
+		if len(n.Attrs) != 0 || len(n.Children) != 0 {
+			t.Errorf("node %d kept %d attrs, %d children", i, len(n.Attrs), len(n.Children))
+		}
+	}
+	if cap(parent.Children) == 0 || cap(parent.Attrs) == 0 {
+		t.Error("Reset dropped slice capacity; reuse would re-allocate")
+	}
+	// Recycled nodes must be indistinguishable from fresh ones.
+	if n := a.NewTag("div"); n != parent || n.Tag != "div" || len(n.Children) != 0 {
+		t.Errorf("recycled node dirty: %+v", n)
+	}
+}
+
+// TestStepIndexMatchesPath pins the exported StepIndex — which the pooled
+// serve path uses to render paths without touching Node.Path — to
+// Node.Path's own sibling-index rule: the 1-based position among
+// same-label siblings, rendered exactly when more than one such sibling
+// exists.
+func TestStepIndexMatchesPath(t *testing.T) {
+	root := NewTag("html")
+	body := NewTag("body")
+	root.AppendChild(body)
+	only := NewTag("p")
+	body.AppendChild(only)
+	row1, row2 := NewTag("tr"), NewTag("tr")
+	tbl := NewTag("table")
+	body.AppendChild(tbl)
+	tbl.AppendChild(row1)
+	tbl.AppendChild(row2)
+
+	for _, tc := range []struct {
+		n         *Node
+		wantIdx   int
+		wantTotal int
+	}{
+		{root, 1, 1}, {body, 1, 1}, {only, 1, 1}, {tbl, 1, 1}, {row1, 1, 2}, {row2, 2, 2},
+	} {
+		idx, total := tc.n.StepIndex()
+		if idx != tc.wantIdx || total != tc.wantTotal {
+			t.Errorf("<%s>.StepIndex() = (%d, %d), want (%d, %d)",
+				tc.n.Tag, idx, total, tc.wantIdx, tc.wantTotal)
+		}
+		// Path renders "tag[idx]" exactly when total > 1; reconstruct
+		// the leaf step from StepIndex and compare.
+		wantStep := tc.n.Tag
+		if total > 1 {
+			wantStep = fmt.Sprintf("%s[%d]", tc.n.Tag, idx)
+		}
+		path := tc.n.Path()
+		if got := path[lastSlash(path)+1:]; got != wantStep {
+			t.Errorf("<%s>: Path leaf step %q, StepIndex reconstruction %q", tc.n.Tag, got, wantStep)
+		}
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -59,6 +59,13 @@ func (m *Node) step(withIndex bool) string {
 	return label + "[" + strconv.Itoa(idx) + "]"
 }
 
+// StepIndex returns n's 1-based position among its same-label siblings and
+// the total number of such siblings — the positional information a Path
+// step carries. Path renders the index only when total > 1; callers that
+// rebuild path steps incrementally (the pooled apply pipeline) must apply
+// the same rule to stay byte-identical with Path.
+func (n *Node) StepIndex() (idx, total int) { return n.siblingIndex() }
+
 // siblingIndex returns m's 1-based position among its same-label siblings
 // and the total number of such siblings.
 func (m *Node) siblingIndex() (idx, total int) {

@@ -10,13 +10,21 @@ import (
 // described as a vector of (tag, weight) pairs (Section 3.1.2).
 func (n *Node) TagCounts() map[string]int {
 	counts := make(map[string]int)
+	n.TagCountsInto(counts)
+	return counts
+}
+
+// TagCountsInto accumulates the subtree's tag frequencies into counts —
+// the scratch-reuse form of TagCounts for per-request paths that must not
+// allocate a fresh map per page. Existing entries are added to, not
+// replaced; clear the map between pages.
+func (n *Node) TagCountsInto(counts map[string]int) {
 	n.Walk(func(m *Node) bool {
 		if m.Type == TagNode {
 			counts[m.Tag]++
 		}
 		return true
 	})
-	return counts
 }
 
 // DistinctTags returns the number of distinct tag names in the subtree.
@@ -43,20 +51,28 @@ func (n *Node) ContentTokens() []string {
 // normalize is treated as the identity.
 func (n *Node) TermCounts(normalize func(string) string) map[string]int {
 	counts := make(map[string]int)
+	n.TermCountsInto(normalize, counts)
+	return counts
+}
+
+// TermCountsInto accumulates the subtree's normalized token frequencies
+// into counts — the scratch-reuse form of TermCounts. Tokens stream
+// through EachToken, so no intermediate token slice is built. Existing
+// entries are added to, not replaced; clear the map between pages.
+func (n *Node) TermCountsInto(normalize func(string) string, counts map[string]int) {
 	n.Walk(func(m *Node) bool {
 		if m.Type == ContentNode {
-			for _, tok := range Tokenize(m.Content) {
+			EachToken(m.Content, func(tok string) {
 				if normalize != nil {
 					tok = normalize(tok)
 				}
 				if tok != "" {
 					counts[tok]++
 				}
-			}
+			})
 		}
 		return true
 	})
-	return counts
 }
 
 // DistinctTerms returns the number of distinct raw content tokens in the
@@ -79,13 +95,16 @@ func (n *Node) DistinctTerms() int {
 // of Unicode letters or digits.
 func Tokenize(text string) []string {
 	var tokens []string
+	EachToken(text, func(tok string) { tokens = append(tokens, tok) })
+	return tokens
+}
+
+// EachToken calls fn with each lowercase word token of text in order —
+// Tokenize without the token slice. When a token is already lowercase the
+// string handed to fn is a substring of text (strings.ToLower's no-change
+// fast path), so a pass over clean text allocates nothing.
+func EachToken(text string, fn func(string)) {
 	start := -1
-	flush := func(end int) {
-		if start >= 0 {
-			tokens = append(tokens, strings.ToLower(text[start:end]))
-			start = -1
-		}
-	}
 	for i, r := range text {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
 			if start < 0 {
@@ -93,8 +112,24 @@ func Tokenize(text string) []string {
 			}
 			continue
 		}
-		flush(i)
+		if start >= 0 {
+			fn(strings.ToLower(text[start:i]))
+			start = -1
+		}
 	}
-	flush(len(text))
-	return tokens
+	if start >= 0 {
+		fn(strings.ToLower(text[start:]))
+	}
+}
+
+// HasWordToken reports whether text contains at least one word token — a
+// letter or digit anywhere — without materializing the tokens. It is
+// exactly len(Tokenize(text)) > 0.
+func HasWordToken(text string) bool {
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
 }
