@@ -16,6 +16,7 @@
 //	thor -stream c.thor.json.gz        # same output, pages streamed off the file
 //	thor -serve :8080      # serve the simulated deep web over HTTP instead
 //	thor -serve :8080 -model site0.model.gz  # …plus POST /extract serving
+//	thor -serve :8080 -models models/   # a fleet: POST /extract/<site> per model file
 //	thor -v                # dump extracted pagelets and objects
 //
 // Live sites: point THOR at any search endpoint reachable over HTTP; the
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +41,7 @@ import (
 	"thor/internal/cluster"
 	"thor/internal/core"
 	"thor/internal/deepweb"
+	"thor/internal/fleet"
 	"thor/internal/objects"
 	"thor/internal/parallel"
 	"thor/internal/probe"
@@ -61,6 +64,7 @@ func main() {
 		param   = flag.String("param", "q", "query parameter name for -url")
 		clust   = flag.String("clusterer", "", "phase-one clusterer by registry name (default: the approach's own algorithm)")
 		model   = flag.String("model", "", "with -serve: load a trained model from this file and mount POST /extract")
+		models  = flag.String("models", "", "with -serve: directory of per-site model files (<site>.thor.model.gz) served lazily at POST /extract/<site>")
 		saveTo  = flag.String("save-model", "", "train on the probed site and save the model to this file")
 		corpusF = flag.String("corpus", "", "extract from a persisted corpus file (loaded eagerly) instead of probing")
 		streamF = flag.String("stream", "", "like -corpus, but stream pages off the file with bounded derived memory; output is identical")
@@ -100,15 +104,22 @@ func main() {
 	}
 
 	if *serve != "" {
-		var m *core.Model
-		if *model != "" {
-			var err error
-			if m, err = core.LoadModelFile(*model); err != nil {
-				log.Fatal(err)
+		var fl *fleet.Fleet
+		if *models != "" || *model != "" {
+			fl = fleet.New(fleet.Config{Dir: *models, Logf: log.Printf})
+			if *model != "" {
+				m, err := core.LoadModelFile(*model)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fl.SetDefault(m)
+				log.Printf("loaded %s; POST /extract serves single-page extraction", m)
 			}
-			log.Printf("loaded %s; POST /extract serves single-page extraction", m)
+			if *models != "" {
+				log.Printf("serving models from %s at POST /extract/<site>", *models)
+			}
 		}
-		if err := serveFarm(*serve, max(*nsites, 1), *seed, m); err != nil {
+		if err := serveFarm(*serve, max(*nsites, 1), *seed, fl); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -205,33 +216,46 @@ func runSite(s *deepweb.Site, prober *probe.Prober, cfg core.Config, verbose boo
 	return renderSiteReport(s.Name(), col.Pages, res, verbose)
 }
 
-// serveFarm serves the simulated deep web — plus POST /extract when a
-// trained model was loaded — until the listener fails or the process
-// receives SIGINT/SIGTERM, at which point in-flight requests are drained
-// and the server shuts down gracefully.
-func serveFarm(addr string, nsites int, seed int64, m *core.Model) error {
+// serveFarm serves the simulated deep web — plus the fleet's extraction
+// routes when model serving was configured — until the listener fails or
+// the process receives SIGINT/SIGTERM.
+func serveFarm(addr string, nsites int, seed int64, fl *fleet.Fleet) error {
 	farm := deepweb.NewFarm(nsites, seed)
-	srv := &http.Server{Addr: addr, Handler: serveHandler(farm, m)}
-	log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), addr)
-
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d simulated deep-web sites on %s", len(farm.Sites), ln.Addr())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 
+	return runServer(&http.Server{Handler: serveHandler(farm, fl)}, ln, fl, sigs)
+}
+
+// runServer serves on ln until the listener fails or a value arrives on
+// stop, at which point in-flight requests — fleet extractions included —
+// are drained via Shutdown and only then is the fleet's registry closed,
+// so no draining request ever sees a torn or vanished model.
+func runServer(srv *http.Server, ln net.Listener, fl *fleet.Fleet, stop <-chan os.Signal) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
 	select {
 	case err := <-serveErr:
 		return err // the listener failed before any shutdown request
-	case sig := <-sigs:
+	case sig := <-stop:
 		log.Printf("received %s; shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}
-		<-serveErr // ListenAndServe has returned ErrServerClosed
+		<-serveErr // Serve has returned ErrServerClosed
+		if fl != nil {
+			fl.Close()
+		}
 		return nil
 	}
 }

@@ -1,91 +1,26 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
-	"log"
 	"net/http"
 
-	"thor/internal/core"
 	"thor/internal/deepweb"
+	"thor/internal/fleet"
 )
 
-// maxExtractBody bounds how much HTML one /extract request may post.
-const maxExtractBody = 4 << 20
-
-// extractResponse is the JSON body of a successful POST /extract.
-type extractResponse struct {
-	// Pagelets lists the extracted QA-Pagelets; empty when the model's
-	// verdict is that the page holds none (no-match and error pages).
-	Pagelets []extractedPagelet `json:"pagelets"`
-}
-
-// extractedPagelet names one extracted QA-Pagelet by its tag-tree path.
-type extractedPagelet struct {
-	Path string `json:"path"`
-}
-
-// extractHandler serves single-page extraction from a trained model: POST
-// a page's raw HTML, receive the extracted QA-Pagelet paths as JSON. Each
-// request touches only the posted page — no corpus, no re-clustering.
-func extractHandler(m *core.Model) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST a page's HTML to /extract", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxExtractBody+1))
-		if err != nil {
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(body) > maxExtractBody {
-			http.Error(w, fmt.Sprintf("page exceeds %d bytes", maxExtractBody),
-				http.StatusRequestEntityTooLarge)
-			return
-		}
-		if len(body) == 0 {
-			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
-			return
-		}
-		// The pooled apply pipeline: parse, signature, interning, and
-		// candidate scoring all run on recycled scratch — no per-request
-		// tree or map survives the call. Bit-identical verdict to
-		// ApplyContext on a page built from the same bytes.
-		path, found, err := m.ApplyHTML(r.Context(), string(body))
-		if err != nil {
-			// A canceled or timed-out request is the client's doing, not a
-			// model failure; answer 503 so retries are meaningful.
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		resp := extractResponse{Pagelets: []extractedPagelet{}}
-		if found {
-			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: path})
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			log.Printf("encoding /extract response: %v", err)
-		}
-	})
-}
-
 // serveHandler assembles the -serve HTTP surface: the simulated deep-web
-// farm, plus POST /extract when a trained model was loaded with -model.
-func serveHandler(farm *deepweb.Farm, m *core.Model) http.Handler {
-	if m == nil {
+// farm, plus the fleet's extraction routes when model serving was
+// configured (a -models directory and/or a -model default). The fleet
+// mounts POST /extract (default model), POST /extract/<site>, and the
+// X-Thor-Site header; each request flows through the fleet's admission
+// gate and the pooled zero-alloc apply pipeline.
+func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet) http.Handler {
+	if fl == nil {
 		return farm.Handler()
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", farm.Handler())
-	mux.Handle("/extract", extractHandler(m))
+	h := fl.Handler()
+	mux.Handle("/extract", h)
+	mux.Handle("/extract/", h)
 	return mux
 }

@@ -1,16 +1,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
+	"time"
 
 	"thor/internal/core"
 	"thor/internal/corpus"
 	"thor/internal/deepweb"
+	"thor/internal/fleet"
 	"thor/internal/probe"
 )
 
@@ -30,6 +42,16 @@ func trainModel(t *testing.T) *core.Model {
 	return m
 }
 
+// singleModelFleet wraps one model as a one-entry fleet, the -serve
+// -model wiring without a -models directory.
+func singleModelFleet(t *testing.T, m *core.Model) *fleet.Fleet {
+	t.Helper()
+	fl := fleet.New(fleet.Config{})
+	t.Cleanup(fl.Close)
+	fl.SetDefault(m)
+	return fl
+}
+
 func TestExtractEndpoint(t *testing.T) {
 	m := trainModel(t)
 
@@ -43,7 +65,7 @@ func TestExtractEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), loaded))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, loaded)))
 	defer srv.Close()
 
 	// Fresh pages from queries the training run never issued.
@@ -63,7 +85,11 @@ func TestExtractEndpoint(t *testing.T) {
 		if ct := res.Header.Get("Content-Type"); ct != "application/json" {
 			t.Fatalf("Content-Type = %q", ct)
 		}
-		var body extractResponse
+		var body struct {
+			Pagelets []struct {
+				Path string `json:"path"`
+			} `json:"pagelets"`
+		}
 		err = json.NewDecoder(res.Body).Decode(&body)
 		if cerr := res.Body.Close(); err == nil {
 			err = cerr
@@ -93,10 +119,10 @@ func TestExtractEndpoint(t *testing.T) {
 }
 
 func TestExtractEndpointRejections(t *testing.T) {
-	srv := httptest.NewServer(extractHandler(trainModel(t)))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, trainModel(t))))
 	defer srv.Close()
 
-	res, err := http.Get(srv.URL)
+	res, err := http.Get(srv.URL + "/extract")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +134,7 @@ func TestExtractEndpointRejections(t *testing.T) {
 		t.Errorf("Allow = %q, want POST", allow)
 	}
 
-	res, err = http.Post(srv.URL, "text/html", strings.NewReader(""))
+	res, err = http.Post(srv.URL+"/extract", "text/html", strings.NewReader(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +143,8 @@ func TestExtractEndpointRejections(t *testing.T) {
 		t.Errorf("empty POST: %s, want 400", res.Status)
 	}
 
-	res, err = http.Post(srv.URL, "text/html", strings.NewReader(strings.Repeat("x", maxExtractBody+1)))
+	res, err = http.Post(srv.URL+"/extract", "text/html",
+		strings.NewReader(strings.Repeat("x", fleet.MaxExtractBody+1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +154,115 @@ func TestExtractEndpointRejections(t *testing.T) {
 	}
 }
 
-// TestServeHandlerKeepsFarmRoutes pins that mounting /extract does not
-// shadow the simulated deep-web farm.
+// legacyExtractHandler is a verbatim copy of the single-model handler
+// this command shipped before the fleet refactor. It exists only as the
+// contract oracle for TestFleetHandlerMatchesLegacyByteForByte: the
+// fleet's /extract route must stay bit-identical to it.
+func legacyExtractHandler(m *core.Model) http.Handler {
+	type extractedPagelet struct {
+		Path string `json:"path"`
+	}
+	type extractResponse struct {
+		Pagelets []extractedPagelet `json:"pagelets"`
+	}
+	const maxExtractBody = 4 << 20
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a page's HTML to /extract", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxExtractBody+1))
+		if err != nil {
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxExtractBody {
+			http.Error(w, fmt.Sprintf("page exceeds %d bytes", maxExtractBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		if len(body) == 0 {
+			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
+			return
+		}
+		path, found, err := m.ApplyHTML(r.Context(), string(body))
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := extractResponse{Pagelets: []extractedPagelet{}}
+		if found {
+			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: path})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			log.Printf("encoding /extract response: %v", err)
+		}
+	})
+}
+
+// TestFleetHandlerMatchesLegacyByteForByte is the refactor's contract
+// test: a one-entry fleet answering POST /extract must be byte-identical
+// — status, Content-Type, and full body — to the pre-refactor
+// single-model handler, for every clustering approach and for the error
+// paths (405, empty body, 413).
+func TestFleetHandlerMatchesLegacyByteForByte(t *testing.T) {
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 31})
+	prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 1), Labeler: deepweb.Labeler()}
+	col := prober.ProbeSite(site)
+	fresh := &probe.Prober{Plan: probe.NewPlan(12, 2, 909), Labeler: deepweb.Labeler()}
+	freshPages := fresh.ProbeSite(site).Pages
+	oversized := strings.Repeat("x", fleet.MaxExtractBody+1)
+
+	for a := core.Approach(0); a < core.NumApproaches; a++ {
+		cfg := core.DefaultConfig()
+		cfg.Approach = a
+		cfg.Workers = 1
+		m, err := core.NewExtractor(cfg).BuildModel(col.Pages)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		legacy := legacyExtractHandler(m)
+		modern := serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, m))
+
+		check := func(name, method, body string) {
+			t.Helper()
+			run := func(h http.Handler) *httptest.ResponseRecorder {
+				req := httptest.NewRequest(method, "/extract", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				return rec
+			}
+			want, got := run(legacy), run(modern)
+			if got.Code != want.Code {
+				t.Errorf("%s/%s: status %d, legacy %d", a, name, got.Code, want.Code)
+			}
+			if gc, wc := got.Header().Get("Content-Type"), want.Header().Get("Content-Type"); gc != wc {
+				t.Errorf("%s/%s: Content-Type %q, legacy %q", a, name, gc, wc)
+			}
+			if got.Body.String() != want.Body.String() {
+				t.Errorf("%s/%s: body %q, legacy %q", a, name, got.Body.String(), want.Body.String())
+			}
+		}
+
+		for i, page := range freshPages {
+			check(fmt.Sprintf("page%d", i), http.MethodPost, page.HTML)
+		}
+		check("get", http.MethodGet, "")
+		check("empty", http.MethodPost, "")
+		check("oversized", http.MethodPost, oversized)
+	}
+}
+
+// TestServeHandlerKeepsFarmRoutes pins that mounting the fleet routes
+// does not shadow the simulated deep-web farm.
 func TestServeHandlerKeepsFarmRoutes(t *testing.T) {
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(2, 7), trainModel(t)))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(2, 7), singleModelFleet(t, trainModel(t))))
 	defer srv.Close()
 
 	for _, path := range []string{"/", "/site/0/"} {
@@ -145,7 +277,7 @@ func TestServeHandlerKeepsFarmRoutes(t *testing.T) {
 	}
 }
 
-func TestServeHandlerWithoutModelHasNoExtract(t *testing.T) {
+func TestServeHandlerWithoutFleetHasNoExtract(t *testing.T) {
 	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), nil))
 	defer srv.Close()
 
@@ -155,6 +287,72 @@ func TestServeHandlerWithoutModelHasNoExtract(t *testing.T) {
 	}
 	res.Body.Close()
 	if res.StatusCode == http.StatusOK {
-		t.Error("POST /extract succeeded with no model loaded")
+		t.Error("POST /extract succeeded with no fleet configured")
+	}
+}
+
+// TestRunServerShutdownDrainsInFlight pins the graceful-shutdown order:
+// on a stop signal, in-flight fleet extractions finish with 200 — the
+// registry closes only after the drain — and runServer returns nil.
+func TestRunServerShutdownDrainsInFlight(t *testing.T) {
+	m := trainModel(t)
+	fl := fleet.New(fleet.Config{})
+	fl.SetDefault(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: serveHandler(deepweb.NewFarm(1, 7), fl)}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- runServer(srv, ln, fl, stop) }()
+
+	site := deepweb.NewSite(deepweb.SiteConfig{ID: 2, Seed: 31})
+	prober := &probe.Prober{Plan: probe.NewPlan(12, 2, 909), Labeler: deepweb.Labeler()}
+	html := prober.ProbeSite(site).Pages[0].HTML
+	url := "http://" + ln.Addr().String() + "/extract"
+
+	// Hammer the endpoint until the listener goes away. Transport errors
+	// mean the server stopped accepting — expected after the signal — but
+	// any request that was *answered* must have been answered completely.
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				res, err := http.Post(url, "text/html", strings.NewReader(html))
+				if err != nil {
+					return
+				}
+				_, err = io.Copy(io.Discard, res.Body)
+				if cerr := res.Body.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return
+				}
+				if res.StatusCode != http.StatusOK {
+					t.Errorf("in-flight request answered %s, want 200", res.Status)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	// Only signal once extraction traffic is actually flowing.
+	for served.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("runServer after SIGTERM: %v", err)
+	}
+	wg.Wait()
+
+	// The drain completed and only then was the registry closed.
+	if _, err := fl.Get(context.Background(), fleet.DefaultSite); !errors.Is(err, fleet.ErrClosed) {
+		t.Errorf("fleet after shutdown: %v, want ErrClosed", err)
 	}
 }

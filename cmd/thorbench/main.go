@@ -13,11 +13,13 @@
 //
 // Figures: 4, 5, 6, 7, 8, 9, 10, 11, plus "treedist" (tag-signature vs
 // tree-edit cost), "stats" (corpus statistics), "serve" (model-build time
-// vs per-page Apply latency), "scale" (eager vs streaming ingestion
-// residency; with -json it writes the per-size heap record
-// BENCH_scale.json), "kernels" (string vs interned similarity-kernel
-// micro-benchmark; with -json it writes the ns-per-pair record
-// BENCH_kernels.json), and the ablations "ksweep", "restarts",
+// vs per-page Apply latency), "fleet" (per-site models served through
+// the multi-tenant registry under concurrent load, plus an overload
+// point; with -json it writes BENCH_fleet.json), "scale" (eager vs
+// streaming ingestion residency; with -json it writes the per-size heap
+// record BENCH_scale.json), "kernels" (string vs interned
+// similarity-kernel micro-benchmark; with -json it writes the
+// ns-per-pair record BENCH_kernels.json), and the ablations "ksweep", "restarts",
 // "threshold", "ranking", "objects", "multiregion", "bisecting", and
 // "adaptive" (see DESIGN.md).
 package main
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,fleet,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites   = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict    = flag.Int("dict", 100, "dictionary probe words per site")
 		nons    = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -91,6 +93,10 @@ func main() {
 				// both apply paths, not just the whole-figure wall time
 				// (which is dominated by the one-time model builds).
 				err = writeServeBench(*jsonDir, o, r, time.Since(start))
+			case *experiments.FleetResult:
+				// The fleet figure records registry-serving throughput,
+				// latency percentiles, and the overload shed counts.
+				err = writeFleetBench(*jsonDir, o, r, time.Since(start))
 			default:
 				err = writeBench(*jsonDir, name, o, time.Since(start))
 			}
@@ -121,6 +127,7 @@ func main() {
 		"bisecting":   func() fmt.Stringer { return experiments.BisectingAblation(o) },
 		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
 		"serve":       func() fmt.Stringer { return experiments.ServeBenchmark(o) },
+		"fleet":       func() fmt.Stringer { return experiments.FleetBenchmark(o) },
 		"scale":       func() fmt.Stringer { return experiments.ScaleBenchmark(o) },
 		"kernels":     func() fmt.Stringer { return experiments.KernelBenchmark(o) },
 	}
@@ -138,7 +145,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive", "serve", "scale", "kernels"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve", "fleet", "scale", "kernels"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}
@@ -343,6 +350,59 @@ func writeServeBench(dir string, o experiments.Options, r *experiments.ServeResu
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), append(data, '\n'), 0o644)
+}
+
+// FleetBenchRecord is the machine-readable artifact of the fleet
+// figure: throughput and latency percentiles of a mixed multi-site
+// request stream through the model registry (lazy cold loads included),
+// plus the overload point — holder/refused pairs against a one-slot
+// gate with no queue, each deterministically one served and one shed
+// with 429.
+type FleetBenchRecord struct {
+	Figure            string  `json:"figure"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	Workers           int     `json:"workers"`
+	Sites             int     `json:"sites"`
+	Requests          int     `json:"requests"`
+	TrainSeconds      float64 `json:"train_seconds"`
+	ServeSeconds      float64 `json:"serve_seconds"`
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	P50Millis         float64 `json:"p50_ms"`
+	P99Millis         float64 `json:"p99_ms"`
+	Errors            int     `json:"errors"`
+	LoadedModels      int     `json:"loaded_models"`
+	OverloadPairs     int     `json:"overload_pairs"`
+	OverloadOK        int     `json:"overload_ok"`
+	Overload429       int     `json:"overload_429"`
+}
+
+// writeFleetBench persists the fleet figure as BENCH_fleet.json.
+func writeFleetBench(dir string, o experiments.Options, r *experiments.FleetResult, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := FleetBenchRecord{
+		Figure:            "fleet",
+		WallSeconds:       wall.Seconds(),
+		Workers:           parallel.Workers(o.Workers),
+		Sites:             r.Sites,
+		Requests:          r.Requests,
+		TrainSeconds:      r.TrainSeconds,
+		ServeSeconds:      r.ServeSeconds,
+		RequestsPerSecond: r.RequestsPerSec,
+		P50Millis:         r.P50Millis,
+		P99Millis:         r.P99Millis,
+		Errors:            r.Errors,
+		LoadedModels:      r.LoadedModels,
+		OverloadPairs:     r.OverloadPairs,
+		OverloadOK:        r.OverloadOK,
+		Overload429:       r.Overload429,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_fleet.json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"thor/internal/strdist"
 	"thor/internal/vector"
@@ -177,15 +178,45 @@ func (m *Model) SaveFile(path string) error {
 
 // LoadModelFile loads a model from path.
 func LoadModelFile(path string) (*Model, error) {
+	m, _, err := LoadModelFileWithInfo(path)
+	return m, err
+}
+
+// ModelFileInfo fingerprints the on-disk snapshot a Model was loaded
+// from: the file's size and modification time as observed through the
+// very descriptor the model bytes were read from. A registry that holds
+// many loaded models re-checks this fingerprint against a fresh stat to
+// decide whether the file underneath has been replaced and the entry
+// should be hot-swapped.
+type ModelFileInfo struct {
+	Size    int64
+	ModTime time.Time
+}
+
+// Same reports whether a later stat still describes the loaded snapshot.
+func (i ModelFileInfo) Same(fi os.FileInfo) bool {
+	return fi != nil && i.Size == fi.Size() && i.ModTime.Equal(fi.ModTime())
+}
+
+// LoadModelFileWithInfo loads a model from path and returns the loaded
+// file's fingerprint alongside it. The fingerprint is taken from the open
+// descriptor rather than a separate stat, so it describes exactly the
+// bytes that were decoded even if the path is re-pointed at a newer file
+// mid-load.
+func LoadModelFileWithInfo(path string) (*Model, ModelFileInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, ModelFileInfo{}, fmt.Errorf("core: %w", err)
 	}
 	//thorlint:allow no-unchecked-error closing a read-only file cannot lose data
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, ModelFileInfo{}, fmt.Errorf("core: %w", err)
+	}
 	m, err := LoadModel(f)
 	if err != nil {
-		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+		return nil, ModelFileInfo{}, fmt.Errorf("core: loading %s: %w", path, err)
 	}
-	return m, nil
+	return m, ModelFileInfo{Size: fi.Size(), ModTime: fi.ModTime()}, nil
 }

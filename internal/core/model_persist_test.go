@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/gob"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"thor/internal/vector"
 )
@@ -104,6 +106,50 @@ func TestModelSaveLoadFile(t *testing.T) {
 	}
 	if loaded.NDocs != m.NDocs || len(loaded.Centroids) != len(m.Centroids) {
 		t.Errorf("loaded %s, want %s", loaded, m)
+	}
+}
+
+// TestLoadModelFileWithInfoFingerprint pins the registry's hot-swap
+// signal: the fingerprint matches a stat of the loaded file and stops
+// matching once the file is replaced (or its mtime touched).
+func TestLoadModelFileWithInfoFingerprint(t *testing.T) {
+	train := probeSite(t, 1, 1)
+	m, err := NewExtractor(DefaultConfig()).BuildModel(train.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "site1.thor.model.gz")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := LoadModelFileWithInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NDocs != m.NDocs {
+		t.Errorf("loaded %s, want %s", loaded, m)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Same(fi) {
+		t.Errorf("fingerprint %+v does not match a fresh stat of the unchanged file", info)
+	}
+	if info.Same(nil) {
+		t.Error("fingerprint matches a nil stat")
+	}
+	// A drop-in replacement must flip the fingerprint even when the new
+	// snapshot happens to have the same size: force a distinct mtime.
+	if err := os.Chtimes(path, fi.ModTime().Add(2*time.Second), fi.ModTime().Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	fi2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Same(fi2) {
+		t.Error("fingerprint still matches after the file's mtime changed")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"unsafe"
 
 	"thor/internal/corpus"
 	"thor/internal/htmlx"
@@ -76,6 +77,30 @@ func (m *Model) applyWeighting() vector.Weighting {
 // path (or the same "no pagelet" answer, found=false). The contract tests
 // pin this across every approach and worker count.
 func (m *Model) ApplyHTML(ctx context.Context, html string) (path string, found bool, err error) {
+	return m.applyHTML(ctx, html)
+}
+
+// ApplyHTMLBytes is ApplyHTML over a caller-owned byte slice — the form a
+// network handler holds a request body in — without the string(body) copy
+// (up to the request size limit, so megabytes per call). The pipeline
+// reads the bytes through an unsafe string view, which is sound under two
+// conditions the pooled pipeline already guarantees for the string form:
+// the HTML is only ever read (never written) during the call, and nothing
+// reachable after return aliases it — the parse tree and every derived
+// view live in pooled scratch released before return, and the answer path
+// is materialized as a fresh string. The caller must not mutate html
+// until the call returns (a handler that owns the body buffer trivially
+// satisfies this); afterwards the buffer is free to reuse.
+func (m *Model) ApplyHTMLBytes(ctx context.Context, html []byte) (path string, found bool, err error) {
+	if len(html) == 0 {
+		return m.applyHTML(ctx, "")
+	}
+	return m.applyHTML(ctx, unsafe.String(unsafe.SliceData(html), len(html)))
+}
+
+// applyHTML is the shared implementation behind ApplyHTML and
+// ApplyHTMLBytes.
+func (m *Model) applyHTML(ctx context.Context, html string) (path string, found bool, err error) {
 	if err := ctx.Err(); err != nil {
 		return "", false, err
 	}

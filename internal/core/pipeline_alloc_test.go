@@ -39,5 +39,17 @@ func TestApplyHTMLSteadyStateAllocs(t *testing.T) {
 		if allocs > maxSteadyStateAllocs {
 			t.Errorf("page %d: %.1f allocs per warm ApplyHTML, budget %d", i, allocs, maxSteadyStateAllocs)
 		}
+		// The byte entry point the fleet handler serves through must stay
+		// inside the same budget: the unsafe view adds no copy and no
+		// allocation over the string form.
+		body := []byte(html)
+		allocs = testing.AllocsPerRun(20, func() {
+			if _, _, err := m.ApplyHTMLBytes(ctx, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > maxSteadyStateAllocs {
+			t.Errorf("page %d: %.1f allocs per warm ApplyHTMLBytes, budget %d", i, allocs, maxSteadyStateAllocs)
+		}
 	}
 }

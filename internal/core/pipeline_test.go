@@ -72,6 +72,42 @@ func TestApplyHTMLMatchesApplyAllApproaches(t *testing.T) {
 	}
 }
 
+// TestApplyHTMLBytesMatchesApplyHTML pins the zero-copy byte entry point
+// to the string form on every approach, and proves the answer shares
+// nothing with the caller's buffer: scribbling over the request bytes
+// after the call must leave the returned path intact.
+func TestApplyHTMLBytesMatchesApplyHTML(t *testing.T) {
+	ctx := context.Background()
+	for _, a := range []Approach{TFIDFTags, RawTags, TFIDFContent, RawContent, SizeBased} {
+		m, want, htmls := buildModelForApproach(t, a)
+		for i, html := range htmls {
+			buf := []byte(html)
+			path, found, err := m.ApplyHTMLBytes(ctx, buf)
+			if err != nil {
+				t.Fatalf("%v: ApplyHTMLBytes: %v", a, err)
+			}
+			if got := (applyVerdict{Path: path, Found: found}); got != want[i] {
+				t.Fatalf("%v page %d: ApplyHTMLBytes = %+v, Apply = %+v", a, i, got, want[i])
+			}
+			for j := range buf {
+				buf[j] = 'x'
+			}
+			if got := (applyVerdict{Path: path, Found: found}); got != want[i] {
+				t.Fatalf("%v page %d: verdict aliased the request buffer", a, i)
+			}
+		}
+	}
+	m, _, _ := buildModelForApproach(t, TFIDFTags)
+	wantPath, wantFound, err := m.ApplyHTML(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, gotFound, err := m.ApplyHTMLBytes(ctx, nil)
+	if err != nil || gotPath != wantPath || gotFound != wantFound {
+		t.Fatalf("nil body: (%q,%v,%v), string form (%q,%v)", gotPath, gotFound, err, wantPath, wantFound)
+	}
+}
+
 // TestApplyHTMLPooledScratchWorkerCountIndependence is the pooled-scratch
 // concurrency contract: many goroutines hammering ApplyHTML through the
 // shared sync.Pool — scratches recycled across goroutines mid-run — must

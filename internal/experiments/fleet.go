@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"thor/internal/deepweb"
+	"thor/internal/fleet"
+	"thor/internal/parallel"
+	"thor/internal/probe"
+)
+
+// FleetResult is the machine-readable outcome of FleetBenchmark: the
+// cost of training and persisting one model per site, the throughput and
+// latency of serving a mixed multi-site request stream through the fleet
+// registry (lazy loads, LRU, admission gate, pooled apply), and an
+// overload point showing the bounded queue shedding with 429. The
+// embedded table is the human-readable rendering.
+type FleetResult struct {
+	*TableResult
+
+	// Sites is the number of per-site model files in the fleet directory.
+	Sites int
+	// Requests is the size of the mixed request stream (identical in the
+	// serving and overload phases).
+	Requests int
+	// TrainSeconds is the wall time to build and persist all site models.
+	TrainSeconds float64
+	// ServeSeconds is the serving phase's wall time at o.Workers clients;
+	// RequestsPerSec is Requests over that wall.
+	ServeSeconds   float64
+	RequestsPerSec float64
+	// P50Millis and P99Millis are per-request latency percentiles of the
+	// serving phase, cold loads included.
+	P50Millis, P99Millis float64
+	// Errors counts non-200 answers in the serving phase — the contract
+	// says 0: every site routes to a loadable model and the gate is sized
+	// for the offered load.
+	Errors int
+	// LoadedModels is the registry's resident-model count after the
+	// serving phase (== Sites when every site was routed to).
+	LoadedModels int
+
+	// The overload phase replays the stream against the same directory
+	// behind a one-slot gate with no waiting room, in OverloadPairs
+	// holder/refused pairs: the holder's body blocks inside the handler
+	// until its partner has been answered, so each pair deterministically
+	// yields one 200 (OverloadOK) and one 429 + Retry-After
+	// (Overload429), whatever the machine load.
+	OverloadPairs int
+	OverloadOK    int
+	Overload429   int
+}
+
+// FleetBenchmark measures the multi-tenant serving surface end to end:
+// one model per simulated site is trained and persisted to a directory,
+// then a fresh probe round's pages are replayed as a site-interleaved
+// POST /extract/<site> stream through the fleet handler — every request
+// paying admission, routing, lazy cold loads, and the pooled zero-alloc
+// apply. A second pass replays the stream against a one-slot gate with
+// no waiting room, in pairs engineered so a slot is provably held when
+// the partner arrives — demonstrating the bounded admission layer: the
+// overflow is shed immediately with 429 rather than piling up.
+//
+// Timing is load-dependent by nature (unlike the deterministic figure
+// experiments); the verdicts and the overload 200/429 split are not —
+// every answered request returns the model's canonical extraction, and
+// every overload pair is exactly one served and one shed.
+func FleetBenchmark(o Options) *FleetResult {
+	sites := deepweb.NewSites(o.Sites, o.Seed)
+	trainProber := &probe.Prober{Plan: probe.NewPlan(o.DictWords, o.Nonsense, o.Seed+1000), Labeler: deepweb.Labeler()}
+	// A different plan seed draws different dictionary probes: the served
+	// pages answer queries the training sample never issued.
+	serveProber := &probe.Prober{Plan: probe.NewPlan(o.DictWords, o.Nonsense, o.Seed+2000), Labeler: deepweb.Labeler()}
+
+	dir, err := os.MkdirTemp("", "thor-fleet-*")
+	if err != nil {
+		//thorlint:allow no-panic-in-lib programmer-error guard; no temp dir means no benchmark environment
+		panic("experiments: " + err.Error())
+	}
+	//thorlint:allow no-unchecked-error best-effort temp-dir cleanup
+	defer os.RemoveAll(dir)
+
+	// Train one model per site and persist it under the site's route key,
+	// fanning out across sites with serial inner pipelines.
+	type sitePages struct {
+		key   string
+		htmls []string
+	}
+	start := time.Now()
+	persisted := parallel.Map(len(sites), o.Workers, func(i int) sitePages {
+		s := sites[i]
+		train := trainProber.ProbeSite(s)
+		m := buildServeModel(o, s.ID(), train.Pages)
+		key := fmt.Sprintf("site%d", s.ID())
+		if err := m.SaveFile(filepath.Join(dir, key+".thor.model.gz")); err != nil {
+			//thorlint:allow no-panic-in-lib programmer-error guard; the temp dir was just created writable
+			panic("experiments: " + err.Error())
+		}
+		fresh := serveProber.ProbeSite(s)
+		htmls := make([]string, len(fresh.Pages))
+		for j, p := range fresh.Pages {
+			htmls[j] = p.HTML
+		}
+		return sitePages{key: key, htmls: htmls}
+	})
+	out := &FleetResult{Sites: len(sites)}
+	out.TrainSeconds = time.Since(start).Seconds()
+
+	// Interleave the stream round-robin across sites so the registry sees
+	// mixed traffic, not one site drained at a time.
+	type request struct {
+		site, html string
+	}
+	var reqs []request
+	for round := 0; ; round++ {
+		added := false
+		for _, sp := range persisted {
+			if round < len(sp.htmls) {
+				reqs = append(reqs, request{site: sp.key, html: sp.htmls[round]})
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	out.Requests = len(reqs)
+
+	post := func(h http.Handler, r request) int {
+		req := httptest.NewRequest(http.MethodPost, "/extract/"+r.site, strings.NewReader(r.html))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	// Serving phase: the full stream at o.Workers concurrent clients,
+	// through a fleet sized to hold every model.
+	fl := fleet.New(fleet.Config{Dir: dir, MaxModels: len(sites) + 1, SwapEvery: -1})
+	h := fl.Handler()
+	latencies := make([]float64, len(reqs))
+	start = time.Now()
+	codes := parallel.Map(len(reqs), o.Workers, func(i int) int {
+		t0 := time.Now()
+		code := post(h, reqs[i])
+		latencies[i] = time.Since(t0).Seconds()
+		return code
+	})
+	out.ServeSeconds = time.Since(start).Seconds()
+	out.RequestsPerSec = float64(len(reqs)) / out.ServeSeconds
+	for _, code := range codes {
+		if code != http.StatusOK {
+			out.Errors++
+		}
+	}
+	out.LoadedModels = fl.Len()
+	fl.Close()
+
+	sort.Float64s(latencies)
+	out.P50Millis = 1000 * percentile(latencies, 50)
+	out.P99Millis = 1000 * percentile(latencies, 99)
+
+	// Overload phase: same directory behind one slot and no waiting
+	// room, replayed in holder/refused pairs. The holder's body blocks
+	// inside the handler — past the admission gate — until its partner
+	// has been answered, so when the partner arrives the only slot is
+	// provably busy and the 429 is structural, not a scheduling accident.
+	ofl := fleet.New(fleet.Config{Dir: dir, MaxModels: len(sites) + 1, MaxConcurrent: 1, MaxQueue: -1, SwapEvery: -1})
+	oh := ofl.Handler()
+	out.OverloadPairs = len(reqs) / 2
+	ostart := time.Now()
+	ocodes := parallel.Map(out.OverloadPairs, 1, func(i int) [2]int {
+		holder, partner := reqs[2*i], reqs[2*i+1]
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		codes := parallel.Map(2, 2, func(j int) int {
+			if j == 0 {
+				body := &holdingBody{html: holder.html, entered: entered, release: release}
+				req := httptest.NewRequest(http.MethodPost, "/extract/"+holder.site, body)
+				rec := httptest.NewRecorder()
+				oh.ServeHTTP(rec, req)
+				return rec.Code
+			}
+			<-entered // the holder now owns the only slot
+			code := post(oh, partner)
+			close(release)
+			return code
+		})
+		return [2]int{codes[0], codes[1]}
+	})
+	overloadSeconds := time.Since(ostart).Seconds()
+	for _, pair := range ocodes {
+		for _, code := range pair {
+			switch code {
+			case http.StatusOK:
+				out.OverloadOK++
+			case http.StatusTooManyRequests:
+				out.Overload429++
+			}
+		}
+	}
+	ofl.Close()
+
+	res := &TableResult{
+		Title:  fmt.Sprintf("model fleet: %d per-site models served through the registry (%d mixed requests)", out.Sites, out.Requests),
+		Header: []string{"seconds", "p50-ms", "p99-ms", "req/sec", "shed-429"},
+	}
+	res.Rows = append(res.Rows, Row{
+		Label:  "mixed load",
+		Values: []float64{out.ServeSeconds, out.P50Millis, out.P99Millis, out.RequestsPerSec, float64(out.Errors)},
+	})
+	res.Rows = append(res.Rows, Row{
+		Label: "overload",
+		Values: []float64{
+			overloadSeconds, 0, 0,
+			float64(out.OverloadOK) / overloadSeconds,
+			float64(out.Overload429),
+		},
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d models trained and persisted in %.1fs; %d resident after the mixed load (lazy cold loads included in latencies)",
+			out.Sites, out.TrainSeconds, out.LoadedModels),
+		fmt.Sprintf("mixed load: %d requests, %d non-200 answers (contract: 0)", out.Requests, out.Errors),
+		fmt.Sprintf("overload: %d holder/refused pairs against 1 slot with no queue; %d served, %d shed with 429 + Retry-After (req/sec counts served only)",
+			out.OverloadPairs, out.OverloadOK, out.Overload429),
+	)
+	out.TableResult = res
+	return out
+}
+
+// holdingBody is the overload phase's request body: the first Read —
+// which the handler performs only after passing the admission gate and
+// resolving the model — announces on entered that a slot is held, then
+// waits for release before delivering the page, keeping the slot
+// provably busy while the paired request is refused.
+type holdingBody struct {
+	html    string
+	entered chan<- struct{}
+	release <-chan struct{}
+	once    sync.Once
+	r       *strings.Reader
+}
+
+func (b *holdingBody) Read(p []byte) (int, error) {
+	b.once.Do(func() {
+		close(b.entered)
+		<-b.release
+		b.r = strings.NewReader(b.html)
+	})
+	return b.r.Read(p)
+}
+
+// percentile returns the nearest-rank p-th percentile (0–100) of
+// ascending-sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}

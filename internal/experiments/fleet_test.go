@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetBenchmark(t *testing.T) {
+	o := tinyOptions()
+	res := FleetBenchmark(o)
+
+	if res.Sites != o.Sites {
+		t.Errorf("Sites = %d, want %d", res.Sites, o.Sites)
+	}
+	if want := o.Sites * o.ProbesPerSite(); res.Requests != want {
+		t.Errorf("Requests = %d, want one per fresh page = %d", res.Requests, want)
+	}
+	// The contract: every mixed-load request routes to a loadable model
+	// behind an adequately sized gate, so nothing errors or sheds.
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", res.Errors)
+	}
+	if res.LoadedModels != o.Sites {
+		t.Errorf("LoadedModels = %d, want every site resident = %d", res.LoadedModels, o.Sites)
+	}
+	if res.TrainSeconds <= 0 || res.ServeSeconds <= 0 || res.RequestsPerSec <= 0 {
+		t.Errorf("timing fields not populated: train=%v serve=%v rps=%v",
+			res.TrainSeconds, res.ServeSeconds, res.RequestsPerSec)
+	}
+	if res.P50Millis <= 0 || res.P99Millis < res.P50Millis {
+		t.Errorf("latency percentiles p50=%v p99=%v, want 0 < p50 <= p99", res.P50Millis, res.P99Millis)
+	}
+	// The overload phase is structural: every holder/refused pair is
+	// exactly one 200 and one 429, whatever the machine load.
+	if want := res.Requests / 2; res.OverloadPairs != want {
+		t.Errorf("OverloadPairs = %d, want %d", res.OverloadPairs, want)
+	}
+	if res.OverloadOK != res.OverloadPairs {
+		t.Errorf("overload served %d of %d pairs; every holder must be served", res.OverloadOK, res.OverloadPairs)
+	}
+	if res.Overload429 != res.OverloadPairs {
+		t.Errorf("overload shed %d of %d pairs; every partner must be refused with 429", res.Overload429, res.OverloadPairs)
+	}
+
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want mixed load and overload", len(res.Rows))
+	}
+	if res.Rows[0].Label != "mixed load" || res.Rows[1].Label != "overload" {
+		t.Fatalf("row labels %q, %q", res.Rows[0].Label, res.Rows[1].Label)
+	}
+	var overloadNote string
+	for _, n := range res.Notes {
+		if strings.Contains(n, "429") {
+			overloadNote = n
+		}
+	}
+	if overloadNote == "" {
+		t.Error("no overload note on the table")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{{0, 1}, {50, 6}, {99, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}

@@ -6,10 +6,33 @@ import (
 	"time"
 
 	"thor/internal/core"
+	"thor/internal/corpus"
 	"thor/internal/deepweb"
 	"thor/internal/probe"
 	"thor/internal/quality"
 )
+
+// serveModelConfig is the canonical per-site serving-model configuration
+// shared by the serving benchmarks: the experiment's K/restarts/seed with
+// a serial inner pipeline, so site-level fan-out never nests parallelism.
+func serveModelConfig(o Options, siteID int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.K = o.K
+	cfg.Restarts = o.KMRestarts
+	cfg.Seed = o.Seed + int64(siteID)
+	cfg.Workers = 1
+	return cfg
+}
+
+// buildServeModel trains one site's serving model from its probed pages.
+func buildServeModel(o Options, siteID int, pages []*corpus.Page) *core.Model {
+	m, err := core.NewExtractor(serveModelConfig(o, siteID)).BuildModel(pages)
+	if err != nil {
+		//thorlint:allow no-panic-in-lib programmer-error guard; the default config names a registered clusterer
+		panic("experiments: " + err.Error())
+	}
+	return m
+}
 
 // ServeResult is the machine-readable outcome of ServeBenchmark: the
 // one-time model-build cost against both per-page apply paths — the
@@ -58,20 +81,10 @@ func ServeBenchmark(o Options) *ServeResult {
 	var counter quality.Counter
 	for _, s := range sites {
 		train := trainProber.ProbeSite(s)
-		cfg := core.DefaultConfig()
-		cfg.K = o.K
-		cfg.Restarts = o.KMRestarts
-		cfg.Seed = o.Seed + int64(s.ID())
-		cfg.Workers = 1
-		ext := core.NewExtractor(cfg)
 
 		start := time.Now()
-		m, err := ext.BuildModel(train.Pages)
+		m := buildServeModel(o, s.ID(), train.Pages)
 		out.BuildSeconds += time.Since(start).Seconds()
-		if err != nil {
-			//thorlint:allow no-panic-in-lib programmer-error guard; the default config names a registered clusterer
-			panic("experiments: " + err.Error())
-		}
 
 		fresh := serveProber.ProbeSite(s)
 

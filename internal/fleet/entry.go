@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+
+	"thor/internal/core"
+)
+
+// entry is one site's slot in the registry. The served model sits
+// behind an atomic pointer so a hot-swap publishes a complete model in
+// one store: a request loads the pointer once and extracts with that
+// model for its whole lifetime, while the swap (or an eviction) merely
+// drops the registry's reference — the old model stays valid until its
+// last request returns and the garbage collector takes it. There is no
+// state in which a reader can observe half a model.
+//
+// Field ownership: site/pinned/ready are immutable after construction;
+// model is atomic; everything else is guarded by Fleet.mu.
+type entry struct {
+	site string
+	// pinned entries (Register/SetDefault) never load from disk, never
+	// evict, and never re-check a file.
+	pinned bool
+	// ready is closed once the initial load has published either the
+	// model or the cached error. Pinned entries share closedReady.
+	ready chan struct{}
+	model atomic.Pointer[core.Model]
+
+	// err/errUntil are the negative cache: the initial load's failure
+	// and how long it answers for the site before a retry is allowed.
+	err      error
+	errUntil time.Time
+	// info fingerprints the loaded file; lastCheck rate-limits
+	// staleness probes; reloading serializes them (one prober at a
+	// time, everyone else keeps serving the current pointer).
+	info      core.ModelFileInfo
+	lastCheck time.Time
+	reloading bool
+
+	// prev/next link the fleet's LRU list (nil while off-list).
+	prev, next *entry
+}
+
+// loaded reports whether the entry has a servable model published.
+func (e *entry) loaded() bool { return e.model.Load() != nil }
+
+// maybeSwap gives a served entry its periodic staleness check: at most
+// once per Config.SwapEvery, the request that crosses the interval
+// re-stats the entry's model file and — when the size/mtime fingerprint
+// no longer matches the loaded snapshot — reloads it and swaps the
+// atomic pointer. Only the probing request pays the stat (and, rarely,
+// the reload); concurrent requests keep serving the current model
+// untouched, which is also what every request keeps doing when the
+// reload fails or the file has vanished: a bad drop-in never takes a
+// healthy site down, it only logs.
+func (f *Fleet) maybeSwap(e *entry) {
+	if e.pinned || f.cfg.SwapEvery < 0 || !e.loaded() {
+		return
+	}
+	f.mu.Lock()
+	now := f.cfg.Clock()
+	if e.reloading || now.Sub(e.lastCheck) < f.cfg.SwapEvery {
+		f.mu.Unlock()
+		return
+	}
+	e.reloading = true
+	e.lastCheck = now
+	info := e.info
+	f.mu.Unlock()
+
+	swapped := f.recheck(e, info)
+	f.mu.Lock()
+	e.reloading = false
+	f.mu.Unlock()
+	if swapped {
+		f.logf("fleet: hot-swapped %s", e.site)
+	}
+}
+
+// recheck stats the entry's file against the loaded fingerprint and
+// reloads on mismatch. It runs outside the registry lock — disk work
+// must never serialize other sites' requests.
+func (f *Fleet) recheck(e *entry, loadedInfo core.ModelFileInfo) (swapped bool) {
+	path, err := f.modelPath(e.site)
+	if err != nil {
+		return false // file gone; keep serving the loaded model
+	}
+	fi, err := os.Stat(path)
+	if err != nil || loadedInfo.Same(fi) {
+		return false
+	}
+	m, info, err := core.LoadModelFileWithInfo(path)
+	if err != nil {
+		f.logf("fleet: hot-swap %s: %v (keeping the loaded model)", e.site, err)
+		return false
+	}
+	f.mu.Lock()
+	e.model.Store(m)
+	e.info = info
+	f.mu.Unlock()
+	return true
+}

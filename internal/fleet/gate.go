@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// gate is the fleet's admission layer: MaxConcurrent slots plus a
+// bounded waiting room of MaxQueue. A request beyond both is refused
+// immediately with ErrOverloaded — the caller answers 429 with a
+// Retry-After hint — so overload degrades into fast, bounded rejection
+// instead of an unbounded pile of goroutines all waiting on the same
+// saturated CPU. One slow site's requests can fill at most the shared
+// queue; they can never wedge the listener or grow memory without
+// bound.
+type gate struct {
+	// slots is the semaphore of admitted requests.
+	slots chan struct{}
+	// pending counts every request inside the gate — serving or
+	// queued; above max (= cap(slots) + queue bound) new arrivals are
+	// refused without blocking.
+	pending atomic.Int64
+	max     int64
+}
+
+// newGate sizes the admission layer; zero arguments select the Config
+// defaults (4 × GOMAXPROCS slots, 4 × slots queue) and a negative queue
+// means no waiting room: with every slot busy the next arrival is
+// refused immediately.
+func newGate(slots, queue int) *gate {
+	if slots <= 0 {
+		slots = 4 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case queue < 0:
+		queue = 0
+	case queue == 0:
+		queue = 4 * slots
+	}
+	return &gate{slots: make(chan struct{}, slots), max: int64(slots + queue)}
+}
+
+// enter admits the request or refuses it: ErrOverloaded beyond the
+// queue bound, ctx.Err() if the client gives up while queued. On nil
+// return the caller holds a slot and must leave() when done.
+func (g *gate) enter(ctx context.Context) error {
+	if g.pending.Add(1) > g.max {
+		g.pending.Add(-1)
+		return ErrOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		g.pending.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// leave releases the slot taken by a successful enter.
+func (g *gate) leave() {
+	<-g.slots
+	g.pending.Add(-1)
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToSlots(t *testing.T) {
+	g := newGate(2, 1)
+	ctx := context.Background()
+	if err := g.enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g.leave()
+	g.leave()
+	if got := g.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d after balanced enter/leave, want 0", got)
+	}
+}
+
+// TestGateOverloadAndQueue fills both slots, parks one request in the
+// queue, and checks the next arrival is refused immediately while the
+// queued one is admitted as soon as a slot frees.
+func TestGateOverloadAndQueue(t *testing.T) {
+	g := newGate(1, 1)
+	ctx := context.Background()
+	if err := g.enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() { queued <- g.enter(ctx) }()
+	// Wait until the queued request is counted before probing overload.
+	for g.pending.Load() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.enter(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("beyond slots+queue: %v, want ErrOverloaded", err)
+	}
+	select {
+	case err := <-queued:
+		t.Fatalf("queued request admitted while the slot was held: %v", err)
+	default:
+	}
+	g.leave()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request after slot freed: %v", err)
+	}
+	g.leave()
+	if got := g.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d at the end, want 0", got)
+	}
+}
+
+func TestGateQueuedRequestHonorsContext(t *testing.T) {
+	g := newGate(1, 4)
+	ctx := context.Background()
+	if err := g.enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	timed, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := g.enter(timed); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued past deadline: %v, want DeadlineExceeded", err)
+	}
+	g.leave()
+	if got := g.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d after abandoned wait, want 0", got)
+	}
+}
+
+func TestGateNegativeQueueMeansNoWaitingRoom(t *testing.T) {
+	g := newGate(1, -1)
+	ctx := context.Background()
+	if err := g.enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.enter(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second enter with no queue: %v, want ErrOverloaded", err)
+	}
+	g.leave()
+	if err := g.enter(ctx); err != nil {
+		t.Fatalf("after the slot freed: %v", err)
+	}
+	g.leave()
+}
+
+func TestGateDefaults(t *testing.T) {
+	g := newGate(0, 0)
+	if cap(g.slots) < 4 {
+		t.Errorf("default slots = %d, want at least 4", cap(g.slots))
+	}
+	if g.max != int64(5*cap(g.slots)) {
+		t.Errorf("default max = %d, want slots+queue = %d", g.max, 5*cap(g.slots))
+	}
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MaxExtractBody bounds how much HTML one /extract request may post.
+const MaxExtractBody = 4 << 20
+
+// SiteHeader is the header that routes a bare /extract request to a
+// named site when the path form is inconvenient for the client.
+const SiteHeader = "X-Thor-Site"
+
+// extractResponse is the JSON body of a successful extraction.
+type extractResponse struct {
+	// Pagelets lists the extracted QA-Pagelets; empty when the model's
+	// verdict is that the page holds none (no-match and error pages).
+	Pagelets []extractedPagelet `json:"pagelets"`
+}
+
+// extractedPagelet names one extracted QA-Pagelet by its tag-tree path.
+type extractedPagelet struct {
+	Path string `json:"path"`
+}
+
+// Handler returns the fleet's serving surface, to be mounted at both
+// /extract (exact) and /extract/ (prefix):
+//
+//	POST /extract            → the pinned default model (SetDefault),
+//	                           or the site named by X-Thor-Site
+//	POST /extract/{site}     → site's model, lazily loaded from the
+//	                           model directory
+//
+// Responses are exactly the legacy single-model handler's — a
+// one-entry fleet is bit-identical to the pre-fleet surface — plus the
+// fleet-level refusals: 404 for a site with no model file, 503 for a
+// site whose file will not load (cached briefly) and after Close, and
+// 429 with Retry-After once the admission queue is full. Every
+// admitted request flows through the pooled zero-allocation
+// Model.ApplyHTMLBytes pipeline.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a page's HTML to /extract", http.StatusMethodNotAllowed)
+			return
+		}
+		site, ok := siteFromRequest(r)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if err := f.gate.enter(r.Context()); err != nil {
+			f.refuse(w, err)
+			return
+		}
+		defer f.gate.leave()
+		m, err := f.Get(r.Context(), site)
+		if err != nil {
+			f.refuse(w, err)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxExtractBody+1))
+		if err != nil {
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > MaxExtractBody {
+			http.Error(w, fmt.Sprintf("page exceeds %d bytes", MaxExtractBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		if len(body) == 0 {
+			http.Error(w, "empty request body; POST the page's HTML", http.StatusBadRequest)
+			return
+		}
+		// The pooled apply pipeline over the request bytes themselves:
+		// parse, signature, interning, and candidate scoring all run on
+		// recycled scratch; the body buffer is never copied into a string.
+		path, found, err := m.ApplyHTMLBytes(r.Context(), body)
+		if err != nil {
+			// A canceled or timed-out request is the client's doing, not
+			// a model failure; answer 503 so retries are meaningful.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := extractResponse{Pagelets: []extractedPagelet{}}
+		if found {
+			resp.Pagelets = append(resp.Pagelets, extractedPagelet{Path: path})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			f.logf("fleet: encoding /extract response: %v", err)
+		}
+	})
+}
+
+// siteFromRequest resolves which site a request addresses: the path
+// segment after /extract/ when present (one segment only), else the
+// X-Thor-Site header, else the pinned default. ok is false for paths
+// that name no routable site (nested segments, trailing garbage).
+func siteFromRequest(r *http.Request) (site string, ok bool) {
+	rest := strings.TrimPrefix(r.URL.Path, "/extract")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest != "" {
+		if strings.Contains(rest, "/") {
+			return "", false
+		}
+		return rest, true
+	}
+	if h := r.Header.Get(SiteHeader); h != "" {
+		return h, true
+	}
+	return DefaultSite, true
+}
+
+// refuse maps a registry or admission error onto its status code and
+// writes the refusal.
+func (f *Fleet) refuse(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(f.cfg.RetryAfter)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrUnknownSite):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		// Load failures, a closed fleet, and client-abandoned requests
+		// all answer 503: the request was fine, the serving side (or the
+		// client's patience) was not — retrying is meaningful.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+// retryAfterSeconds renders the Retry-After hint, at least 1 second —
+// the header has whole-second granularity and 0 would invite an
+// immediate retry storm.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(d.Round(time.Second) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
