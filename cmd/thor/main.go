@@ -42,6 +42,7 @@ import (
 	"thor/internal/core"
 	"thor/internal/deepweb"
 	"thor/internal/fleet"
+	"thor/internal/lifecycle"
 	"thor/internal/objects"
 	"thor/internal/parallel"
 	"thor/internal/probe"
@@ -65,6 +66,7 @@ func main() {
 		clust   = flag.String("clusterer", "", "phase-one clusterer by registry name (default: the approach's own algorithm)")
 		model   = flag.String("model", "", "with -serve: load a trained model from this file and mount POST /extract")
 		models  = flag.String("models", "", "with -serve: directory of per-site model files (<site>.thor.model.gz) served lazily at POST /extract/<site>")
+		drift   = flag.Bool("drift", false, "with -serve: watch served models for template drift and rebuild them in-process (models without a training baseline serve unchanged)")
 		saveTo  = flag.String("save-model", "", "train on the probed site and save the model to this file")
 		corpusF = flag.String("corpus", "", "extract from a persisted corpus file (loaded eagerly) instead of probing")
 		streamF = flag.String("stream", "", "like -corpus, but stream pages off the file with bounded derived memory; output is identical")
@@ -106,7 +108,12 @@ func main() {
 	if *serve != "" {
 		var fl *fleet.Fleet
 		if *models != "" || *model != "" {
-			fl = fleet.New(fleet.Config{Dir: *models, Logf: log.Printf})
+			fcfg := fleet.Config{Dir: *models, Logf: log.Printf}
+			if *drift {
+				fcfg.Drift = &lifecycle.Config{}
+				log.Printf("drift detection on: served models with a training baseline rebuild in-process when their traffic shifts")
+			}
+			fl = fleet.New(fcfg)
 			if *model != "" {
 				m, err := core.LoadModelFile(*model)
 				if err != nil {

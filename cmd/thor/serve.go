@@ -10,9 +10,10 @@ import (
 // serveHandler assembles the -serve HTTP surface: the simulated deep-web
 // farm, plus the fleet's extraction routes when model serving was
 // configured (a -models directory and/or a -model default). The fleet
-// mounts POST /extract (default model), POST /extract/<site>, and the
-// X-Thor-Site header; each request flows through the fleet's admission
-// gate and the pooled zero-alloc apply pipeline.
+// mounts POST /extract (default model), POST /extract/<site>, the
+// X-Thor-Site header, and GET /stats with the registry's lifecycle
+// counters; each extraction flows through the fleet's admission gate
+// and the pooled zero-alloc apply pipeline.
 func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet) http.Handler {
 	if fl == nil {
 		return farm.Handler()
@@ -22,5 +23,6 @@ func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet) http.Handler {
 	h := fl.Handler()
 	mux.Handle("/extract", h)
 	mux.Handle("/extract/", h)
+	mux.Handle("/stats", fl.StatsHandler())
 	return mux
 }

@@ -15,7 +15,10 @@
 // tree-edit cost), "stats" (corpus statistics), "serve" (model-build time
 // vs per-page Apply latency), "fleet" (per-site models served through
 // the multi-tenant registry under concurrent load, plus an overload
-// point; with -json it writes BENCH_fleet.json), "scale" (eager vs
+// point; with -json it writes BENCH_fleet.json), "drift" (the model
+// lifecycle under a shifting template: drift windows, one mini-batch
+// refinement, one full rebuild, hot-swapped with zero dropped
+// requests; with -json it writes BENCH_drift.json), "scale" (eager vs
 // streaming ingestion residency; with -json it writes the per-size heap
 // record BENCH_scale.json), "kernels" (string vs interned
 // similarity-kernel micro-benchmark; with -json it writes the
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,fleet,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,fleet,drift,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites   = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict    = flag.Int("dict", 100, "dictionary probe words per site")
 		nons    = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -97,6 +100,11 @@ func main() {
 				// The fleet figure records registry-serving throughput,
 				// latency percentiles, and the overload shed counts.
 				err = writeFleetBench(*jsonDir, o, r, time.Since(start))
+			case *experiments.DriftResult:
+				// The drift figure records the lifecycle contract: phase
+				// scores, refine/rebuild counts, the final revision, and
+				// the worker-count-independent response digest.
+				err = writeDriftBench(*jsonDir, o, r, time.Since(start))
 			default:
 				err = writeBench(*jsonDir, name, o, time.Since(start))
 			}
@@ -128,6 +136,7 @@ func main() {
 		"adaptive":    func() fmt.Stringer { return experiments.AdaptiveProbingAblation(o) },
 		"serve":       func() fmt.Stringer { return experiments.ServeBenchmark(o) },
 		"fleet":       func() fmt.Stringer { return experiments.FleetBenchmark(o) },
+		"drift":       func() fmt.Stringer { return experiments.DriftBenchmark(o) },
 		"scale":       func() fmt.Stringer { return experiments.ScaleBenchmark(o) },
 		"kernels":     func() fmt.Stringer { return experiments.KernelBenchmark(o) },
 	}
@@ -145,7 +154,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive", "serve", "fleet", "scale", "kernels"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve", "fleet", "drift", "scale", "kernels"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}
@@ -403,6 +412,56 @@ func writeFleetBench(dir string, o experiments.Options, r *experiments.FleetResu
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_fleet.json"), append(data, '\n'), 0o644)
+}
+
+// DriftBenchRecord is the machine-readable artifact of the drift
+// figure: the model-maintenance lifecycle under a template that shifts
+// twice. The contract fields — errors 0, one refine, one rebuild,
+// final revision 2, adapted true, and the response digest — must be
+// identical across worker counts; only the wall times may move.
+type DriftBenchRecord struct {
+	Figure         string     `json:"figure"`
+	WallSeconds    float64    `json:"wall_seconds"`
+	Workers        int        `json:"workers"`
+	Requests       int        `json:"requests"`
+	Errors         int        `json:"errors"`
+	Window         int        `json:"window"`
+	PhaseScores    [4]float64 `json:"phase_scores"`
+	Refines        int64      `json:"refines"`
+	FullRebuilds   int64      `json:"full_rebuilds"`
+	FinalRev       int        `json:"final_rev"`
+	Adapted        bool       `json:"adapted"`
+	TrainSeconds   float64    `json:"train_seconds"`
+	ServeSeconds   float64    `json:"serve_seconds"`
+	ResponseDigest string     `json:"response_digest"`
+}
+
+// writeDriftBench persists the drift figure as BENCH_drift.json.
+func writeDriftBench(dir string, o experiments.Options, r *experiments.DriftResult, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := DriftBenchRecord{
+		Figure:         "drift",
+		WallSeconds:    wall.Seconds(),
+		Workers:        parallel.Workers(o.Workers),
+		Requests:       r.Requests,
+		Errors:         r.Errors,
+		Window:         o.ProbesPerSite(),
+		PhaseScores:    r.PhaseScores,
+		Refines:        r.Refines,
+		FullRebuilds:   r.Rebuilds,
+		FinalRev:       r.FinalRev,
+		Adapted:        r.Adapted,
+		TrainSeconds:   r.TrainSeconds,
+		ServeSeconds:   r.ServeSeconds,
+		ResponseDigest: r.ResponseDigest,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_drift.json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

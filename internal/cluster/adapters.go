@@ -15,6 +15,7 @@ func init() {
 	Register(bySizeClusterer{})
 	Register(byURLClusterer{})
 	Register(byTreeEditClusterer{})
+	Register(dbscanClusterer{})
 }
 
 // sparseCentroids projects ID-space centroids back to the string-keyed
@@ -140,6 +141,40 @@ func (c byURLClusterer) Cluster(in Input, cfg Config) (Result, error) {
 		return Result{}, needErr(c.Name(), "URL")
 	}
 	return Result{Clustering: ByURL(in.URLs(), cfg.K, cfg.Seed)}, nil
+}
+
+// dbscanClusterer is the density-based alternative for corpora where k is
+// unknown — a drifted site after a template change. Config.K is ignored:
+// the cluster count emerges from the density structure (ε from the
+// k-distance knee, minPts at the conventional 4), and noise points join
+// their nearest core cluster so the assignment stays total. Cosine
+// distance over the same vector space as kmeans.
+type dbscanClusterer struct{}
+
+func (dbscanClusterer) Name() string { return "dbscan" }
+
+func (c dbscanClusterer) Cluster(in Input, cfg Config) (Result, error) {
+	if in.Interned != nil {
+		iv := in.Interned()
+		cl := DBSCAN(len(iv.Vecs), func(i, j int) float64 {
+			return 1 - iv.Vecs[i].Cosine(iv.Vecs[j])
+		}, DBSCANConfig{})
+		dim := iv.Dict.Len()
+		centroids := ClusterCentroidsInterned(iv.Vecs, cl, dim)
+		return Result{Clustering: cl, Similarity: InternalSimilarityInterned(iv.Vecs, cl, centroids),
+			Centroids: sparseCentroids(iv.Dict, centroids),
+			Dict:      iv.Dict, IDCentroids: centroids}, nil
+	}
+	if in.Vecs == nil {
+		return Result{}, needErr(c.Name(), "vector")
+	}
+	vecs := in.Vecs()
+	cl := DBSCAN(len(vecs), func(i, j int) float64 {
+		return 1 - vector.Cosine(vecs[i], vecs[j])
+	}, DBSCANConfig{})
+	centroids := ClusterCentroids(vecs, cl)
+	return Result{Clustering: cl, Centroids: centroids,
+		Similarity: InternalSimilarity(vecs, cl, centroids)}, nil
 }
 
 // byTreeEditClusterer clusters by normalized tag-tree edit distance — the

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"slices"
+)
+
+// DBSCAN for drifted corpora: after a template change the number of page
+// classes on a site is unknown — a fixed k misclusters the new population
+// — so the lifecycle path wants a density-based clusterer that discovers
+// k from the data. This implementation follows Ester et al.'s original
+// region-growing formulation with two deterministic twists that fit
+// THOR's contracts: ε is derived from the knee of the k-distance curve
+// (no hand-tuned radius per site), and noise points are assigned to the
+// cluster of their nearest core point so every page lands in some cluster
+// — phase two and the serving wrappers require a total assignment. The
+// whole run is free of RNG and of map iteration, so a clustering is a
+// pure function of the distance matrix: bit-identical at any worker
+// count and across repeats.
+//
+// Complexity is O(n²) distances (the matrix is materialized), which is
+// why sweeps cap the series this clusterer appears in; the n of a probed
+// site sample is a few hundred to ~1000 pages.
+
+// DBSCANConfig controls the density clustering.
+type DBSCANConfig struct {
+	// MinPts is the minimum neighborhood population (the point itself
+	// included) for a core point, and the k of the k-distance curve ε is
+	// derived from. Values below 1 select the conventional default 4.
+	MinPts int
+	// Eps overrides the neighborhood radius when positive; by default it
+	// is derived from the knee of the k-distance curve.
+	Eps float64
+}
+
+// DBSCAN clusters n items under the distance function dist, which must be
+// symmetric with dist(i,i) == 0. Region growing visits items in index
+// order and neighbor lists are held in ascending index order, so the
+// labeling — including which cluster claims a border point reachable from
+// two — is deterministic. Items no region reaches (noise) are assigned to
+// their nearest core point's cluster; if density never condenses a single
+// core point, everything collapses into one cluster, the honest answer
+// for a sample with no dense structure.
+func DBSCAN(n int, dist func(i, j int) float64, cfg DBSCANConfig) Clustering {
+	minPts := cfg.MinPts
+	if minPts < 1 {
+		minPts = 4
+	}
+	if n == 0 {
+		return newClustering(0, nil)
+	}
+	if n <= minPts {
+		// Too few points to estimate density: one cluster of everything.
+		return newClustering(1, make([]int, n))
+	}
+
+	// Pairwise distances, computed once. Symmetric fill so dist runs
+	// n(n−1)/2 times.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+
+	eps := cfg.Eps
+	if !(eps > 0) {
+		eps = kneeEpsilon(d, minPts)
+	}
+
+	// Neighborhoods and core points. nbr[i] lists j ≠ i with d(i,j) ≤ ε in
+	// ascending index order; |N(i)| counts the point itself.
+	nbr := make([][]int, n)
+	core := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i && d[i][j] <= eps {
+				nbr[i] = append(nbr[i], j)
+			}
+		}
+		core[i] = len(nbr[i])+1 >= minPts
+	}
+
+	// Region growing: each unlabeled core point seeds a cluster and BFS
+	// absorbs everything density-reachable from it; border points stay
+	// with the cluster that reaches them first.
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	k := 0
+	var queue []int
+	for i := 0; i < n; i++ {
+		if assign[i] != -1 || !core[i] {
+			continue
+		}
+		c := k
+		k++
+		assign[i] = c
+		queue = append(queue[:0], i)
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range nbr[p] {
+				if assign[q] != -1 {
+					continue
+				}
+				assign[q] = c
+				if core[q] {
+					queue = append(queue, q)
+				}
+			}
+		}
+	}
+
+	if k == 0 {
+		// No density anywhere: one cluster of everything.
+		return newClustering(1, make([]int, n))
+	}
+
+	// Noise adoption: every remaining point joins its nearest core
+	// point's cluster (ties to the lowest core index), so the assignment
+	// is total and wrappers can serve any page.
+	for i := 0; i < n; i++ {
+		if assign[i] != -1 {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if core[j] && d[i][j] < bestD {
+				best, bestD = j, d[i][j]
+			}
+		}
+		assign[i] = assign[best]
+	}
+	return newClustering(k, assign)
+}
+
+// kneeEpsilon derives the neighborhood radius from the sorted k-distance
+// curve (distance of each point to its (minPts−1)-th nearest other
+// point): the curve's knee — the point farthest from the chord between
+// its endpoints — separates the dense mass from the outlier tail, and
+// its height is the radius that keeps the dense mass connected. The knee
+// is found by exact geometry with ties to the lowest index, so ε is a
+// deterministic function of the distances.
+func kneeEpsilon(d [][]float64, minPts int) float64 {
+	n := len(d)
+	kth := minPts - 1 // neighbors beyond the point itself
+	if kth >= n-1 {
+		kth = n - 2
+	}
+	kdist := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, d[i][j])
+			}
+		}
+		slices.Sort(row)
+		kdist[i] = row[kth]
+	}
+	// Ascending k-distance curve.
+	slices.Sort(kdist)
+	x1, y0, y1 := float64(n-1), kdist[0], kdist[n-1]
+	norm := math.Hypot(x1, y1-y0)
+	if !(norm > 0) {
+		return kdist[n-1]
+	}
+	best, bestD := 0, -1.0
+	for i, y := range kdist {
+		// Distance from (i, y) to the chord (0,y0)–(x1,y1), up to the
+		// common positive factor 1/norm.
+		dd := math.Abs((y1-y0)*float64(i) - x1*(y-y0))
+		if dd > bestD {
+			best, bestD = i, dd
+		}
+	}
+	return kdist[best]
+}

@@ -9,10 +9,11 @@ import (
 	"thor/internal/vector"
 )
 
-// builtinNames are the seven clusterers the acceptance criteria require to
-// be reachable through the registry by name.
+// builtinNames are the clusterers required to be reachable through the
+// registry by name: the original seven plus the density-based dbscan of
+// the lifecycle work.
 var builtinNames = []string{
-	"bisecting", "bysize", "bytreeedit", "byurl", "kmeans", "kmedoids", "random",
+	"bisecting", "bysize", "bytreeedit", "byurl", "dbscan", "kmeans", "kmedoids", "random",
 }
 
 func TestRegistryHasAllBuiltins(t *testing.T) {
@@ -156,7 +157,7 @@ func TestAdaptersMatchDirectCalls(t *testing.T) {
 // clusterer rejects, rather than panics on, input lacking its view.
 func TestClusterersReportMissingInput(t *testing.T) {
 	empty := Input{N: 4}
-	for _, name := range []string{"kmeans", "bisecting", "kmedoids", "bysize", "byurl", "bytreeedit"} {
+	for _, name := range []string{"kmeans", "bisecting", "kmedoids", "bysize", "byurl", "bytreeedit", "dbscan"} {
 		c, _ := Lookup(name)
 		if _, err := c.Cluster(empty, Config{K: 2, Seed: 1}); err == nil {
 			t.Errorf("%s: no error on input without its representation", name)

@@ -43,6 +43,16 @@ type Model struct {
 	// selected no QA-Pagelet region — pages assigned there yield nothing,
 	// which is the correct answer for no-match and error pages.
 	Wrappers []*Wrapper
+	// Baseline summarizes the training pages' nearest-centroid distance
+	// distribution and per-cluster sizes — the reference a lifecycle
+	// observer detects drift against and the weights of the mini-batch
+	// Refine step. Nil for models loaded from pre-v3 snapshots, which
+	// disables drift detection for them.
+	Baseline *DriftBaseline
+	// Rev is the model's lifecycle revision: 0 for a freshly built or
+	// loaded model, incremented by every Refine/RebuildFrom, persisted so
+	// a maintained model's lineage survives a save/load cycle.
+	Rev int
 
 	// training is the full training-run result, retained so Extract stays
 	// a thin composition over BuildModel. It is not persisted.

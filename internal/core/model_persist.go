@@ -52,13 +52,25 @@ type modelSnapshot struct {
 	DictTerms []string
 	Centroids []idVecSnapshot
 	Wrappers  []wrapperSnapshot
+	// Baseline and Rev are the lifecycle section introduced in version 3:
+	// the training-time drift baseline and the model's revision counter.
+	// Version-2 snapshots decode with a nil Baseline, which loads as a
+	// model with drift detection disabled.
+	Baseline *DriftBaseline
+	Rev      int
 }
 
 // ModelVersion is the current on-disk model format version. Version 2
 // added the interned dictionary section and switched the centroids to ID
-// space; version-1 snapshots (string-keyed centroids, no dictionary) are
-// rejected with a clear error rather than silently misread.
-const ModelVersion = 2
+// space; version 3 added the lifecycle section (drift baseline +
+// revision). Version-2 snapshots still load — their models simply carry
+// no baseline, so drift detection is disabled for them. Version-1
+// snapshots (string-keyed centroids, no dictionary) are rejected with a
+// clear error rather than silently misread.
+const ModelVersion = 3
+
+// minModelVersion is the oldest snapshot version LoadModel still accepts.
+const minModelVersion = 2
 
 // Save serializes the model to w as versioned gzipped gob.
 func (m *Model) Save(w io.Writer) error {
@@ -68,6 +80,8 @@ func (m *Model) Save(w io.Writer) error {
 		NDocs:     m.NDocs,
 		DF:        m.DF,
 		DictTerms: m.Dict.Terms(),
+		Baseline:  m.Baseline,
+		Rev:       m.Rev,
 	}
 	for _, c := range m.Centroids {
 		snap.Centroids = append(snap.Centroids, idVecSnapshot{IDs: c.IDs, Weights: c.Weights})
@@ -112,8 +126,8 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decode model: %w", err)
 	}
-	if snap.Version != ModelVersion {
-		return nil, fmt.Errorf("core: unsupported model format version %d (want %d; version-1 models predate the term dictionary — rebuild and re-save)", snap.Version, ModelVersion)
+	if snap.Version < minModelVersion || snap.Version > ModelVersion {
+		return nil, fmt.Errorf("core: unsupported model format version %d (want %d-%d; version-1 models predate the term dictionary — rebuild and re-save)", snap.Version, minModelVersion, ModelVersion)
 	}
 	for i := 1; i < len(snap.DictTerms); i++ {
 		if snap.DictTerms[i-1] >= snap.DictTerms[i] {
@@ -137,6 +151,38 @@ func LoadModel(r io.Reader) (*Model, error) {
 		}
 		centroids = append(centroids, vector.NewIDVec(c.IDs, c.Weights))
 	}
+	if b := snap.Baseline; b != nil {
+		// The lifecycle section is load-bearing for Refine's weighting, so
+		// a malformed baseline is rejected like any other corruption rather
+		// than silently degrading the maintenance policy.
+		if len(b.Hist) != DriftBuckets {
+			return nil, fmt.Errorf("core: corrupt model: drift baseline has %d histogram buckets (want %d)",
+				len(b.Hist), DriftBuckets)
+		}
+		if len(b.Sizes) != len(centroids) {
+			return nil, fmt.Errorf("core: corrupt model: drift baseline sizes %d clusters but model has %d centroids",
+				len(b.Sizes), len(centroids))
+		}
+		for i, c := range b.Hist {
+			if c < 0 {
+				return nil, fmt.Errorf("core: corrupt model: negative drift histogram count at bucket %d", i)
+			}
+		}
+		var sized int64
+		for i, c := range b.Sizes {
+			if c < 0 {
+				return nil, fmt.Errorf("core: corrupt model: negative drift cluster size at cluster %d", i)
+			}
+			sized += c
+		}
+		if sized != b.total() {
+			return nil, fmt.Errorf("core: corrupt model: drift baseline sizes sum to %d but histogram holds %d pages",
+				sized, b.total())
+		}
+	}
+	if snap.Rev < 0 {
+		return nil, fmt.Errorf("core: corrupt model: negative revision %d", snap.Rev)
+	}
 	m := &Model{
 		Cfg:       snap.Cfg,
 		NDocs:     snap.NDocs,
@@ -144,6 +190,8 @@ func LoadModel(r io.Reader) (*Model, error) {
 		Dict:      vector.NewDict(snap.DictTerms),
 		Centroids: centroids,
 		Wrappers:  make([]*Wrapper, len(snap.Centroids)),
+		Baseline:  snap.Baseline,
+		Rev:       snap.Rev,
 	}
 	for _, ws := range snap.Wrappers {
 		if ws.ClusterID < 0 || ws.ClusterID >= len(m.Wrappers) {

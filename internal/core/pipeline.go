@@ -77,7 +77,22 @@ func (m *Model) applyWeighting() vector.Weighting {
 // path (or the same "no pagelet" answer, found=false). The contract tests
 // pin this across every approach and worker count.
 func (m *Model) ApplyHTML(ctx context.Context, html string) (path string, found bool, err error) {
-	return m.applyHTML(ctx, html)
+	path, found, _, err = m.applyHTML(ctx, html)
+	return path, found, err
+}
+
+// ApplyStats is the assignment-space observation a successful apply call
+// makes as a byproduct: which cluster the page landed in and how far from
+// that cluster's centroid it sat. A lifecycle observer folds these into
+// its drift window; the struct is returned by value so the stats variant
+// of the pooled pipeline stays allocation-free.
+type ApplyStats struct {
+	// Cluster is the index of the assigned centroid.
+	Cluster int
+	// Distance is the page's cosine distance to the assigned centroid,
+	// 1 − similarity (negative similarities map above 1; drift bucketing
+	// clamps them).
+	Distance float64
 }
 
 // ApplyHTMLBytes is ApplyHTML over a caller-owned byte slice — the form a
@@ -92,20 +107,29 @@ func (m *Model) ApplyHTML(ctx context.Context, html string) (path string, found 
 // until the call returns (a handler that owns the body buffer trivially
 // satisfies this); afterwards the buffer is free to reuse.
 func (m *Model) ApplyHTMLBytes(ctx context.Context, html []byte) (path string, found bool, err error) {
+	path, found, _, err = m.ApplyHTMLBytesStats(ctx, html)
+	return path, found, err
+}
+
+// ApplyHTMLBytesStats is ApplyHTMLBytes reporting its assignment-space
+// observation alongside the verdict — the form a drift-observing serving
+// layer calls, at the same zero steady-state allocation cost. The stats
+// are meaningful only when err is nil.
+func (m *Model) ApplyHTMLBytesStats(ctx context.Context, html []byte) (path string, found bool, stats ApplyStats, err error) {
 	if len(html) == 0 {
 		return m.applyHTML(ctx, "")
 	}
 	return m.applyHTML(ctx, unsafe.String(unsafe.SliceData(html), len(html)))
 }
 
-// applyHTML is the shared implementation behind ApplyHTML and
-// ApplyHTMLBytes.
-func (m *Model) applyHTML(ctx context.Context, html string) (path string, found bool, err error) {
+// applyHTML is the shared implementation behind ApplyHTML,
+// ApplyHTMLBytes, and ApplyHTMLBytesStats.
+func (m *Model) applyHTML(ctx context.Context, html string) (path string, found bool, stats ApplyStats, err error) {
 	if err := ctx.Err(); err != nil {
-		return "", false, err
+		return "", false, ApplyStats{}, err
 	}
 	if len(m.Centroids) == 0 {
-		return "", false, fmt.Errorf("core: model has no clusters to assign to")
+		return "", false, ApplyStats{}, fmt.Errorf("core: model has no clusters to assign to")
 	}
 	s := applyPool.Get().(*applyScratch)
 	defer applyPool.Put(s)
@@ -120,12 +144,14 @@ func (m *Model) applyHTML(ctx context.Context, html string) (path string, found 
 		counts = s.sig.TagCounts(tree)
 	}
 	v := m.Dict.InternCounts(counts, m.applyWeighting(), &s.intern)
-	best, _ := vector.AssignNearest(v, m.Centroids)
+	best, sim := vector.AssignNearest(v, m.Centroids)
+	stats = ApplyStats{Cluster: best, Distance: 1 - sim}
 	w := m.Wrappers[best]
 	if w == nil {
-		return "", false, nil
+		return "", false, stats, nil
 	}
-	return w.extractPath(tree, s)
+	path, found, err = w.extractPath(tree, s)
+	return path, found, stats, err
 }
 
 // simplifiedPath rebuilds n's simplified indexed path (what

@@ -145,6 +145,10 @@ func (e *Extractor) buildModel(src corpus.Source, release bool) (*Model, error) 
 			model.Centroids = cluster.ClusterCentroidsInterned(interned.Vecs, cres.Clustering, interned.Dict.Len())
 		}
 	}
+	// The drift baseline is computed against the *final* assignment
+	// centroids (after any fallback above), so it describes exactly the
+	// geometry fresh pages will be assigned in.
+	model.Baseline = computeBaseline(interned.Vecs, model.Centroids)
 	for ci, pc := range res.PassedClusters {
 		w, err := e.BuildWrapper(res.PerCluster[ci])
 		if err != nil {

@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+// driftOptions is a CI-sized lifecycle run: window 28, four phases,
+// 112 requests.
+func driftOptions(workers int) Options {
+	return Options{DictWords: 24, Nonsense: 4, Seed: 42, K: 4, KMRestarts: 2, Workers: workers}
+}
+
+// TestDriftBenchmarkContract pins the lifecycle story the benchmark
+// exists to tell: the stable phase stays quiet, the mild phase
+// triggers exactly one mini-batch refinement, the severe phase exactly
+// one full rebuild, and the rebuilt model judges the redesigned
+// template normal — with every request answered.
+func TestDriftBenchmarkContract(t *testing.T) {
+	r := DriftBenchmark(driftOptions(1))
+	if r.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (a rebuild must not drop requests)", r.Errors)
+	}
+	if r.Refines != 1 || r.Rebuilds != 1 {
+		t.Errorf("refines/rebuilds = %d/%d, want 1/1", r.Refines, r.Rebuilds)
+	}
+	if r.FinalRev != 2 {
+		t.Errorf("final rev = %d, want 2 (trained, refined, rebuilt)", r.FinalRev)
+	}
+	if !r.Adapted {
+		t.Errorf("adapted = false; post-rebuild phase scored %.3f", r.PhaseScores[3])
+	}
+	// The four scores must tell the arc: quiet, mild, severe, quiet.
+	if s := r.PhaseScores[0]; s >= 0.25 {
+		t.Errorf("stable phase scored %.3f, want < 0.25", s)
+	}
+	if s := r.PhaseScores[1]; s < 0.25 || s >= 0.60 {
+		t.Errorf("mild phase scored %.3f, want in [0.25, 0.60)", s)
+	}
+	if s := r.PhaseScores[2]; s < 0.60 {
+		t.Errorf("severe phase scored %.3f, want ≥ 0.60", s)
+	}
+	if s := r.PhaseScores[3]; s >= 0.25 {
+		t.Errorf("adapted phase scored %.3f, want < 0.25", s)
+	}
+}
+
+// TestDriftBenchmarkWorkerCountIndependence re-runs the benchmark at
+// several worker counts and demands identical lifecycle outcomes and a
+// bit-identical response stream: the rebuilds run inside each phase's
+// barrier on a request goroutine, so concurrency moves no observable
+// behavior.
+func TestDriftBenchmarkWorkerCountIndependence(t *testing.T) {
+	ref := DriftBenchmark(driftOptions(1))
+	for _, workers := range []int{2, 4} {
+		r := DriftBenchmark(driftOptions(workers))
+		if r.ResponseDigest != ref.ResponseDigest {
+			t.Errorf("workers=%d: response digest %s != serial %s", workers, r.ResponseDigest, ref.ResponseDigest)
+		}
+		if r.PhaseScores != ref.PhaseScores {
+			t.Errorf("workers=%d: phase scores %v != serial %v", workers, r.PhaseScores, ref.PhaseScores)
+		}
+		if r.Refines != ref.Refines || r.Rebuilds != ref.Rebuilds || r.FinalRev != ref.FinalRev {
+			t.Errorf("workers=%d: lifecycle %d/%d/rev%d != serial %d/%d/rev%d", workers,
+				r.Refines, r.Rebuilds, r.FinalRev, ref.Refines, ref.Rebuilds, ref.FinalRev)
+		}
+	}
+}

@@ -123,7 +123,39 @@ func runFig67(o Options) (entropyFig, timeFig *Figure) {
 		entropyFig.Series = append(entropyFig.Series, es)
 		timeFig.Series = append(timeFig.Series, ts)
 	}
-	note := fmt.Sprintf("sizes %v; per-size site budgets applied unless -full", sizes)
+
+	// The density-based comparison series of the lifecycle work: dbscan
+	// over the default approach's vector space, k discovered instead of
+	// configured. Its O(n²) distance matrix caps the series at the
+	// dbscanMaxSize scale — the larger x-points print as missing rather
+	// than stall the sweep.
+	es := Series{Name: "dbscan"}
+	ts := Series{Name: "dbscan"}
+	for _, size := range sizes {
+		if size > dbscanMaxSize {
+			continue
+		}
+		budget := synthSiteBudget(size, o)
+		var entSum, secSum float64
+		runs := 0
+		for m := 0; m < budget && m < len(models); m++ {
+			e, s := clusterSynthStreamWith(models[m], size, o.Seed+int64(m*31+size), core.TFIDFTags, "dbscan", o, int64(m))
+			entSum += e
+			secSum += s
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		es.X = append(es.X, float64(size))
+		es.Y = append(es.Y, entSum/float64(runs))
+		ts.X = append(ts.X, float64(size))
+		ts.Y = append(ts.Y, secSum/float64(runs))
+	}
+	entropyFig.Series = append(entropyFig.Series, es)
+	timeFig.Series = append(timeFig.Series, ts)
+
+	note := fmt.Sprintf("sizes %v; per-size site budgets applied unless -full; dbscan capped at %d pages/site (O(n²) distances)", sizes, dbscanMaxSize)
 	entropyFig.Notes = append(entropyFig.Notes, note)
 	timeFig.Notes = append(timeFig.Notes, note)
 	return entropyFig, timeFig
@@ -153,6 +185,18 @@ func runFig67(o Options) (entropyFig, timeFig *Figure) {
 // outside the clock, in both the eager and streaming codepaths' spirit:
 // it replaces the page materialization that was never timed either.)
 func clusterSynthStream(m *synth.Model, size int, sampleSeed int64, a core.Approach, o Options, salt int64) (float64, float64) {
+	return clusterSynthStreamWith(m, size, sampleSeed, a, a.DefaultClusterer(), o, salt)
+}
+
+// dbscanMaxSize caps the dbscan comparison series: the density clusterer
+// materializes an O(n²) distance matrix, so it sweeps only the scales
+// where that stays cheap (~10 MB at 1100 pages).
+const dbscanMaxSize = 1100
+
+// clusterSynthStreamWith is clusterSynthStream with the clusterer chosen
+// by name instead of by the approach's default — the hook the dbscan
+// comparison series rides on.
+func clusterSynthStreamWith(m *synth.Model, size int, sampleSeed int64, a core.Approach, clusterer string, o Options, salt int64) (float64, float64) {
 	var acc *vector.Accumulator
 	if a.IsVector() {
 		acc = vector.NewAccumulator(a.RawWeighted())
@@ -178,7 +222,7 @@ func clusterSynthStream(m *synth.Model, size int, sampleSeed int64, a core.Appro
 	if size > 1100 {
 		restarts = 1
 	}
-	c, err := cluster.MustLookup(a.DefaultClusterer())
+	c, err := cluster.MustLookup(clusterer)
 	if err != nil {
 		//thorlint:allow no-panic-in-lib programmer-error guard; callers pass approaches from the fixed sweep set
 		panic("experiments: " + err.Error())

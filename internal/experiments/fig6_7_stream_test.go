@@ -116,8 +116,9 @@ func TestFig67ZeroRunsGuard(t *testing.T) {
 	o.Sites = 0
 	ent, times := Fig67(o)
 	for _, f := range []*Figure{ent, times} {
-		if len(f.Series) != len(SynthApproaches) {
-			t.Fatalf("%s: %d series, want %d", f.Title, len(f.Series), len(SynthApproaches))
+		// Every approach series plus the dbscan comparison series.
+		if len(f.Series) != len(SynthApproaches)+1 {
+			t.Fatalf("%s: %d series, want %d", f.Title, len(f.Series), len(SynthApproaches)+1)
 		}
 		for _, s := range f.Series {
 			if len(s.X) != 0 || len(s.Y) != 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"thor/internal/core"
+	"thor/internal/lifecycle"
 )
 
 // entry is one site's slot in the registry. The served model sits
@@ -38,6 +39,25 @@ type entry struct {
 	info      core.ModelFileInfo
 	lastCheck time.Time
 	reloading bool
+
+	// obs watches the entry's assignment distances for drift — nil when
+	// drift detection is off or the model carries no baseline, and a nil
+	// observer is inert. Atomic because the request path reads it lock-
+	// free while a file hot-swap replaces it; the observer's own methods
+	// are internally synchronized.
+	obs atomic.Pointer[lifecycle.Observer]
+	// rebuilding is the rebuild gate: at most one in-process rebuild per
+	// entry, everyone else keeps serving the current pointer. Mirrors
+	// reloading; guarded by Fleet.mu.
+	rebuilding bool
+
+	// Lifecycle counters for /stats, guarded by Fleet.mu: disk loads,
+	// hot-swaps from file changes, mini-batch refinements, and full
+	// drift rebuilds published for this entry. requests counts served
+	// extractions and is atomic — it ticks on the request path, which
+	// must not take the registry lock a second time.
+	loads, swaps, refines, rebuilds int64
+	requests                        atomic.Int64
 
 	// prev/next link the fleet's LRU list (nil while off-list).
 	prev, next *entry
@@ -98,7 +118,9 @@ func (f *Fleet) recheck(e *entry, loadedInfo core.ModelFileInfo) (swapped bool) 
 	}
 	f.mu.Lock()
 	e.model.Store(m)
+	e.obs.Store(f.newObserver(m))
 	e.info = info
+	e.swaps++
 	f.mu.Unlock()
 	return true
 }

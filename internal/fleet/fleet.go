@@ -39,9 +39,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thor/internal/core"
+	"thor/internal/lifecycle"
 )
 
 // Sentinel errors Get answers with; the HTTP layer maps them onto
@@ -102,6 +104,16 @@ type Config struct {
 	// swaps, evictions, and swap failures. The fleet never writes to
 	// any stream itself.
 	Logf func(format string, args ...any)
+	// Drift, when non-nil, enables lifecycle drift detection: every
+	// served entry whose model carries a training baseline (format v3)
+	// gets an observer watching its assignment distances, and a window
+	// that closes drifted triggers an in-process rebuild — mini-batch
+	// refinement for mild drift, full retrain from the drifted pages for
+	// severe — hot-swapped in through the entry's atomic pointer. Sites
+	// whose models predate the baseline serve exactly as before. Nil
+	// (the default) disables all of it: the serving path is bit-identical
+	// to the drift-free fleet.
+	Drift *lifecycle.Config
 }
 
 // withDefaults resolves the zero values documented on Config.
@@ -130,6 +142,9 @@ func (c Config) withDefaults() Config {
 type Fleet struct {
 	cfg  Config
 	gate *gate
+	// shed counts admission refusals (429s) for Stats; atomic because it
+	// ticks on the refusal path, outside the registry lock.
+	shed atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -204,6 +219,7 @@ func (f *Fleet) modelPath(site string) (string, error) {
 func (f *Fleet) Register(site string, m *core.Model) {
 	e := &entry{site: site, pinned: true, ready: closedReady}
 	e.model.Store(m)
+	e.obs.Store(f.newObserver(m))
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if old := f.entries[site]; old != nil && !old.pinned {
@@ -250,13 +266,23 @@ func (f *Fleet) Close() {
 // even if the entry is swapped or evicted concurrently. ctx bounds the
 // wait on a load already in flight on another goroutine.
 func (f *Fleet) Get(ctx context.Context, site string) (*core.Model, error) {
+	m, _, err := f.getEntry(ctx, site)
+	return m, err
+}
+
+// getEntry is Get returning the registry entry alongside the model, so
+// the serving handler can feed the entry's lifecycle observer after the
+// extraction. The model is loaded from the entry's atomic pointer
+// exactly once — the (model, entry) pair stays coherent even under a
+// concurrent swap.
+func (f *Fleet) getEntry(ctx context.Context, site string) (*core.Model, *entry, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for {
 		e, load, err := f.acquire(site)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if load {
 			f.load(e)
@@ -264,12 +290,12 @@ func (f *Fleet) Get(ctx context.Context, site string) (*core.Model, error) {
 			select {
 			case <-e.ready:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 		}
 		retry, err := f.resolve(e)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if retry {
 			// The entry's negative cache expired and this request won
@@ -277,8 +303,19 @@ func (f *Fleet) Get(ctx context.Context, site string) (*core.Model, error) {
 			continue
 		}
 		f.maybeSwap(e)
-		return e.model.Load(), nil
+		return e.model.Load(), e, nil
 	}
+}
+
+// newObserver builds the lifecycle observer for a freshly published
+/// model: nil when drift detection is off or the model carries no
+// training baseline (pre-v3 snapshot) — and a nil observer is inert, so
+// the serving path needs no branches either way.
+func (f *Fleet) newObserver(m *core.Model) *lifecycle.Observer {
+	if f.cfg.Drift == nil || m == nil || m.Baseline == nil {
+		return nil
+	}
+	return lifecycle.NewObserver(m.Baseline.Hist, *f.cfg.Drift)
 }
 
 // acquire finds or creates the entry for site under the registry lock.
@@ -317,8 +354,10 @@ func (f *Fleet) load(e *entry) {
 		e.errUntil = f.cfg.Clock().Add(f.cfg.NegTTL)
 	} else {
 		e.model.Store(m)
+		e.obs.Store(f.newObserver(m))
 		e.info = info
 		e.lastCheck = f.cfg.Clock()
+		e.loads++
 	}
 	f.mu.Unlock()
 	close(e.ready)

@@ -63,7 +63,7 @@ func (f *Fleet) Handler() http.Handler {
 			return
 		}
 		defer f.gate.leave()
-		m, err := f.Get(r.Context(), site)
+		m, e, err := f.getEntry(r.Context(), site)
 		if err != nil {
 			f.refuse(w, err)
 			return
@@ -85,7 +85,10 @@ func (f *Fleet) Handler() http.Handler {
 		// The pooled apply pipeline over the request bytes themselves:
 		// parse, signature, interning, and candidate scoring all run on
 		// recycled scratch; the body buffer is never copied into a string.
-		path, found, err := m.ApplyHTMLBytes(r.Context(), body)
+		// The stats variant is the same pipeline reporting the assignment
+		// distance the drift observer consumes — responses are
+		// byte-identical whether drift detection is on or off.
+		path, found, stats, err := m.ApplyHTMLBytesStats(r.Context(), body)
 		if err != nil {
 			// A canceled or timed-out request is the client's doing, not
 			// a model failure; answer 503 so retries are meaningful.
@@ -104,6 +107,15 @@ func (f *Fleet) Handler() http.Handler {
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			f.logf("fleet: encoding /extract response: %v", err)
 		}
+		e.requests.Add(1)
+		// Lifecycle observation runs after the response bytes are
+		// written: a window that closes drifted rebuilds the model right
+		// here on the request goroutine, so the serving path stays
+		// goroutine-free and a load generator awaiting its responses has
+		// also awaited any rebuild they triggered. With drift detection
+		// off (or a pre-baseline model) the observer is nil and this is
+		// a no-op.
+		f.observe(e, stats, body)
 	})
 }
 
@@ -131,6 +143,7 @@ func siteFromRequest(r *http.Request) (site string, ok bool) {
 func (f *Fleet) refuse(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		f.shed.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(f.cfg.RetryAfter)))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrUnknownSite):

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"thor/internal/lifecycle"
+)
+
+// SiteStats is one entry's slice of the observability snapshot.
+type SiteStats struct {
+	// Pinned marks Register/SetDefault entries (never loaded, swapped,
+	// or evicted by the registry).
+	Pinned bool `json:"pinned,omitempty"`
+	// Loaded reports whether a servable model is published; false for
+	// entries still loading or negative-cached.
+	Loaded bool `json:"loaded"`
+	// Rev is the served model's lifecycle revision (0 before any
+	// in-process rebuild).
+	Rev int `json:"rev"`
+	// Requests counts extractions served from this entry.
+	Requests int64 `json:"requests"`
+	// Loads counts disk loads, Swaps counts file-change hot-swaps,
+	// Refines counts mild-drift mini-batch refinements, and Rebuilds
+	// counts severe-drift full rebuilds published for this entry.
+	Loads    int64 `json:"loads"`
+	Swaps    int64 `json:"swaps"`
+	Refines  int64 `json:"refines"`
+	Rebuilds int64 `json:"rebuilds"`
+	// Drift is the lifecycle observer's snapshot; all-zero when drift
+	// detection is disabled for the site.
+	Drift lifecycle.Stats `json:"drift"`
+}
+
+// Stats is the whole-fleet observability snapshot.
+type Stats struct {
+	// Sites maps each registry entry (by site name) to its counters.
+	Sites map[string]SiteStats `json:"sites"`
+	// Shed counts requests refused by the admission gate (429s).
+	Shed int64 `json:"shed"`
+}
+
+// Stats snapshots the fleet's lifecycle counters. The snapshot is a
+// point-in-time copy under the registry lock — cheap enough to serve on
+// demand, consistent across the per-site counters.
+func (f *Fleet) Stats() Stats {
+	s := Stats{Sites: make(map[string]SiteStats), Shed: f.shed.Load()}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for site, e := range f.entries {
+		ss := SiteStats{
+			Pinned:   e.pinned,
+			Loaded:   e.loaded(),
+			Requests: e.requests.Load(),
+			Loads:    e.loads,
+			Swaps:    e.swaps,
+			Refines:  e.refines,
+			Rebuilds: e.rebuilds,
+			Drift:    e.obs.Load().Snapshot(),
+		}
+		if m := e.model.Load(); m != nil {
+			ss.Rev = m.Rev
+		}
+		s.Sites[site] = ss
+	}
+	return s
+}
+
+// StatsHandler serves GET /stats: the Stats snapshot as JSON. Encoding
+// sorts the site keys, so the body is deterministic for a given
+// counter state. Mounted read-only; anything but GET/HEAD is refused.
+func (f *Fleet) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET /stats for the fleet snapshot", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(f.Stats()); err != nil {
+			f.logf("fleet: encoding /stats response: %v", err)
+		}
+	})
+}

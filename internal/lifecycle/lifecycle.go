@@ -1,0 +1,313 @@
+// Package lifecycle turns a frozen build→persist→serve pipeline into a
+// model lifecycle: it observes the assignment-space distances a served
+// model reports for live traffic, detects drift as a shift of that
+// distance distribution away from the model's training-time baseline,
+// and accumulates the drifted pages a rebuild can retrain from.
+//
+// The package is deliberately mechanism, not policy-free magic: an
+// Observer only measures and collects. Deciding *what* to do with a
+// verdict — the mini-batch refinement for mild drift, the full rebuild
+// for severe — and installing the result belongs to the serving registry
+// (internal/fleet), which owns the models and the swap path. Keeping the
+// detector below the model layer (it sees only distances and bytes,
+// never a Model) means no import cycle and a trivially testable core.
+//
+// Determinism contract: every decision is count-based — a detection
+// window closes at exactly its Window-th observation, never on a clock —
+// and the drift statistic is a function of the window's observation
+// *multiset*, not its order. Concurrent servers may interleave
+// observations arbitrarily; the same set of requests yields the same
+// score, the same verdict, and (capacity permitting) the same reservoir
+// contents at any worker count.
+package lifecycle
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// Verdict is an Observer's judgment at the close of a detection window.
+type Verdict int
+
+const (
+	// None: the window's distance distribution is consistent with the
+	// training baseline (or the window is still open).
+	None Verdict = iota
+	// Mild: the distribution shifted, but moderately — the population
+	// moved within the model's cluster structure. Remedy: mini-batch
+	// refinement of the centroids.
+	Mild
+	// Severe: the distribution shifted drastically — the site's template
+	// changed under the model. Remedy: full rebuild from fresh pages.
+	Severe
+)
+
+// String names the verdict for logs and stats.
+func (v Verdict) String() string {
+	switch v {
+	case Mild:
+		return "mild"
+	case Severe:
+		return "severe"
+	default:
+		return "none"
+	}
+}
+
+// Config tunes drift detection. The zero value selects the defaults; a
+// registry typically embeds one Config for all its sites.
+type Config struct {
+	// Window is the number of observations per detection window. The
+	// window closes — score computed, verdict issued, counts reset — at
+	// exactly the Window-th observation. Default 64.
+	Window int
+	// ReservoirCap bounds how many drifted pages are retained for a
+	// rebuild. When the cap is reached further drifted pages are dropped
+	// (the reservoir keeps the earliest admissions). Default 4×Window.
+	ReservoirCap int
+	// Mild and Severe are the total-variation thresholds (in [0,1]) a
+	// closing window's score is judged against: score ≥ Severe is severe
+	// drift, score ≥ Mild is mild. Defaults 0.25 and 0.60.
+	Mild   float64
+	Severe float64
+}
+
+// The documented Config defaults, exported so callers can reason about
+// a zero Config's thresholds (the drift benchmark's adapted check, for
+// one) without duplicating the numbers.
+const (
+	DefaultWindow = 64
+	DefaultMild   = 0.25
+	DefaultSevere = 0.60
+)
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.ReservoirCap <= 0 {
+		c.ReservoirCap = 4 * c.Window
+	}
+	if c.Mild <= 0 {
+		c.Mild = DefaultMild
+	}
+	if c.Severe <= 0 {
+		c.Severe = DefaultSevere
+	}
+	return c
+}
+
+// Observer watches one served model's assignment distances and compares
+// each closed window's distance histogram against the model's training
+// baseline. Safe for concurrent Observe calls; all state lives behind one
+// mutex, sized so the critical section is a few counter updates (and, for
+// drifted pages, one copy of the page bytes).
+type Observer struct {
+	cfg Config
+
+	mu sync.Mutex
+	// base is the training-time distance histogram, normalized to mass 1;
+	// its length fixes the bucket count for the live window too.
+	base []float64
+	// admit is the distance at and above which a page is considered
+	// drifted and admitted to the reservoir: the upper edge of the bucket
+	// where the baseline's cumulative mass passes admitQuantile.
+	admit float64
+	// win counts the open window's observations by distance bucket; n is
+	// how many it holds so far.
+	win []int64
+	n   int
+	// reservoir holds copies of the drifted pages' HTML, earliest
+	// admissions first, capped at cfg.ReservoirCap.
+	reservoir [][]byte
+	// score is the last closed window's total-variation distance;
+	// windows counts how many windows have closed since the last rebase.
+	score   float64
+	windows int64
+	// lastScore/lastVerdict describe the most recently closed window
+	// across the observer's whole lifetime — unlike score, a rebase does
+	// not clear them, so a stats reader can still see the score that
+	// triggered the rebuild it is looking at.
+	lastScore   float64
+	lastVerdict Verdict
+}
+
+// admitQuantile positions the reservoir's admission threshold: a page
+// farther from its centroid than this share of the *training* population
+// is suspect. High enough that a stable site admits little, low enough
+// that a drifted window fills the reservoir.
+const admitQuantile = 0.90
+
+// NewObserver builds an observer over a model's training-time distance
+// histogram (the baseline's bucket counts). Returns nil when the
+// histogram is absent or empty — the caller's signal that this model
+// predates the lifecycle section and drift detection is disabled for it;
+// a nil Observer's methods are inert, so serving code needs no branches.
+func NewObserver(baselineHist []int64, cfg Config) *Observer {
+	o := &Observer{cfg: cfg.withDefaults()}
+	if !o.rebase(baselineHist) {
+		return nil
+	}
+	return o
+}
+
+// rebase installs a new baseline, returning false when the histogram
+// carries no usable mass. Caller holds no lock (construction) or the
+// observer's lock (Rebase).
+func (o *Observer) rebase(hist []int64) bool {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if len(hist) == 0 || total <= 0 {
+		return false
+	}
+	o.base = make([]float64, len(hist))
+	var cum int64
+	o.admit = 1.0
+	set := false
+	for i, c := range hist {
+		o.base[i] = float64(c) / float64(total)
+		cum += c
+		if !set && float64(cum) >= admitQuantile*float64(total) {
+			// Upper edge of the quantile bucket, in distance units.
+			o.admit = float64(i+1) / float64(len(hist))
+			set = true
+		}
+	}
+	o.win = make([]int64, len(hist))
+	o.n = 0
+	o.reservoir = nil
+	o.score = 0
+	o.windows = 0
+	return true
+}
+
+// Rebase resets the observer onto a fresh baseline — called after a
+// rebuild installs a new model revision, so the next window is judged
+// against the geometry actually serving. The open window and the
+// reservoir are discarded: their observations described the old model.
+func (o *Observer) Rebase(baselineHist []int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rebase(baselineHist)
+}
+
+// Observe folds one request's assignment distance into the open window
+// and, when the page is drifted (distance at or beyond the admission
+// threshold), retains a copy of its HTML in the reservoir. Exactly one
+// Observe call per window — the Window-th — closes it and returns the
+// window's verdict; every other call returns None. On a closing window
+// whose verdict is None the reservoir is discarded: the admitted pages
+// were tail noise of a stable distribution, not drift.
+//
+// html is copied before retention, so the caller's buffer is free for
+// reuse the moment Observe returns (the serving path hands in its pooled
+// request-body buffer).
+func (o *Observer) Observe(distance float64, html []byte) Verdict {
+	if o == nil {
+		return None
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	b := int(distance * float64(len(o.win)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(o.win) {
+		b = len(o.win) - 1
+	}
+	o.win[b]++
+	o.n++
+	if distance >= o.admit && len(o.reservoir) < o.cfg.ReservoirCap {
+		o.reservoir = append(o.reservoir, bytes.Clone(html))
+	}
+	if o.n < o.cfg.Window {
+		return None
+	}
+
+	// Window closes: total-variation distance between the normalized
+	// window and baseline histograms — 0 for identical distributions, 1
+	// for disjoint support, order-independent by construction.
+	var tv float64
+	wn := float64(o.n)
+	for i, c := range o.win {
+		d := float64(c)/wn - o.base[i]
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	o.score = tv / 2
+	o.windows++
+	for i := range o.win {
+		o.win[i] = 0
+	}
+	o.n = 0
+
+	v := None
+	switch {
+	case o.score >= o.cfg.Severe:
+		v = Severe
+	case o.score >= o.cfg.Mild:
+		v = Mild
+	default:
+		o.reservoir = o.reservoir[:0]
+	}
+	o.lastScore, o.lastVerdict = o.score, v
+	return v
+}
+
+// TakeReservoir removes and returns the drifted pages collected so far,
+// sorted bytewise so the order a rebuild sees is independent of the
+// interleaving that admitted them. Returns nil when nothing was admitted.
+func (o *Observer) TakeReservoir() [][]byte {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pages := o.reservoir
+	o.reservoir = nil
+	sort.Slice(pages, func(i, j int) bool { return bytes.Compare(pages[i], pages[j]) < 0 })
+	return pages
+}
+
+// Stats is a point-in-time snapshot of the observer for observability
+// endpoints.
+type Stats struct {
+	// Score is the last closed window's total-variation drift score.
+	Score float64 `json:"drift_score"`
+	// Windows counts closed windows since the last rebase.
+	Windows int64 `json:"drift_windows"`
+	// Pending is how many observations the open window holds.
+	Pending int `json:"drift_pending"`
+	// Reservoir is how many drifted pages are currently retained.
+	Reservoir int `json:"drift_reservoir"`
+	// LastScore and LastVerdict describe the most recently closed window
+	// over the observer's lifetime, surviving rebases — Score reads 0
+	// right after a rebuild, LastScore still reads the score that
+	// triggered it.
+	LastScore   float64 `json:"last_window_score"`
+	LastVerdict string  `json:"last_verdict"`
+}
+
+// Snapshot returns the observer's current stats; the zero Stats for a
+// nil (disabled) observer.
+func (o *Observer) Snapshot() Stats {
+	if o == nil {
+		return Stats{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Stats{
+		Score: o.score, Windows: o.windows, Pending: o.n, Reservoir: len(o.reservoir),
+		LastScore: o.lastScore, LastVerdict: o.lastVerdict.String(),
+	}
+}

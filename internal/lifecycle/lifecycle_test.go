@@ -1,0 +1,237 @@
+package lifecycle
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"thor/internal/parallel"
+)
+
+// concentratedBaseline is a training histogram with all mass in the first
+// bucket — a tightly clustered training population. Its q90 admission
+// threshold is the first bucket's upper edge, 1/buckets.
+func concentratedBaseline(buckets int) []int64 {
+	h := make([]int64, buckets)
+	h[0] = 100
+	return h
+}
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	if v := o.Observe(0.9, []byte("x")); v != None {
+		t.Errorf("nil observer verdict %v", v)
+	}
+	if r := o.TakeReservoir(); r != nil {
+		t.Errorf("nil observer reservoir %v", r)
+	}
+	o.Rebase([]int64{1})
+	if s := o.Snapshot(); s != (Stats{}) {
+		t.Errorf("nil observer stats %+v", s)
+	}
+}
+
+func TestNewObserverRejectsUnusableBaseline(t *testing.T) {
+	for _, hist := range [][]int64{nil, {}, make([]int64, 20)} {
+		if o := NewObserver(hist, Config{}); o != nil {
+			t.Errorf("observer built over unusable baseline %v", hist)
+		}
+	}
+}
+
+// TestWindowVerdicts drives full windows of known composition through the
+// observer and checks the score and verdict at each close: identical
+// distribution → None, half-shifted → Mild, fully shifted → Severe.
+func TestWindowVerdicts(t *testing.T) {
+	const w = 10
+	o := NewObserver(concentratedBaseline(20), Config{Window: w})
+
+	// A stable window: every page lands in the baseline's bucket.
+	for i := 0; i < w-1; i++ {
+		if v := o.Observe(0.01, nil); v != None {
+			t.Fatalf("open window returned %v", v)
+		}
+	}
+	if v := o.Observe(0.01, nil); v != None {
+		t.Fatalf("stable window closed %v", v)
+	}
+	if s := o.Snapshot(); s.Score != 0 || s.Windows != 1 || s.Pending != 0 { //thorlint:allow no-float-eq identical histograms score exactly zero
+		t.Fatalf("stable window stats %+v", s)
+	}
+
+	// Half the window shifted far away: TV = 0.5, in [Mild, Severe).
+	for i := 0; i < w; i++ {
+		d := 0.01
+		if i%2 == 0 {
+			d = 0.9
+		}
+		if v := o.Observe(d, []byte("p")); i == w-1 && v != Mild {
+			t.Fatalf("half-shifted window closed %v", v)
+		}
+	}
+	if s := o.Snapshot(); math.Abs(s.Score-0.5) > 1e-12 {
+		t.Fatalf("half-shifted score %v, want 0.5", s.Score)
+	}
+
+	// Everything shifted: TV = 1, severe.
+	for i := 0; i < w; i++ {
+		if v := o.Observe(0.9, []byte("p")); i == w-1 && v != Severe {
+			t.Fatalf("shifted window closed %v", v)
+		}
+	}
+	if s := o.Snapshot(); math.Abs(s.Score-1) > 1e-12 {
+		t.Fatalf("shifted score %v, want 1", s.Score)
+	}
+}
+
+// TestReservoirAdmission pins the admission rule (distance at or past the
+// baseline's q90 bucket edge), the cap, the stable-window discard, and
+// TakeReservoir's sorted-and-clear contract.
+func TestReservoirAdmission(t *testing.T) {
+	const w = 8
+	o := NewObserver(concentratedBaseline(20), Config{Window: w, ReservoirCap: 3})
+
+	// Below the admission threshold (0.05): never retained.
+	o.Observe(0.04, []byte("near"))
+	if s := o.Snapshot(); s.Reservoir != 0 {
+		t.Fatalf("near page admitted: %+v", s)
+	}
+	// At/after the threshold: retained, up to the cap, copies not aliases.
+	buf := []byte("pg0")
+	o.Observe(0.5, buf)
+	buf[2] = 'X' // caller reuses its buffer immediately
+	o.Observe(0.5, []byte("pg1"))
+	o.Observe(0.5, []byte("pg2"))
+	o.Observe(0.5, []byte("pg3")) // over cap, dropped
+	if s := o.Snapshot(); s.Reservoir != 3 {
+		t.Fatalf("reservoir %d, want capped 3", s.Reservoir)
+	}
+	got := o.TakeReservoir()
+	want := [][]byte{[]byte("pg0"), []byte("pg1"), []byte("pg2")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reservoir %q, want %q", got, want)
+	}
+	if s := o.Snapshot(); s.Reservoir != 0 {
+		t.Fatal("TakeReservoir did not clear")
+	}
+
+	// A window that closes stable discards its admissions: tail noise.
+	o2 := NewObserver(concentratedBaseline(20), Config{Window: w})
+	o2.Observe(0.9, []byte("tail"))
+	for i := 0; i < w-1; i++ {
+		o2.Observe(0.01, nil)
+	}
+	if s := o2.Snapshot(); s.Reservoir != 0 {
+		t.Fatalf("stable close kept %d reservoir pages", s.Reservoir)
+	}
+}
+
+// TestRebaseResets: a rebase discards the open window, the reservoir, and
+// the score history — the next verdict is judged against the new
+// baseline only.
+func TestRebaseResets(t *testing.T) {
+	o := NewObserver(concentratedBaseline(20), Config{Window: 4})
+	o.Observe(0.9, []byte("drifted"))
+	o.Observe(0.9, []byte("drifted"))
+	fresh := make([]int64, 20)
+	fresh[18] = 50 // the new model's population sits far out
+	o.Rebase(fresh)
+	if s := o.Snapshot(); s.Pending != 0 || s.Reservoir != 0 || s.Windows != 0 || s.Score != 0 { //thorlint:allow no-float-eq rebase stores an exact zero
+		t.Fatalf("rebase left state behind: %+v", s)
+	}
+	// Under the new baseline, 0.9-distance pages are the norm.
+	for i := 0; i < 4; i++ {
+		if v := o.Observe(0.925, nil); v != None {
+			t.Fatalf("rebased observer still drifting: %v", v)
+		}
+	}
+	if s := o.Snapshot(); s.Score != 0 || s.Windows != 1 { //thorlint:allow no-float-eq identical histograms score exactly zero
+		t.Fatalf("rebased window stats %+v", s)
+	}
+}
+
+// TestObserverWorkerCountIndependence feeds one window's observation
+// multiset through 1, 2, and 4 concurrent feeders and checks every
+// worker count produces the same score, the same single verdict, and the
+// same sorted reservoir — the package's core determinism contract.
+func TestObserverWorkerCountIndependence(t *testing.T) {
+	const w = 64
+	type obs struct {
+		d    float64
+		html []byte
+	}
+	window := make([]obs, w)
+	for i := range window {
+		// Half stable, half drifted — a Mild window with a full reservoir.
+		if i%2 == 0 {
+			window[i] = obs{d: 0.01, html: []byte(fmt.Sprintf("stable-%02d", i))}
+		} else {
+			window[i] = obs{d: 0.7 + float64(i%5)/100, html: []byte(fmt.Sprintf("drift-%02d", i))}
+		}
+	}
+
+	type outcome struct {
+		verdicts  int32
+		last      Verdict
+		score     float64
+		reservoir [][]byte
+	}
+	run := func(workers int) outcome {
+		o := NewObserver(concentratedBaseline(20), Config{Window: w, ReservoirCap: w})
+		var verdicts int32
+		var last atomic.Int32
+		parallel.ForEach(len(window), workers, func(i int) {
+			if v := o.Observe(window[i].d, window[i].html); v != None {
+				atomic.AddInt32(&verdicts, 1)
+				last.Store(int32(v))
+			}
+		})
+		return outcome{
+			verdicts:  verdicts,
+			last:      Verdict(last.Load()),
+			score:     o.Snapshot().Score,
+			reservoir: o.TakeReservoir(),
+		}
+	}
+
+	base := run(1)
+	if base.verdicts != 1 || base.last != Mild {
+		t.Fatalf("serial run: %d verdicts, last %v, want one Mild", base.verdicts, base.last)
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if got.verdicts != base.verdicts || got.last != base.last {
+			t.Errorf("workers=%d: %d verdicts (%v), serial had %d (%v)",
+				workers, got.verdicts, got.last, base.verdicts, base.last)
+		}
+		if got.score != base.score { //thorlint:allow no-float-eq the score is a function of the observation multiset; bit-identity is the contract
+			t.Errorf("workers=%d: score %v, serial %v", workers, got.score, base.score)
+		}
+		if len(got.reservoir) != len(base.reservoir) {
+			t.Fatalf("workers=%d: reservoir %d pages, serial %d", workers, len(got.reservoir), len(base.reservoir))
+		}
+		for i := range got.reservoir {
+			if !bytes.Equal(got.reservoir[i], base.reservoir[i]) {
+				t.Fatalf("workers=%d: reservoir[%d] = %q, serial %q", workers, i, got.reservoir[i], base.reservoir[i])
+			}
+		}
+	}
+}
+
+// TestConfigDefaults pins the documented zero-value resolution.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Window != 64 || c.ReservoirCap != 256 {
+		t.Errorf("defaults Window=%d ReservoirCap=%d", c.Window, c.ReservoirCap)
+	}
+	if math.Abs(c.Mild-0.25) > 1e-12 || math.Abs(c.Severe-0.60) > 1e-12 {
+		t.Errorf("defaults Mild=%v Severe=%v", c.Mild, c.Severe)
+	}
+	kept := Config{Window: 7, ReservoirCap: 9, Mild: 0.1, Severe: 0.2}.withDefaults()
+	if kept.Window != 7 || kept.ReservoirCap != 9 {
+		t.Errorf("explicit config overridden: %+v", kept)
+	}
+}

@@ -17,6 +17,14 @@ import "math"
 // TFIDF(docs) — same term order, same per-term arithmetic, same
 // normalization order — and, in raw mode, to RawFrequency(docs); the
 // equivalence is pinned by TestAccumulatorMatchesBatch.
+//
+// An accumulator is resumable: Reset returns a finished (spent)
+// accumulator to its empty state so one allocation serves a stream of
+// mini-batches, and Merge folds another accumulator's documents in, so
+// shards accumulated independently can be combined before the finishing
+// pass. For mini-batches weighted against an existing model's frozen
+// statistics, FinishWith weights with an external DF table instead of
+// the accumulated one.
 type Accumulator struct {
 	raw  bool
 	vecs []Sparse
@@ -60,10 +68,36 @@ func (a *Accumulator) DF() map[string]int {
 	return out
 }
 
+// Reset returns the accumulator to its empty state — no documents, an
+// empty DF table, the same weighting mode — so it can accumulate a fresh
+// batch after a finishing call spent it. The previously returned vectors
+// are unaffected: Reset drops the accumulator's references instead of
+// recycling their storage.
+func (a *Accumulator) Reset() {
+	a.vecs = nil
+	a.df = make(map[string]int)
+}
+
+// Merge folds b's accumulated documents into a: b's vectors are appended
+// in their Add order after a's, and the DF tables are summed. Both
+// accumulators must be unfinished and share the same weighting mode; b
+// is spent by the merge (a takes ownership of its vectors) and must be
+// Reset before reuse. Merging two accumulators and finishing is
+// bit-identical to adding both streams to one accumulator in
+// concatenation order (pinned by TestAccumulatorMergeMatchesConcat).
+func (a *Accumulator) Merge(b *Accumulator) {
+	a.vecs = append(a.vecs, b.vecs...)
+	for term, n := range b.df {
+		a.df[term] += n
+	}
+	b.vecs = nil
+}
+
 // Finish applies the second pass — TFIDF weighting and L2 normalization
 // in place — and returns the finished vectors. In raw mode the vectors
 // are already normalized and are returned as they stand. The accumulator
-// is spent afterwards; Add must not be called again.
+// is spent afterwards: call Reset before adding again, or the already
+// weighted vectors would be weighted a second time.
 func (a *Accumulator) Finish() []Sparse {
 	if a.raw {
 		return a.vecs
@@ -88,7 +122,7 @@ func (a *Accumulator) Finish() []Sparse {
 // interned weights are bit-identical to Finish's (interning only renames
 // terms to IDs; no term of a training vector can miss the dictionary,
 // since both grew from the same Adds). Like Finish, it spends the
-// accumulator.
+// accumulator until Reset.
 func (a *Accumulator) FinishInterned() Interned {
 	vecs := a.Finish()
 	d := DictFromDF(a.df)
@@ -99,6 +133,44 @@ func (a *Accumulator) FinishInterned() Interned {
 	}
 	a.vecs = nil
 	return Interned{Dict: d, Vecs: out}
+}
+
+// FinishWith applies the second pass against an *external* document
+// frequency table — a trained model's frozen DF over nDocs training
+// documents — instead of the accumulated one: terms absent from df are
+// dropped before weighting (the model's DF-miss rule), the survivors are
+// weighted with TFIDFWeight's exact arithmetic, and each vector is
+// normalized over the kept terms only. Per document, the result is
+// bit-identical to the model-side Vectorize composition
+// (FromMap(tfidf-weighted counts).Normalize()): both visit terms in
+// ascending order and normalize over the same surviving weights. In raw
+// mode df is not consulted — the vectors are already normalized raw
+// frequencies, exactly Finish's answer. The accumulator is spent
+// afterwards until Reset.
+//
+// This is the mini-batch entry point: a model refining itself on fresh
+// pages weights them in its own training space, not the batch's.
+func (a *Accumulator) FinishWith(df map[string]int, nDocs int) []Sparse {
+	if a.raw {
+		return a.vecs
+	}
+	for i := range a.vecs {
+		v := &a.vecs[i]
+		kept := 0
+		for j, term := range v.Terms {
+			n := df[term]
+			if n == 0 {
+				continue // outside the model's training vocabulary
+			}
+			v.Terms[kept] = term
+			v.Weights[kept] = TFIDFWeight(int(v.Weights[j]), nDocs, n)
+			kept++
+		}
+		v.Terms = v.Terms[:kept]
+		v.Weights = v.Weights[:kept]
+		normalizeInPlace(v)
+	}
+	return a.vecs
 }
 
 // normalizeInPlace scales v to unit L2 norm without allocating, matching

@@ -1,0 +1,227 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sparseEqual reports bit-identity of two finished vector slices.
+func sparseEqual(t *testing.T, label string, got, want []Sparse) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vectors, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Terms, want[i].Terms) {
+			t.Fatalf("%s doc %d: terms %v, want %v", label, i, got[i].Terms, want[i].Terms)
+		}
+		for j := range got[i].Weights {
+			if got[i].Weights[j] != want[i].Weights[j] { //thorlint:allow no-float-eq bit-identity is the contract under test
+				t.Fatalf("%s doc %d term %q: weight %v, want %v",
+					label, i, got[i].Terms[j], got[i].Weights[j], want[i].Weights[j])
+			}
+		}
+	}
+}
+
+// TestAccumulatorReuseAfterFinish is the reuse-after-Finish regression
+// test: a finished accumulator, once Reset, must accumulate and finish a
+// second batch exactly as a fresh accumulator would — no leftover
+// vectors, no stale DF entries, no double weighting.
+func TestAccumulatorReuseAfterFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, raw := range []bool{false, true} {
+		first := randomDocs(rng, 8)
+		second := randomDocs(rng, 6)
+
+		acc := NewAccumulator(raw)
+		for _, d := range first {
+			acc.Add(d)
+		}
+		finished := acc.Finish()
+		acc.Reset()
+		if acc.Len() != 0 || len(acc.DF()) != 0 {
+			t.Fatalf("raw=%v: Reset left %d vectors, %d DF terms", raw, acc.Len(), len(acc.DF()))
+		}
+		for _, d := range second {
+			acc.Add(d)
+		}
+		got := acc.Finish()
+
+		fresh := NewAccumulator(raw)
+		for _, d := range second {
+			fresh.Add(d)
+		}
+		sparseEqual(t, "reused-vs-fresh", got, fresh.Finish())
+		if !reflect.DeepEqual(acc.DF(), fresh.DF()) {
+			t.Fatalf("raw=%v: reused DF %v, want %v", raw, acc.DF(), fresh.DF())
+		}
+
+		// The first batch's output must survive the reuse untouched.
+		if len(finished) != len(first) {
+			t.Fatalf("raw=%v: first batch shrank to %d vectors", raw, len(finished))
+		}
+	}
+}
+
+// TestAccumulatorMergeMatchesConcat pins Merge's contract: accumulating
+// two shards independently and merging is bit-identical to one
+// accumulator fed both streams in concatenation order.
+func TestAccumulatorMergeMatchesConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		left := randomDocs(rng, rng.Intn(10))
+		right := randomDocs(rng, rng.Intn(10))
+
+		for _, raw := range []bool{false, true} {
+			a := NewAccumulator(raw)
+			for _, d := range left {
+				a.Add(d)
+			}
+			b := NewAccumulator(raw)
+			for _, d := range right {
+				b.Add(d)
+			}
+			a.Merge(b)
+			if b.Len() != 0 {
+				t.Fatalf("trial %d raw=%v: Merge left %d vectors on the source", trial, raw, b.Len())
+			}
+
+			one := NewAccumulator(raw)
+			for _, d := range append(append([]map[string]int{}, left...), right...) {
+				one.Add(d)
+			}
+			if !reflect.DeepEqual(a.DF(), one.DF()) {
+				t.Fatalf("trial %d raw=%v: merged DF %v, want %v", trial, raw, a.DF(), one.DF())
+			}
+			sparseEqual(t, "merged-vs-concat", a.Finish(), one.Finish())
+		}
+	}
+}
+
+// TestFinishWithMatchesModelWeighting pins FinishWith against the
+// model-side composition it must reproduce: drop terms missing from the
+// external DF table, weight survivors with TFIDFWeight, normalize over
+// the kept terms — FromMap(weighted).Normalize() bit for bit.
+func TestFinishWithMatchesModelWeighting(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// An external DF table over a vocabulary that only partially overlaps
+	// the batch's: t0..t7 known with varying frequencies, t8..t11 unseen.
+	df := map[string]int{}
+	for i := 0; i < 8; i++ {
+		df[term(i)] = 1 + rng.Intn(40)
+	}
+	const nDocs = 50
+
+	docs := randomDocs(rng, 12)
+	acc := NewAccumulator(false)
+	for _, d := range docs {
+		acc.Add(d)
+	}
+	got := acc.FinishWith(df, nDocs)
+
+	for i, d := range docs {
+		weighted := make(map[string]float64, len(d))
+		for tm, tf := range d {
+			if df[tm] == 0 {
+				continue
+			}
+			weighted[tm] = TFIDFWeight(tf, nDocs, df[tm])
+		}
+		want := FromMap(weighted).Normalize()
+		if !reflect.DeepEqual(got[i].Terms, want.Terms) {
+			t.Fatalf("doc %d: terms %v, want %v", i, got[i].Terms, want.Terms)
+		}
+		for j := range got[i].Weights {
+			if got[i].Weights[j] != want.Weights[j] { //thorlint:allow no-float-eq bit-identity is the contract under test
+				t.Fatalf("doc %d term %q: weight %v, want %v",
+					i, got[i].Terms[j], got[i].Weights[j], want.Weights[j])
+			}
+		}
+	}
+
+	// Raw mode ignores the external table entirely: FinishWith ≡ Finish.
+	raw := NewAccumulator(true)
+	for _, d := range docs {
+		raw.Add(d)
+	}
+	rawGot := raw.FinishWith(df, nDocs)
+	raw2 := NewAccumulator(true)
+	for _, d := range docs {
+		raw2.Add(d)
+	}
+	sparseEqual(t, "raw FinishWith-vs-Finish", rawGot, raw2.Finish())
+}
+
+// term mirrors randomDocs' vocabulary naming.
+func term(i int) string { return "t" + string(rune('0'+i)) }
+
+// TestBlendIDVec checks the weighted-merge kernel: disjoint, overlapping,
+// and empty operands, plus the centroid-absorption identity — blending an
+// N-member centroid with an n-member batch mean at weights N/(N+n) and
+// n/(N+n) equals the centroid over the combined membership to float
+// tolerance.
+func TestBlendIDVec(t *testing.T) {
+	a := NewIDVec([]int32{0, 2, 5}, []float64{1, 2, 3})
+	b := NewIDVec([]int32{2, 3}, []float64{10, 20})
+	got := BlendIDVec(a, 0.5, b, 0.25)
+	wantIDs := []int32{0, 2, 3, 5}
+	wantW := []float64{0.5, 0.5*2 + 0.25*10, 0.25 * 20, 1.5}
+	if !reflect.DeepEqual(got.IDs, wantIDs) {
+		t.Fatalf("IDs = %v, want %v", got.IDs, wantIDs)
+	}
+	for i := range wantW {
+		if got.Weights[i] != wantW[i] { //thorlint:allow no-float-eq exact arithmetic on small integers
+			t.Fatalf("weight[%d] = %v, want %v", i, got.Weights[i], wantW[i])
+		}
+	}
+	var norm float64
+	for _, w := range wantW {
+		norm += w * w
+	}
+	if math.Abs(got.Norm()-math.Sqrt(norm)) > 1e-15 {
+		t.Fatalf("norm = %v, want %v", got.Norm(), math.Sqrt(norm))
+	}
+
+	if z := BlendIDVec(IDVec{}, 1, IDVec{}, 1); z.Len() != 0 || z.Norm() != 0 { //thorlint:allow no-float-eq empty blend has exactly zero norm
+		t.Fatalf("empty blend = %v entries, norm %v", z.Len(), z.Norm())
+	}
+
+	// Centroid-absorption identity over random members.
+	rng := rand.New(rand.NewSource(7))
+	mk := func() IDVec {
+		n := 1 + rng.Intn(6)
+		ids := make([]int32, 0, n)
+		ws := make([]float64, 0, n)
+		for id := int32(0); id < 12 && len(ids) < n; id++ {
+			if rng.Intn(2) == 0 {
+				ids = append(ids, id)
+				ws = append(ws, rng.Float64())
+			}
+		}
+		return NewIDVec(ids, ws)
+	}
+	old := make([]IDVec, 5)
+	batch := make([]IDVec, 3)
+	for i := range old {
+		old[i] = mk()
+	}
+	for i := range batch {
+		batch[i] = mk()
+	}
+	oldC := CentroidInterned(old, 12)
+	batchC := CentroidInterned(batch, 12)
+	n, m := float64(len(old)), float64(len(batch))
+	blended := BlendIDVec(oldC, n/(n+m), batchC, m/(n+m))
+	combined := CentroidInterned(append(append([]IDVec{}, old...), batch...), 12)
+	if !reflect.DeepEqual(blended.IDs, combined.IDs) {
+		t.Fatalf("blended IDs %v, combined %v", blended.IDs, combined.IDs)
+	}
+	for i := range blended.Weights {
+		if math.Abs(blended.Weights[i]-combined.Weights[i]) > 1e-12 {
+			t.Fatalf("weight[%d]: blended %v, combined %v", i, blended.Weights[i], combined.Weights[i])
+		}
+	}
+}

@@ -91,3 +91,43 @@ func (s *CentroidScratch) Centroid(vs []IDVec) IDVec {
 func CentroidInterned(vs []IDVec, dim int) IDVec {
 	return NewCentroidScratch(dim).Centroid(vs)
 }
+
+// BlendIDVec returns wa·a + wb·b over the union of the two ID sets — the
+// weighted-mean kernel of mini-batch centroid maintenance: a centroid of
+// N historical members absorbs a batch mean of n fresh members as
+// Blend(old, N/(N+n), batch, n/(N+n)), which is exactly the centroid the
+// combined membership would average to. The merge visits IDs in
+// ascending order (both inputs are sorted), so the result is a valid
+// IDVec with its norm cached; the inputs are not retained.
+func BlendIDVec(a IDVec, wa float64, b IDVec, wb float64) IDVec {
+	ids := make([]int32, 0, len(a.IDs)+len(b.IDs))
+	weights := make([]float64, 0, len(a.IDs)+len(b.IDs))
+	var norm float64
+	push := func(id int32, w float64) {
+		ids = append(ids, id)
+		weights = append(weights, w)
+		norm += w * w
+	}
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		switch ai, bj := a.IDs[i], b.IDs[j]; {
+		case ai == bj:
+			push(ai, wa*a.Weights[i]+wb*b.Weights[j])
+			i++
+			j++
+		case ai < bj:
+			push(ai, wa*a.Weights[i])
+			i++
+		default:
+			push(bj, wb*b.Weights[j])
+			j++
+		}
+	}
+	for ; i < len(a.IDs); i++ {
+		push(a.IDs[i], wa*a.Weights[i])
+	}
+	for ; j < len(b.IDs); j++ {
+		push(b.IDs[j], wb*b.Weights[j])
+	}
+	return IDVec{IDs: ids, Weights: weights, norm: math.Sqrt(norm)}
+}
