@@ -17,6 +17,8 @@
 //	thor -serve :8080      # serve the simulated deep web over HTTP instead
 //	thor -serve :8080 -model site0.model.gz  # …plus POST /extract serving
 //	thor -serve :8080 -models models/   # a fleet: POST /extract/<site> per model file
+//	thor -sites 5 -save-index idx/     # probe, extract, and persist a sharded QA-object index
+//	thor -serve :8080 -index idx/      # …and serve GET /search + GET /sites over it
 //	thor -v                # dump extracted pagelets and objects
 //
 // Live sites: point THOR at any search endpoint reachable over HTTP; the
@@ -46,6 +48,7 @@ import (
 	"thor/internal/objects"
 	"thor/internal/parallel"
 	"thor/internal/probe"
+	"thor/internal/qaindex"
 	"thor/internal/quality"
 )
 
@@ -68,6 +71,9 @@ func main() {
 		models  = flag.String("models", "", "with -serve: directory of per-site model files (<site>.thor.model.gz) served lazily at POST /extract/<site>")
 		drift   = flag.Bool("drift", false, "with -serve: watch served models for template drift and rebuild them in-process (models without a training baseline serve unchanged)")
 		saveTo  = flag.String("save-model", "", "train on the probed site and save the model to this file")
+		indexF  = flag.String("index", "", "with -serve: load a QA-object index (segment directory or legacy .gz snapshot) and mount GET /search + GET /sites")
+		saveIdx = flag.String("save-index", "", "probe the sites, index every extracted QA-object, and persist the index (directory of segment files; a .gz suffix selects the legacy single-file snapshot)")
+		idxShd  = flag.Int("index-shards", 4, "segment count for -save-index builds and legacy-snapshot loads")
 		corpusF = flag.String("corpus", "", "extract from a persisted corpus file (loaded eagerly) instead of probing")
 		streamF = flag.String("stream", "", "like -corpus, but stream pages off the file with bounded derived memory; output is identical")
 		saveCor = flag.String("save-corpus", "", "probe the sites, persist the labeled corpus to this file, and exit")
@@ -107,7 +113,8 @@ func main() {
 
 	if *serve != "" {
 		var fl *fleet.Fleet
-		if *models != "" || *model != "" {
+		var ix qaindex.Searcher
+		if *models != "" || *model != "" || *indexF != "" {
 			fcfg := fleet.Config{Dir: *models, Logf: log.Printf}
 			if *drift {
 				fcfg.Drift = &lifecycle.Config{}
@@ -125,8 +132,16 @@ func main() {
 			if *models != "" {
 				log.Printf("serving models from %s at POST /extract/<site>", *models)
 			}
+			if *indexF != "" {
+				sh, err := qaindex.Open(*indexF, *idxShd, *workers)
+				if err != nil {
+					log.Fatal(err)
+				}
+				ix = sh
+				log.Printf("loaded %s; GET /search and GET /sites serve QA-object retrieval", sh)
+			}
 		}
-		if err := serveFarm(*serve, max(*nsites, 1), *seed, fl); err != nil {
+		if err := serveFarm(*serve, max(*nsites, 1), *seed, fl, ix); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -150,6 +165,41 @@ func main() {
 		}
 		fmt.Printf("saved %d collections (%d pages) to %s\n",
 			len(c.Collections), c.TotalPages(), *saveCor)
+		return
+	}
+
+	if *saveIdx != "" {
+		// One extraction stream per site, concatenated in site order and
+		// hash-partitioned — bit-identical at any -workers value.
+		sh := qaindex.IngestSharded(len(sites), *idxShd, *workers, func(i int) []qaindex.Doc {
+			s := sites[i]
+			cfg := core.DefaultConfig()
+			cfg.K = *k
+			cfg.TopClusters = *top
+			cfg.Seed = *seed + int64(s.ID())
+			cfg.Workers = 1
+			cfg.Clusterer = *clust
+			col := prober.ProbeSite(s)
+			res := core.NewExtractor(cfg).Extract(col.Pages)
+			return qaindex.DocsFromPagelets(s.ID(), s.Name(), res.Pagelets, nil)
+		})
+		if strings.HasSuffix(*saveIdx, ".gz") {
+			// Legacy single-file snapshot: re-ingest through the reference
+			// index, whose postings the snapshot format rebuilds on load.
+			ix := &qaindex.Index{}
+			for i := 0; i < sh.Shards(); i++ {
+				for _, d := range sh.Segment(i).Docs() {
+					ix.AddText(d.SiteID, d.SiteName, d.ProbeQuery, d.PageURL, d.Text)
+				}
+			}
+			if err := ix.WriteFile(*saveIdx); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := sh.WriteDir(*saveIdx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("indexed %d QA-objects from %d sites into %s (%s)\n",
+			sh.Len(), len(sites), *saveIdx, sh)
 		return
 	}
 
@@ -224,9 +274,9 @@ func runSite(s *deepweb.Site, prober *probe.Prober, cfg core.Config, verbose boo
 }
 
 // serveFarm serves the simulated deep web — plus the fleet's extraction
-// routes when model serving was configured — until the listener fails or
-// the process receives SIGINT/SIGTERM.
-func serveFarm(addr string, nsites int, seed int64, fl *fleet.Fleet) error {
+// and retrieval routes when model serving or an index was configured —
+// until the listener fails or the process receives SIGINT/SIGTERM.
+func serveFarm(addr string, nsites int, seed int64, fl *fleet.Fleet, ix qaindex.Searcher) error {
 	farm := deepweb.NewFarm(nsites, seed)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -238,7 +288,7 @@ func serveFarm(addr string, nsites int, seed int64, fl *fleet.Fleet) error {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 
-	return runServer(&http.Server{Handler: serveHandler(farm, fl)}, ln, fl, sigs)
+	return runServer(&http.Server{Handler: serveHandler(farm, fl, ix)}, ln, fl, sigs)
 }
 
 // runServer serves on ln until the listener fails or a value arrives on

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"thor/internal/core"
+	"thor/internal/deepweb"
+	"thor/internal/fleet"
+	"thor/internal/probe"
+	"thor/internal/qaindex"
+)
+
+// buildIndex extracts a small site's QA-objects into a sharded index —
+// the -save-index path without the file round trip.
+func buildIndex(t *testing.T) *qaindex.Sharded {
+	t.Helper()
+	sh := qaindex.IngestSharded(2, 2, 2, func(i int) []qaindex.Doc {
+		site := deepweb.NewSite(deepweb.SiteConfig{ID: i, Seed: 31})
+		prober := &probe.Prober{Plan: probe.NewPlan(40, 4, 1), Labeler: deepweb.Labeler()}
+		col := prober.ProbeSite(site)
+		res := core.NewExtractor(core.DefaultConfig()).Extract(col.Pages)
+		return qaindex.DocsFromPagelets(site.ID(), site.Name(), res.Pagelets, nil)
+	})
+	if sh.Len() == 0 {
+		t.Fatal("extraction produced no indexable objects")
+	}
+	return sh
+}
+
+// TestServeSearchEndToEnd mounts the retrieval routes the way
+// `thor -serve -index` does and drives them over HTTP: ranked /search
+// hits and /sites discovery beside the farm and /extract surface.
+func TestServeSearchEndToEnd(t *testing.T) {
+	ix := buildIndex(t)
+	fl := fleet.New(fleet.Config{})
+	t.Cleanup(fl.Close)
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), fl, ix))
+	defer srv.Close()
+
+	// A query term drawn from the indexed corpus itself, so hits exist.
+	q := ix.Segment(0).Docs()[0].ProbeQuery
+	resp, err := http.Get(srv.URL + "/search?q=" + q + "&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/search status %d: %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Indexed int `json:"indexed"`
+		Hits    []struct {
+			URL   string  `json:"url"`
+			Score float64 `json:"score"`
+		} `json:"hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Indexed != ix.Len() {
+		t.Errorf("indexed = %d, want %d", sr.Indexed, ix.Len())
+	}
+	if len(sr.Hits) == 0 {
+		t.Fatalf("no hits for indexed probe word %q", q)
+	}
+	for _, h := range sr.Hits {
+		if h.URL == "" || h.Score <= 0 {
+			t.Errorf("bad hit: %+v", h)
+		}
+	}
+
+	resp2, err := http.Get(srv.URL + "/sites?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sites struct {
+		Sites []struct {
+			Site    string `json:"site"`
+			Matches int    `json:"matches"`
+		} `json:"sites"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&sites); err != nil {
+		t.Fatal(err)
+	}
+	if len(sites.Sites) == 0 {
+		t.Fatal("/sites found no supporting sources")
+	}
+
+	// The farm still serves beside the retrieval routes.
+	farm, err := http.Get(srv.URL + "/site/0/search?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, farm.Body)
+	farm.Body.Close()
+	if farm.StatusCode != http.StatusOK {
+		t.Errorf("farm route status %d", farm.StatusCode)
+	}
+}

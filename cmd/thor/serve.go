@@ -5,16 +5,20 @@ import (
 
 	"thor/internal/deepweb"
 	"thor/internal/fleet"
+	"thor/internal/qaindex"
 )
 
 // serveHandler assembles the -serve HTTP surface: the simulated deep-web
 // farm, plus the fleet's extraction routes when model serving was
-// configured (a -models directory and/or a -model default). The fleet
+// configured (a -models directory and/or a -model default), plus the
+// retrieval routes when a QA-object index was loaded (-index). The fleet
 // mounts POST /extract (default model), POST /extract/<site>, the
 // X-Thor-Site header, and GET /stats with the registry's lifecycle
 // counters; each extraction flows through the fleet's admission gate
-// and the pooled zero-alloc apply pipeline.
-func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet) http.Handler {
+// and the pooled zero-alloc apply pipeline. GET /search and GET /sites
+// serve top-k QA-object retrieval and site discovery over ix through
+// the same admission gate.
+func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet, ix qaindex.Searcher) http.Handler {
 	if fl == nil {
 		return farm.Handler()
 	}
@@ -24,5 +28,9 @@ func serveHandler(farm *deepweb.Farm, fl *fleet.Fleet) http.Handler {
 	mux.Handle("/extract", h)
 	mux.Handle("/extract/", h)
 	mux.Handle("/stats", fl.StatsHandler())
+	if ix != nil {
+		mux.Handle("/search", fl.SearchHandler(ix))
+		mux.Handle("/sites", fl.SitesHandler(ix))
+	}
 	return mux
 }

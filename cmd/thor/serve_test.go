@@ -65,7 +65,7 @@ func TestExtractEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, loaded)))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, loaded), nil))
 	defer srv.Close()
 
 	// Fresh pages from queries the training run never issued.
@@ -119,7 +119,7 @@ func TestExtractEndpoint(t *testing.T) {
 }
 
 func TestExtractEndpointRejections(t *testing.T) {
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, trainModel(t))))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, trainModel(t)), nil))
 	defer srv.Close()
 
 	res, err := http.Get(srv.URL + "/extract")
@@ -228,7 +228,7 @@ func TestFleetHandlerMatchesLegacyByteForByte(t *testing.T) {
 			t.Fatalf("%s: %v", a, err)
 		}
 		legacy := legacyExtractHandler(m)
-		modern := serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, m))
+		modern := serveHandler(deepweb.NewFarm(1, 7), singleModelFleet(t, m), nil)
 
 		check := func(name, method, body string) {
 			t.Helper()
@@ -262,7 +262,7 @@ func TestFleetHandlerMatchesLegacyByteForByte(t *testing.T) {
 // TestServeHandlerKeepsFarmRoutes pins that mounting the fleet routes
 // does not shadow the simulated deep-web farm.
 func TestServeHandlerKeepsFarmRoutes(t *testing.T) {
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(2, 7), singleModelFleet(t, trainModel(t))))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(2, 7), singleModelFleet(t, trainModel(t)), nil))
 	defer srv.Close()
 
 	for _, path := range []string{"/", "/site/0/"} {
@@ -278,7 +278,7 @@ func TestServeHandlerKeepsFarmRoutes(t *testing.T) {
 }
 
 func TestServeHandlerWithoutFleetHasNoExtract(t *testing.T) {
-	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), nil))
+	srv := httptest.NewServer(serveHandler(deepweb.NewFarm(1, 7), nil, nil))
 	defer srv.Close()
 
 	res, err := http.Post(srv.URL+"/extract", "text/html", strings.NewReader("<html></html>"))
@@ -302,7 +302,7 @@ func TestRunServerShutdownDrainsInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: serveHandler(deepweb.NewFarm(1, 7), fl)}
+	srv := &http.Server{Handler: serveHandler(deepweb.NewFarm(1, 7), fl, nil)}
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() { done <- runServer(srv, ln, fl, stop) }()

@@ -22,7 +22,11 @@
 // streaming ingestion residency; with -json it writes the per-size heap
 // record BENCH_scale.json), "kernels" (string vs interned
 // similarity-kernel micro-benchmark; with -json it writes the
-// ns-per-pair record BENCH_kernels.json), and the ablations "ksweep", "restarts",
+// ns-per-pair record BENCH_kernels.json), "search" (QA-object retrieval
+// over a 1M-object synthetic Zipf corpus: the legacy exhaustive scan vs
+// the sharded block-max engine, cross-checked bit-identical; -synthcap
+// caps the corpus for smoke runs; with -json it writes the qps/latency
+// record BENCH_search.json), and the ablations "ksweep", "restarts",
 // "threshold", "ranking", "objects", "multiregion", "bisecting", and
 // "adaptive" (see DESIGN.md).
 package main
@@ -42,7 +46,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,fleet,drift,scale,kernels,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11,treedist,stats,serve,fleet,drift,scale,kernels,search,ksweep,restarts,threshold,ranking,objects,multiregion,bisecting,adaptive,all")
 		sites   = flag.Int("sites", 50, "number of simulated deep-web sites")
 		dict    = flag.Int("dict", 100, "dictionary probe words per site")
 		nons    = flag.Int("nonsense", 10, "nonsense probe words per site")
@@ -54,13 +58,14 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
 		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<figure>.json timing records into this directory")
 		workers = flag.Int("workers", 0, "concurrent workers per figure (1 = serial, 0 = all cores); figures are identical either way")
+		synthC  = flag.Int("synthcap", 0, "cap synthetic corpus sizes (scale sweep, search docs) at this many units; 0 = defaults")
 	)
 	flag.Parse()
 
 	o := experiments.Options{
 		Sites: *sites, DictWords: *dict, Nonsense: *nons,
 		Reps: *reps, Seed: *seed, Full: *full, K: *k, KMRestarts: *m,
-		Workers: *workers,
+		Workers: *workers, SynthCap: *synthC,
 	}
 
 	emit := func(name string, result fmt.Stringer) {
@@ -100,6 +105,10 @@ func main() {
 				// The fleet figure records registry-serving throughput,
 				// latency percentiles, and the overload shed counts.
 				err = writeFleetBench(*jsonDir, o, r, time.Since(start))
+			case *experiments.SearchResult:
+				// The search figure records per-engine qps and latency
+				// percentiles plus the legacy-vs-sharded cross-check verdict.
+				err = writeSearchBench(*jsonDir, o, r, time.Since(start))
 			case *experiments.DriftResult:
 				// The drift figure records the lifecycle contract: phase
 				// scores, refine/rebuild counts, the final revision, and
@@ -139,6 +148,7 @@ func main() {
 		"drift":       func() fmt.Stringer { return experiments.DriftBenchmark(o) },
 		"scale":       func() fmt.Stringer { return experiments.ScaleBenchmark(o) },
 		"kernels":     func() fmt.Stringer { return experiments.KernelBenchmark(o) },
+		"search":      func() fmt.Stringer { return experiments.SearchBenchmark(o) },
 	}
 
 	if *fig == "all" {
@@ -154,7 +164,7 @@ func main() {
 		emit("fig7", t7)
 		for _, name := range []string{"stats", "treedist", "8", "9", "10", "11",
 			"ksweep", "restarts", "threshold", "ranking",
-			"objects", "multiregion", "bisecting", "adaptive", "serve", "fleet", "drift", "scale", "kernels"} {
+			"objects", "multiregion", "bisecting", "adaptive", "serve", "fleet", "drift", "scale", "kernels", "search"} {
 			n := csvName(name)
 			emit(n, run(n, runners[name]))
 		}
@@ -462,6 +472,64 @@ func writeDriftBench(dir string, o experiments.Options, r *experiments.DriftResu
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_drift.json"), append(data, '\n'), 0o644)
+}
+
+// SearchBenchRecord is the machine-readable artifact of the search
+// figure: the same query stream over the same synthetic QA-object corpus
+// on the legacy exhaustive index and the sharded block-max engine. The
+// contract fields — mismatches 0 and the result digest — must be
+// identical across worker counts; only throughput and latency may move.
+type SearchBenchRecord struct {
+	Figure              string  `json:"figure"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	Workers             int     `json:"workers"`
+	Docs                int     `json:"docs"`
+	Shards              int     `json:"shards"`
+	Queries             int     `json:"queries"`
+	Requests            int     `json:"requests"`
+	LegacyBuildSeconds  float64 `json:"legacy_build_seconds"`
+	ShardedBuildSeconds float64 `json:"sharded_build_seconds"`
+	LegacyQPS           float64 `json:"legacy_qps"`
+	ShardedQPS          float64 `json:"sharded_qps"`
+	LegacyP50Millis     float64 `json:"legacy_p50_ms"`
+	LegacyP99Millis     float64 `json:"legacy_p99_ms"`
+	ShardedP50Millis    float64 `json:"sharded_p50_ms"`
+	ShardedP99Millis    float64 `json:"sharded_p99_ms"`
+	Speedup             float64 `json:"speedup"`
+	Mismatches          int     `json:"mismatches"`
+	ResultDigest        string  `json:"result_digest"`
+}
+
+// writeSearchBench persists the search figure as BENCH_search.json.
+func writeSearchBench(dir string, o experiments.Options, r *experiments.SearchResult, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := SearchBenchRecord{
+		Figure:              "search",
+		WallSeconds:         wall.Seconds(),
+		Workers:             parallel.Workers(o.Workers),
+		Docs:                r.Docs,
+		Shards:              r.Shards,
+		Queries:             r.Queries,
+		Requests:            r.Requests,
+		LegacyBuildSeconds:  r.LegacyBuildSeconds,
+		ShardedBuildSeconds: r.ShardedBuildSeconds,
+		LegacyQPS:           r.LegacyQPS,
+		ShardedQPS:          r.ShardedQPS,
+		LegacyP50Millis:     r.LegacyP50Millis,
+		LegacyP99Millis:     r.LegacyP99Millis,
+		ShardedP50Millis:    r.ShardedP50Millis,
+		ShardedP99Millis:    r.ShardedP99Millis,
+		Speedup:             r.Speedup,
+		Mismatches:          r.Mismatches,
+		ResultDigest:        r.Digest,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_search.json"), append(data, '\n'), 0o644)
 }
 
 // csvName maps a -fig selector to a CSV file stem.

@@ -145,6 +145,9 @@ type Fleet struct {
 	// shed counts admission refusals (429s) for Stats; atomic because it
 	// ticks on the refusal path, outside the registry lock.
 	shed atomic.Int64
+	// searches counts served /search and /sites queries; atomic because
+	// the retrieval path never takes the registry lock.
+	searches atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]*entry

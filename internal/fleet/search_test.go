@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thor/internal/qaindex"
+)
+
+func searchIndex() *qaindex.Sharded {
+	return qaindex.BuildSharded([]qaindex.Doc{
+		{SiteID: 1, SiteName: "books", ProbeQuery: "camera", PageURL: "http://a/1", Text: "digital camera bag leather black"},
+		{SiteID: 1, SiteName: "books", ProbeQuery: "camera", PageURL: "http://a/2", Text: "digital camera sony silver compact"},
+		{SiteID: 2, SiteName: "music", ProbeQuery: "guitar", PageURL: "http://b/1", Text: "electric guitar fender sunburst"},
+		{SiteID: 2, SiteName: "music", ProbeQuery: "piano", PageURL: "http://b/2", Text: "grand piano steinway black"},
+		{SiteID: 3, SiteName: "jobs", ProbeQuery: "engineer", PageURL: "http://c/1", Text: "software engineer position golang"},
+	}, 2, 1)
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp
+}
+
+func TestSearchHandlerServesRankedHits(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	srv := httptest.NewServer(f.SearchHandler(searchIndex()))
+	defer srv.Close()
+
+	var resp searchResponse
+	if r := getJSON(t, srv.URL+"/search?q=digital+camera", &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if resp.Query != "digital camera" || resp.K != DefaultSearchK || resp.Indexed != 5 {
+		t.Errorf("envelope: %+v", resp)
+	}
+	if len(resp.Hits) != 2 {
+		t.Fatalf("hits = %d, want the 2 camera documents", len(resp.Hits))
+	}
+	for i, h := range resp.Hits {
+		if h.SiteID != 1 || h.Site != "books" {
+			t.Errorf("hit %d from wrong site: %+v", i, h)
+		}
+		if !strings.Contains(h.Snippet, "«camera»") {
+			t.Errorf("hit %d snippet not highlighted: %q", i, h.Snippet)
+		}
+	}
+	if resp.Hits[0].Score < resp.Hits[1].Score {
+		t.Error("hits not ranked")
+	}
+	if got := f.Stats().Searches; got != 1 {
+		t.Errorf("Searches = %d, want 1", got)
+	}
+}
+
+func TestSearchHandlerParams(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	srv := httptest.NewServer(f.SearchHandler(searchIndex()))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/search", http.StatusBadRequest},         // missing q
+		{"/search?q=%20", http.StatusBadRequest},   // blank q
+		{"/search?q=a&k=0", http.StatusBadRequest}, // k below 1
+		{"/search?q=a&k=x", http.StatusBadRequest}, // non-numeric k
+		{"/search?q=a&site=-1", http.StatusBadRequest},
+		{"/search?q=a&site=x", http.StatusBadRequest},
+		{"/search?q=black&k=2", http.StatusOK},
+	} {
+		var out searchResponse
+		if r := getJSON(t, srv.URL+tc.url, &out); r.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.url, r.StatusCode, tc.code)
+		}
+	}
+
+	// k is clamped, not refused.
+	var clamped searchResponse
+	getJSON(t, srv.URL+"/search?q=black&k=99999", &clamped)
+	if clamped.K != MaxSearchK {
+		t.Errorf("k clamp: %d, want %d", clamped.K, MaxSearchK)
+	}
+
+	// Site filter restricts results.
+	var filtered searchResponse
+	getJSON(t, srv.URL+"/search?q=black&site=2", &filtered)
+	if len(filtered.Hits) != 1 || filtered.Hits[0].SiteID != 2 {
+		t.Errorf("site filter: %+v", filtered.Hits)
+	}
+
+	// Wrong method.
+	resp, err := http.Post(srv.URL+"/search?q=a", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Errorf("POST answered %d (Allow %q)", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+func TestSitesHandlerDiscoversSources(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	srv := httptest.NewServer(f.SitesHandler(searchIndex()))
+	defer srv.Close()
+
+	var resp sitesResponse
+	if r := getJSON(t, srv.URL+"/sites?q=black", &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(resp.Sites) != 2 {
+		t.Fatalf("sites = %+v, want books and music", resp.Sites)
+	}
+	for _, s := range resp.Sites {
+		if s.Matches < 1 || s.Site == "" {
+			t.Errorf("bad site row: %+v", s)
+		}
+	}
+	if r := getJSON(t, srv.URL+"/sites", &resp); r.StatusCode != http.StatusBadRequest {
+		t.Error("missing q not refused")
+	}
+}
+
+// blockingSearcher parks Search until released — holds its admission
+// slot so the overload path can be driven deterministically.
+type blockingSearcher struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingSearcher) Search(string, int) []qaindex.Hit {
+	b.entered <- struct{}{}
+	<-b.release
+	return nil
+}
+func (b *blockingSearcher) SearchSite(string, int, int) []qaindex.Hit { return nil }
+func (b *blockingSearcher) SitesSupporting(string) []qaindex.SiteHit  { return nil }
+func (b *blockingSearcher) Len() int                                  { return 0 }
+
+func TestSearchHandlerShedsOverload(t *testing.T) {
+	f := New(Config{MaxConcurrent: 1, MaxQueue: -1})
+	defer f.Close()
+	bs := &blockingSearcher{entered: make(chan struct{}), release: make(chan struct{})}
+	srv := httptest.NewServer(f.SearchHandler(bs))
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/search?q=slow")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-bs.entered // the slot is now held
+
+	resp, err := http.Get(srv.URL + "/search?q=refused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded search answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(bs.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+}

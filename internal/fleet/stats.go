@@ -38,13 +38,15 @@ type Stats struct {
 	Sites map[string]SiteStats `json:"sites"`
 	// Shed counts requests refused by the admission gate (429s).
 	Shed int64 `json:"shed"`
+	// Searches counts served retrieval queries (/search and /sites).
+	Searches int64 `json:"searches"`
 }
 
 // Stats snapshots the fleet's lifecycle counters. The snapshot is a
 // point-in-time copy under the registry lock — cheap enough to serve on
 // demand, consistent across the per-site counters.
 func (f *Fleet) Stats() Stats {
-	s := Stats{Sites: make(map[string]SiteStats), Shed: f.shed.Load()}
+	s := Stats{Sites: make(map[string]SiteStats), Shed: f.shed.Load(), Searches: f.searches.Load()}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for site, e := range f.entries {

@@ -5,13 +5,25 @@
 // and can discover which sources answer a topic at all ("list all sites
 // supporting BLAST queries"). THOR feeds it: every QA-Object extracted in
 // stage three becomes one indexed document.
+//
+// Two index shapes share one scoring contract:
+//
+//   - Index (this file) is the original single in-memory index: exhaustive
+//     BM25 over every posting of every query term. It remains the
+//     reference implementation — and the one-shard view the sharded
+//     engine is contract-tested against.
+//   - Sharded (sharded.go / segment.go / topk.go) partitions documents
+//     across immutable segments and serves top-k queries with
+//     max-score/block-max early termination, bit-identical to the
+//     exhaustive scan.
 package qaindex
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"thor/internal/stem"
 	"thor/internal/tagtree"
@@ -30,7 +42,6 @@ type Document struct {
 	// Text is the object's full text.
 	Text string
 
-	terms  map[string]int
 	length int
 }
 
@@ -40,8 +51,21 @@ type Hit struct {
 	Score float64
 }
 
+// Searcher is the query surface both index shapes serve: free-text top-k
+// search, its per-site restriction, and the search-by-sites discovery
+// feature. *Index and *Sharded both implement it; the HTTP serving layer
+// accepts either.
+type Searcher interface {
+	Search(query string, k int) []Hit
+	SearchSite(query string, k, siteID int) []Hit
+	SitesSupporting(query string) []SiteHit
+	Len() int
+}
+
 // Index is an inverted index over QA-Object documents with BM25 ranking.
-// The zero value is ready to use; it is not safe for concurrent mutation.
+// The zero value is ready to use; it is not safe for concurrent mutation,
+// but concurrent searches over a quiescent index are safe — per-query
+// state lives in a pooled scratch.
 //
 // The postings vocabulary is interned: each term gets a dense int32 ID at
 // first sight (in deterministic first-token order) and posting lists live
@@ -78,18 +102,20 @@ func (ix *Index) AddText(siteID int, siteName, probeQuery, pageURL, text string)
 	doc := &Document{
 		SiteID: siteID, SiteName: siteName,
 		ProbeQuery: probeQuery, PageURL: pageURL, Text: text,
-		terms: make(map[string]int),
 	}
 	// Track each distinct term's first occurrence so term IDs are assigned
 	// in token order, not map-iteration order: two identically-fed indexes
-	// get identical internals.
+	// get identical internals. The counts map is transient — retaining one
+	// per document would dominate the index's memory at millions of
+	// objects.
+	counts := make(map[string]int)
 	var order []string
 	for _, tok := range tagtree.Tokenize(text) {
 		term := stem.Stem(tok)
-		if doc.terms[term] == 0 {
+		if counts[term] == 0 {
 			order = append(order, term)
 		}
-		doc.terms[term]++
+		counts[term]++
 		doc.length++
 	}
 	id := len(ix.docs)
@@ -104,7 +130,7 @@ func (ix *Index) AddText(siteID int, siteName, probeQuery, pageURL, text string)
 			ix.termIDs[term] = tid
 			ix.plists = append(ix.plists, nil)
 		}
-		ix.plists[tid] = append(ix.plists[tid], posting{doc: id, tf: doc.terms[term]})
+		ix.plists[tid] = append(ix.plists[tid], posting{doc: id, tf: counts[term]})
 	}
 	ix.totalLen += doc.length
 	return doc
@@ -115,6 +141,27 @@ func (ix *Index) Len() int { return len(ix.docs) }
 
 // Terms returns the vocabulary size.
 func (ix *Index) Terms() int { return len(ix.termIDs) }
+
+// Docs returns the indexed documents as ingest specs in document order —
+// the stream a Sharded index is built from, so converting an Index is
+// exact: BuildSharded(ix.Docs(), ...) scores bit-identically to ix.
+func (ix *Index) Docs() []Doc {
+	out := make([]Doc, len(ix.docs))
+	for i, d := range ix.docs {
+		out[i] = Doc{
+			SiteID: d.SiteID, SiteName: d.SiteName,
+			ProbeQuery: d.ProbeQuery, PageURL: d.PageURL, Text: d.Text,
+		}
+	}
+	return out
+}
+
+// Sharded rebuilds this index as a sharded segment index over the same
+// documents — the migration path from the legacy single-index snapshot
+// format to the segmented one.
+func (ix *Index) Sharded(shards, workers int) *Sharded {
+	return BuildSharded(ix.Docs(), shards, workers)
+}
 
 // Search returns the top-k documents for a free-text query under BM25.
 // Query terms are stemmed like document terms.
@@ -128,25 +175,85 @@ func (ix *Index) SearchSite(query string, k, siteID int) []Hit {
 	return ix.search(query, k, siteID)
 }
 
-func (ix *Index) search(query string, k, siteFilter int) []Hit {
-	n := len(ix.docs)
-	if n == 0 || k <= 0 {
-		return nil
+// legacyScratch is the pooled per-query state of the exhaustive scan: the
+// document-score accumulator, the pre-sort hit buffer, and a stem cache so
+// a warm (repeated) query never re-runs the Porter stemmer. It recycles
+// through legacyPool; the hits returned to callers are always copied out,
+// never aliased to the scratch.
+type legacyScratch struct {
+	scores map[int]float64
+	hits   []Hit
+	stems  stemCache
+}
+
+var legacyPool = sync.Pool{New: func() any {
+	return &legacyScratch{scores: make(map[int]float64, 256)}
+}}
+
+// stemCache memoizes Stem per query token. It is bounded: past
+// maxStemCache distinct tokens it resets rather than growing without
+// limit under adversarial query streams.
+type stemCache map[string]string
+
+const maxStemCache = 4096
+
+func (c *stemCache) stem(tok string) string {
+	if s, ok := (*c)[tok]; ok {
+		return s
 	}
+	s := stem.Stem(tok)
+	if *c == nil {
+		*c = make(stemCache, 64)
+	} else if len(*c) >= maxStemCache {
+		clear(*c)
+	}
+	// Clone the key: tok aliases the caller's query string, and a cache
+	// entry must not pin request memory alive.
+	(*c)[strings.Clone(tok)] = s
+	return s
+}
+
+// hitWorse is the ranking order shared by every search path: higher score
+// first, then lexicographic page URL as the deterministic tie-break.
+func hitWorse(a, b Hit) bool {
+	//thorlint:allow no-float-eq deterministic sort tie-break on equal scores
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc.PageURL > b.Doc.PageURL
+}
+
+// compareHits orders hits best-first for sorting.
+func compareHits(a, b Hit) int {
+	if hitWorse(a, b) {
+		return 1
+	}
+	if hitWorse(b, a) {
+		return -1
+	}
+	return 0
+}
+
+// accumulate runs the exhaustive BM25 term-at-a-time scan for query into
+// sc.scores: every posting of every query term, restricted to siteFilter
+// when non-negative. Per document, term contributions accumulate in query
+// token order — the float addition order the early-terminating kernel
+// reproduces exactly.
+func (ix *Index) accumulate(sc *legacyScratch, query string, siteFilter int) {
+	n := len(ix.docs)
 	avgLen := float64(ix.totalLen) / float64(n)
 	if avgLen == 0 { //thorlint:allow no-float-eq exact-zero guard against dividing by zero
 		avgLen = 1
 	}
-	scores := make(map[int]float64)
-	for _, tok := range tagtree.Tokenize(query) {
-		term := stem.Stem(tok)
+	tagtree.EachToken(query, func(tok string) {
+		term := sc.stems.stem(tok)
 		tid, ok := ix.termIDs[term]
 		if !ok {
-			continue
+			return
 		}
 		plist := ix.plists[tid]
 		if len(plist) == 0 {
-			continue
+			return
 		}
 		idf := math.Log(1 + (float64(n)-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
 		for _, p := range plist {
@@ -156,55 +263,103 @@ func (ix *Index) search(query string, k, siteFilter int) []Hit {
 			}
 			tf := float64(p.tf)
 			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(doc.length)/avgLen))
-			scores[p.doc] += idf * norm
+			sc.scores[p.doc] += idf * norm
 		}
-	}
-	hits := make([]Hit, 0, len(scores))
-	for id, s := range scores {
-		hits = append(hits, Hit{Doc: ix.docs[id], Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		//thorlint:allow no-float-eq deterministic sort tie-break on equal scores
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Doc.PageURL < hits[j].Doc.PageURL // deterministic ties
 	})
-	if len(hits) > k {
-		hits = hits[:k]
+}
+
+func (ix *Index) search(query string, k, siteFilter int) []Hit {
+	if len(ix.docs) == 0 || k <= 0 {
+		return nil
 	}
-	return hits
+	sc := legacyPool.Get().(*legacyScratch)
+	defer legacyPool.Put(sc)
+	clear(sc.scores)
+	sc.hits = sc.hits[:0]
+	ix.accumulate(sc, query, siteFilter)
+	for id, s := range sc.scores {
+		sc.hits = append(sc.hits, Hit{Doc: ix.docs[id], Score: s})
+	}
+	slices.SortFunc(sc.hits, compareHits)
+	if len(sc.hits) > k {
+		sc.hits = sc.hits[:k]
+	}
+	out := make([]Hit, len(sc.hits))
+	copy(out, sc.hits)
+	return out
 }
 
 // SitesSupporting returns, for a topic query, the distinct sources whose
 // indexed objects match it, ordered by their best-scoring object — the
 // "searching by sites" feature of the envisioned engine.
+//
+// It aggregates per-site best score and match counts in one pass over the
+// score accumulator, without materializing and sorting every matching
+// document the way ranking the whole corpus would.
 func (ix *Index) SitesSupporting(query string) []SiteHit {
-	best := make(map[int]*SiteHit)
-	for _, h := range ix.search(query, len(ix.docs), -1) {
-		sh, ok := best[h.Doc.SiteID]
-		if !ok {
-			best[h.Doc.SiteID] = &SiteHit{
-				SiteID: h.Doc.SiteID, SiteName: h.Doc.SiteName,
-				Score: h.Score, Matches: 1,
-			}
-			continue
-		}
-		sh.Matches++
-		if h.Score > sh.Score {
-			sh.Score = h.Score
-		}
+	if len(ix.docs) == 0 {
+		return []SiteHit{}
 	}
+	sc := legacyPool.Get().(*legacyScratch)
+	defer legacyPool.Put(sc)
+	clear(sc.scores)
+	ix.accumulate(sc, query, -1)
+	best := make(map[int]*siteAgg)
+	for id, s := range sc.scores {
+		foldSiteHit(best, ix.docs[id], s)
+	}
+	return collectSiteHits(best)
+}
+
+// siteAgg is the per-site aggregate behind SitesSupporting: the site's
+// best hit (under the standard ranking order, so the reported site name
+// and score come from its top document) and its match count.
+type siteAgg struct {
+	best    Hit
+	matches int
+}
+
+// foldSiteHit folds one scored document into the per-site aggregates.
+// Fold order does not matter: the best hit is the maximum under the
+// total hit order, so any accumulation sequence converges to the same
+// aggregate.
+func foldSiteHit(best map[int]*siteAgg, doc *Document, score float64) {
+	a, ok := best[doc.SiteID]
+	if !ok {
+		best[doc.SiteID] = &siteAgg{best: Hit{Doc: doc, Score: score}, matches: 1}
+		return
+	}
+	a.matches++
+	if h := (Hit{Doc: doc, Score: score}); hitWorse(a.best, h) {
+		a.best = h
+	}
+}
+
+// collectSiteHits renders the per-site aggregates as the sorted
+// search-by-sites result: best score first, site ID as the tie-break.
+func collectSiteHits(best map[int]*siteAgg) []SiteHit {
 	out := make([]SiteHit, 0, len(best))
-	for _, sh := range best {
-		out = append(out, *sh)
+	for id, a := range best {
+		out = append(out, SiteHit{
+			SiteID: id, SiteName: a.best.Doc.SiteName,
+			Score: a.best.Score, Matches: a.matches,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b SiteHit) int {
 		//thorlint:allow no-float-eq deterministic sort tie-break on equal scores
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].SiteID < out[j].SiteID
+		if a.SiteID != b.SiteID {
+			if a.SiteID < b.SiteID {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	return out
 }

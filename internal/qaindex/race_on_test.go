@@ -1,0 +1,7 @@
+//go:build race
+
+package qaindex
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-gate tests skip under it because instrumentation allocates.
+const raceEnabled = true

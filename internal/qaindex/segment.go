@@ -1,0 +1,199 @@
+package qaindex
+
+import (
+	"thor/internal/stem"
+	"thor/internal/tagtree"
+)
+
+// Doc is the ingest spec of one QA-Object document — the value that flows
+// from extraction streams into segment builders. It carries exactly the
+// fields persistence snapshots, so a Doc stream round-trips through any
+// index shape losslessly.
+type Doc struct {
+	SiteID     int
+	SiteName   string
+	ProbeQuery string
+	PageURL    string
+	Text       string
+}
+
+// blockSize is the posting-block granularity of the block-max metadata:
+// per run of blockSize postings a segment records the block's last
+// document ID (for skipping), maximum term frequency, and minimum document
+// length (together an upper bound on any BM25 contribution inside the
+// block).
+const blockSize = 64
+
+// blockMeta is the block-max record of one posting block.
+type blockMeta struct {
+	// lastDoc is the largest (last) document ID in the block — the skip
+	// pointer.
+	lastDoc int32
+	// maxTF and minLen bound the BM25 term contribution of every posting
+	// in the block: the score norm grows with term frequency and shrinks
+	// with document length.
+	maxTF  int32
+	minLen int32
+}
+
+// segPostings is one term's posting list inside a segment: local document
+// IDs in ascending order, parallel term frequencies, and the block-max
+// metadata over fixed-size posting blocks.
+type segPostings struct {
+	docs   []int32
+	tfs    []int32
+	blocks []blockMeta
+	// maxTF and minLen are the whole-list bounds — the term-level
+	// max-score inputs.
+	maxTF  int32
+	minLen int32
+}
+
+// Segment is an immutable single-shard inverted index: documents in
+// stream order with doc-ID-sorted int32 posting lists carrying per-block
+// max-tf/min-length bounds. Segments are built once (BuildSegment) or
+// loaded from a segment file (ReadSegment) and then only read; concurrent
+// searches are safe.
+type Segment struct {
+	docs     []*Document
+	lengths  []int32 // token count per document, kernel-local copy
+	termIDs  map[string]int32
+	terms    []segPostings
+	totalLen int
+}
+
+// BuildSegment indexes docs (in the given order) into one immutable
+// segment. Term IDs are assigned in first-token order and postings are
+// appended in document order, so two builds over the same stream are
+// bit-identical.
+func BuildSegment(docs []Doc) *Segment {
+	s := &Segment{
+		docs:    make([]*Document, 0, len(docs)),
+		lengths: make([]int32, 0, len(docs)),
+		termIDs: make(map[string]int32),
+	}
+	counts := make(map[string]int)
+	var order []string
+	for _, d := range docs {
+		doc := &Document{
+			SiteID: d.SiteID, SiteName: d.SiteName,
+			ProbeQuery: d.ProbeQuery, PageURL: d.PageURL, Text: d.Text,
+		}
+		clear(counts)
+		order = order[:0]
+		for _, tok := range tagtree.Tokenize(d.Text) {
+			term := stem.Stem(tok)
+			if counts[term] == 0 {
+				order = append(order, term)
+			}
+			counts[term]++
+			doc.length++
+		}
+		id := int32(len(s.docs))
+		s.docs = append(s.docs, doc)
+		s.lengths = append(s.lengths, int32(doc.length))
+		s.totalLen += doc.length
+		for _, term := range order {
+			tid, ok := s.termIDs[term]
+			if !ok {
+				tid = int32(len(s.terms))
+				s.termIDs[term] = tid
+				s.terms = append(s.terms, segPostings{})
+			}
+			t := &s.terms[tid]
+			t.docs = append(t.docs, id)
+			t.tfs = append(t.tfs, int32(counts[term]))
+		}
+	}
+	s.finalize()
+	return s
+}
+
+// finalize derives the block-max metadata from the posting lists. Called
+// once at the end of a build or a load; postings must already be in
+// ascending document order.
+func (s *Segment) finalize() {
+	for tid := range s.terms {
+		t := &s.terms[tid]
+		n := len(t.docs)
+		t.blocks = t.blocks[:0]
+		t.maxTF, t.minLen = 0, 0
+		for start := 0; start < n; start += blockSize {
+			end := min(start+blockSize, n)
+			b := blockMeta{lastDoc: t.docs[end-1]}
+			for i := start; i < end; i++ {
+				if t.tfs[i] > b.maxTF {
+					b.maxTF = t.tfs[i]
+				}
+				if dl := s.lengths[t.docs[i]]; b.minLen == 0 || dl < b.minLen {
+					b.minLen = dl
+				}
+			}
+			t.blocks = append(t.blocks, b)
+			if b.maxTF > t.maxTF {
+				t.maxTF = b.maxTF
+			}
+			if t.minLen == 0 || b.minLen < t.minLen {
+				t.minLen = b.minLen
+			}
+		}
+	}
+}
+
+// Len returns the number of documents in the segment.
+func (s *Segment) Len() int { return len(s.docs) }
+
+// Docs returns the segment's documents as ingest specs in segment order.
+func (s *Segment) Docs() []Doc {
+	out := make([]Doc, len(s.docs))
+	for i, d := range s.docs {
+		out[i] = Doc{
+			SiteID: d.SiteID, SiteName: d.SiteName,
+			ProbeQuery: d.ProbeQuery, PageURL: d.PageURL, Text: d.Text,
+		}
+	}
+	return out
+}
+
+// Terms returns the segment's vocabulary size.
+func (s *Segment) Terms() int { return len(s.terms) }
+
+// TotalLen returns the summed token length of the segment's documents —
+// one shard's share of the global average-length statistic.
+func (s *Segment) TotalLen() int { return s.totalLen }
+
+// df returns the segment-local document frequency of term, 0 when absent.
+func (s *Segment) df(term string) int {
+	tid, ok := s.termIDs[term]
+	if !ok {
+		return 0
+	}
+	return len(s.terms[tid].docs)
+}
+
+// seek advances a posting cursor at pos to the first posting with
+// document ID ≥ d, using the block skip pointers to jump whole blocks.
+// Returns len(docs) when every remaining posting is below d. Cursors only
+// move forward, so a sequence of seeks over ascending d is amortized
+// linear in the number of blocks touched.
+func (t *segPostings) seek(pos, d int32) int32 {
+	n := int32(len(t.docs))
+	if pos >= n || t.docs[pos] >= d {
+		return pos
+	}
+	if t.docs[n-1] < d {
+		return n
+	}
+	b := pos / blockSize
+	for t.blocks[b].lastDoc < d {
+		b++
+	}
+	i := max(pos, b*blockSize)
+	end := min((b+1)*blockSize, n)
+	for ; i < end; i++ {
+		if t.docs[i] >= d {
+			return i
+		}
+	}
+	return end
+}
